@@ -1,0 +1,28 @@
+# Convenience targets; dune is the source of truth.
+
+.PHONY: all build test bench experiments examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+experiments:
+	dune exec bin/harmony_cli.exe -- experiment all
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/webservice_autotune.exe
+	dune exec examples/matrix_partition.exe
+	dune exec examples/history_reuse.exe
+	dune exec examples/climate_groups.exe
+	dune exec examples/blocked_matmul.exe
+
+clean:
+	dune clean
