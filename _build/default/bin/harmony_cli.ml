@@ -1,0 +1,423 @@
+(* Command-line front end for the Active Harmony reproduction.
+
+   harmony_cli experiment [ID]   regenerate the paper's tables/figures
+   harmony_cli tune ...          run the tuner on a built-in system
+   harmony_cli prioritize ...    run the parameter prioritizing tool
+   harmony_cli rsl ...           count/enumerate a restricted space
+   harmony_cli db ...            inspect an experience database *)
+
+open Cmdliner
+open Harmony
+open Harmony_param
+open Harmony_objective
+module Rng = Harmony_numerics.Rng
+module Ws = Harmony_webservice
+module Generator = Harmony_datagen.Generator
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+
+let mix_arg =
+  let doc = "TPC-W workload mix: browsing, shopping or ordering." in
+  Arg.(value & opt string "shopping" & info [ "mix" ] ~docv:"MIX" ~doc)
+
+let system_arg =
+  let doc =
+    "System to tune: 'model' (analytic 3-tier web service), 'sim' \
+     (discrete-event web service), or 'datagen' (synthetic rule data)."
+  in
+  Arg.(value & opt string "model" & info [ "system" ] ~docv:"SYSTEM" ~doc)
+
+let budget_arg =
+  let doc = "Objective-evaluation budget." in
+  Arg.(value & opt int 150 & info [ "budget" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for stochastic components." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let noise_arg =
+  let doc = "Uniform measurement perturbation level (e.g. 0.05 for 5%)." in
+  Arg.(value & opt float 0.0 & info [ "noise" ] ~docv:"LEVEL" ~doc)
+
+let objective_of ~system ~mix ~seed ~noise =
+  let base =
+    match system with
+    | "model" -> Ws.Model.objective ~mix:(Ws.Tpcw.mix_of_label mix) ()
+    | "sim" -> Ws.Simulation.objective ~mix:(Ws.Tpcw.mix_of_label mix) ()
+    | "datagen" ->
+        let g = Generator.synthetic_webservice ~seed () in
+        let workload =
+          match mix with
+          | "browsing" -> Generator.browsing_mix
+          | "ordering" -> Generator.ordering_mix
+          | _ -> Generator.shopping_mix
+        in
+        Generator.objective g ~workload
+    | other -> invalid_arg ("unknown system: " ^ other)
+  in
+  if noise > 0.0 then Objective.with_noise (Rng.create seed) ~level:noise base
+  else base
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let id_arg =
+    let doc = "Experiment id (fig4..fig10, table1, table2, headline) or 'all'." in
+    Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
+  in
+  let run id =
+    if id = "all" then begin
+      Harmony_experiments.Registry.run_all Format.std_formatter;
+      `Ok ()
+    end
+    else
+      match Harmony_experiments.Registry.find id with
+      | Some f ->
+          Harmony_experiments.Report.print Format.std_formatter (f ());
+          `Ok ()
+      | None ->
+          `Error
+            ( false,
+              Printf.sprintf "unknown experiment %s (known: %s)" id
+                (String.concat ", " Harmony_experiments.Registry.ids) )
+  in
+  let doc = "Regenerate the paper's tables and figures." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id_arg))
+
+(* ------------------------------------------------------------------ *)
+(* tune                                                                *)
+
+let tune_cmd =
+  let init_arg =
+    let doc = "Initial simplex: 'spread' (improved) or 'extremes' (original)." in
+    Arg.(value & opt string "spread" & info [ "init" ] ~docv:"INIT" ~doc)
+  in
+  let top_n_arg =
+    let doc = "Tune only the N most sensitive parameters." in
+    Arg.(value & opt (some int) None & info [ "top-n" ] ~docv:"N" ~doc)
+  in
+  let trace_csv_arg =
+    let doc = "Write the tuning trace (one measurement per line) to FILE." in
+    Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
+  in
+  let run system mix budget seed noise init top_n trace_csv =
+    match objective_of ~system ~mix ~seed ~noise with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | objective ->
+        let init =
+          match init with
+          | "extremes" -> Simplex.Init.Extremes
+          | _ -> Simplex.Init.Spread
+        in
+        let options = { Tuner.default_options with Tuner.init; max_evaluations = budget } in
+        let session = Session.create ~objective ~options () in
+        let r = Session.tune ?top_n session in
+        let space = objective.Objective.space in
+        Format.printf "tuned parameters:  %s@."
+          (String.concat ", "
+             (List.map
+                (fun i -> (Space.param space i).Param.name)
+                r.Session.tuned_indices));
+        Format.printf "best performance:  %.3f@." r.Session.outcome.Tuner.best_performance;
+        Format.printf "best configuration: %a@." (Space.pp_config space)
+          r.Session.full_best_config;
+        Format.printf "evaluations:       %d@." r.Session.outcome.Tuner.evaluations;
+        let m = Tuner.Metrics.of_outcome objective r.Session.outcome in
+        Format.printf "trace summary:     %a@." Tuner.Metrics.pp m;
+        (match trace_csv with
+        | None -> ()
+        | Some file ->
+            let tuned_space =
+              Space.create
+                (List.map (Space.param space) r.Session.tuned_indices)
+            in
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc
+                  (Tuner.trace_csv tuned_space r.Session.outcome));
+            Format.printf "trace written to   %s@." file);
+        `Ok ()
+  in
+  let doc = "Tune a built-in system with Active Harmony." in
+  Cmd.v (Cmd.info "tune" ~doc)
+    Term.(
+      ret
+        (const run $ system_arg $ mix_arg $ budget_arg $ seed_arg $ noise_arg
+       $ init_arg $ top_n_arg $ trace_csv_arg))
+
+(* ------------------------------------------------------------------ *)
+(* prioritize                                                          *)
+
+let prioritize_cmd =
+  let repeats_arg =
+    let doc = "Measurements per sweep point (averaged)." in
+    Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"K" ~doc)
+  in
+  let run system mix seed noise repeats =
+    match objective_of ~system ~mix ~seed ~noise with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | objective ->
+        let report = Sensitivity.analyze ~repeats objective in
+        Format.printf "%a" Sensitivity.pp report;
+        Format.printf "total evaluations: %d@." (Sensitivity.evaluations report);
+        `Ok ()
+  in
+  let doc = "Rank parameters by performance sensitivity (the prioritizing tool)." in
+  Cmd.v (Cmd.info "prioritize" ~doc)
+    Term.(ret (const run $ system_arg $ mix_arg $ seed_arg $ noise_arg $ repeats_arg))
+
+(* ------------------------------------------------------------------ *)
+(* rsl                                                                 *)
+
+let rsl_cmd =
+  let file_arg =
+    let doc = "File containing a resource specification." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let enumerate_arg =
+    let doc = "Print up to N feasible configurations." in
+    Arg.(value & opt (some int) None & info [ "enumerate" ] ~docv:"N" ~doc)
+  in
+  let run file enumerate =
+    let ic = open_in file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Rsl.parse text with
+    | exception Rsl.Parse_error msg -> `Error (false, "parse error: " ^ msg)
+    | spec ->
+        Format.printf "bundles: %s@." (String.concat ", " (Rsl.names spec));
+        Format.printf "feasible configurations: %d@."
+          (Rsl.feasible_count ~limit:10_000_000 spec);
+        (match enumerate with
+        | None -> ()
+        | Some n ->
+            let count = ref 0 in
+            Seq.iter
+              (fun v ->
+                if !count < n then begin
+                  incr count;
+                  Format.printf "  %s@."
+                    (String.concat " "
+                       (Array.to_list (Array.map string_of_int v)))
+                end)
+              (Rsl.enumerate spec));
+        `Ok ()
+  in
+  let doc = "Parse a resource specification and count its restricted space." in
+  Cmd.v (Cmd.info "rsl" ~doc) Term.(ret (const run $ file_arg $ enumerate_arg))
+
+(* ------------------------------------------------------------------ *)
+(* factorial                                                           *)
+
+let factorial_cmd =
+  let design_arg =
+    let doc = "'full' (two-level full factorial, with interactions) or 'pb' \
+               (Plackett-Burman main-effect screening)." in
+    Arg.(value & opt string "pb" & info [ "design" ] ~docv:"DESIGN" ~doc)
+  in
+  let run system mix seed noise design =
+    match objective_of ~system ~mix ~seed ~noise with
+    | exception Invalid_argument msg -> `Error (false, msg)
+    | objective -> (
+        let effects =
+          match design with
+          | "full" -> Ok (Factorial.full objective)
+          | "pb" -> Ok (Factorial.plackett_burman objective)
+          | other -> Error ("unknown design: " ^ other)
+        in
+        match effects with
+        | Error msg -> `Error (false, msg)
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | Ok effects ->
+            Format.printf "design runs: %d@." effects.Factorial.runs;
+            List.iter
+              (fun (name, effect) -> Format.printf "%-24s %12.3f@." name effect)
+              (Factorial.ranked_main effects);
+            if Array.length effects.Factorial.interactions > 0 then begin
+              Format.printf "@.two-way interactions:@.";
+              Array.iter
+                (fun (i, j, e) ->
+                  if Float.abs e > 1e-9 then
+                    Format.printf "%-12s x %-12s %12.3f@."
+                      effects.Factorial.names.(i) effects.Factorial.names.(j) e)
+                effects.Factorial.interactions;
+              Format.printf "interaction/main ratio: %.3f@."
+                (Factorial.interaction_ratio effects)
+            end;
+            `Ok ())
+  in
+  let doc = "Factorial experiment designs (for interacting parameters)." in
+  Cmd.v (Cmd.info "factorial" ~doc)
+    Term.(ret (const run $ system_arg $ mix_arg $ seed_arg $ noise_arg $ design_arg))
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let run budget =
+    let server =
+      Server.create
+        ~options:{ Simplex.default_options with Simplex.max_evaluations = budget }
+        ()
+    in
+    (* Line protocol on stdin/stdout.  `register min|max` keeps reading
+       specification lines until a blank line or EOF. *)
+    let rec read_spec acc =
+      match In_channel.input_line stdin with
+      | None -> List.rev acc
+      | Some line when String.trim line = "" -> List.rev acc
+      | Some line -> read_spec (line :: acc)
+    in
+    let respond reply =
+      print_endline (Server.reply_to_string reply);
+      flush stdout
+    in
+    let rec loop () =
+      match In_channel.input_line stdin with
+      | None -> ()
+      | Some line -> (
+          let line = String.trim line in
+          if line = "" then loop ()
+          else if line = "quit" then ()
+          else begin
+            let text =
+              match String.split_on_char ' ' line with
+              | "register" :: _ -> line ^ "\n" ^ String.concat "\n" (read_spec [])
+              | _ -> line
+            in
+            (match Server.parse_message text with
+            | Ok message -> respond (Server.handle server message)
+            | Error msg -> respond (Server.Rejected msg));
+            loop ()
+          end)
+    in
+    Format.printf
+      "harmony tuning server: 'register min|max' + RSL lines + blank line, then \
+       'query' / 'report <perf>' / 'quit'@.";
+    loop ();
+    `Ok ()
+  in
+  let doc = "Run the tuning server on stdin/stdout (line protocol)." in
+  Cmd.v (Cmd.info "serve" ~doc) Term.(ret (const run $ budget_arg))
+
+(* ------------------------------------------------------------------ *)
+(* rules                                                               *)
+
+let rules_cmd =
+  let file_arg =
+    let doc = "File of CNF performance rules ('perf <- v0 = 3 & 2 <= v1 < 8')." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let ranges_arg =
+    let doc = "Variable ranges as 'lo:hi,lo:hi,...' (one per variable)." in
+    Arg.(required & opt (some string) None & info [ "ranges" ] ~docv:"RANGES" ~doc)
+  in
+  let eval_arg =
+    let doc = "Evaluate the rules at this input, 'x0,x1,...' (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "eval" ] ~docv:"INPUT" ~doc)
+  in
+  let run file ranges inputs =
+    let parse_ranges s =
+      s |> String.split_on_char ','
+      |> List.map (fun pair ->
+             match String.split_on_char ':' pair with
+             | [ lo; hi ] -> (float_of_string lo, float_of_string hi)
+             | _ -> failwith ("bad range: " ^ pair))
+      |> Array.of_list
+    in
+    match parse_ranges ranges with
+    | exception _ -> `Error (false, "cannot parse --ranges (want lo:hi,lo:hi,...)")
+    | ranges -> (
+        let num_vars = Array.length ranges in
+        let ic = open_in file in
+        let text =
+          Fun.protect
+            ~finally:(fun () -> close_in ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        in
+        match Harmony_datagen.Rules.of_text ~num_vars ~ranges text with
+        | exception Harmony_datagen.Rules.Parse_error msg ->
+            `Error (false, "parse error: " ^ msg)
+        | exception Invalid_argument msg -> `Error (false, msg)
+        | rules ->
+            Format.printf "%d rules over %d variables; conflict-free: %b@."
+              (Array.length (Harmony_datagen.Rules.rules rules))
+              num_vars
+              (Harmony_datagen.Rules.conflict_free rules);
+            List.iter
+              (fun input ->
+                match
+                  input |> String.split_on_char ','
+                  |> List.map float_of_string |> Array.of_list
+                with
+                | exception _ -> Format.printf "%s -> cannot parse input@." input
+                | point ->
+                    if Array.length point <> num_vars then
+                      Format.printf "%s -> arity mismatch@." input
+                    else
+                      Format.printf "%s -> %g@." input
+                        (Harmony_datagen.Rules.eval rules point))
+              inputs;
+            `Ok ())
+  in
+  let doc = "Parse and evaluate a CNF performance-rule file (DataGen notation)." in
+  Cmd.v (Cmd.info "rules" ~doc)
+    Term.(ret (const run $ file_arg $ ranges_arg $ eval_arg))
+
+(* ------------------------------------------------------------------ *)
+(* db                                                                  *)
+
+let db_cmd =
+  let file_arg =
+    let doc = "Experience database file (History.save format)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let compress_arg =
+    let doc = "Compress to at most N entries (k-means over characteristics)." in
+    Arg.(value & opt (some int) None & info [ "compress" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file for --compress (defaults to overwriting the input)." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let run file compress out =
+    match History.load file with
+    | exception Failure msg -> `Error (false, msg)
+    | db ->
+        Format.printf "%d experience entr%s@." (History.size db)
+          (if History.size db = 1 then "y" else "ies");
+        List.iter
+          (fun e ->
+            Format.printf "entry %d: label=%S measurements=%d characteristics=[%s]@."
+              e.History.id e.History.label
+              (List.length e.History.evaluations)
+              (String.concat "; "
+                 (Array.to_list (Array.map (Printf.sprintf "%.3f") e.History.characteristics))))
+          (History.entries db);
+        (match compress with
+        | None -> ()
+        | Some n ->
+            let compressed = History.compress (Rng.create 1) db ~max_entries:n in
+            let target = Option.value out ~default:file in
+            History.save compressed target;
+            Format.printf "compressed %d -> %d entries into %s@." (History.size db)
+              (History.size compressed) target);
+        `Ok ()
+  in
+  let doc = "Inspect or compress an experience database." in
+  Cmd.v (Cmd.info "db" ~doc) Term.(ret (const run $ file_arg $ compress_arg $ out_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Active Harmony prior-run-reuse autotuning (SC 2004 reproduction)" in
+  let info = Cmd.info "harmony_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+       [
+         experiment_cmd; tune_cmd; prioritize_cmd; factorial_cmd; serve_cmd;
+         rsl_cmd; rules_cmd; db_cmd;
+       ]))

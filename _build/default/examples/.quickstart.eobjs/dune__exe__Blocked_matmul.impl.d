@@ -1,0 +1,1 @@
+examples/blocked_matmul.ml: Array Baselines Format Harmony Harmony_cachesim Harmony_objective Harmony_param List Matmul Printf Sensitivity Tuner

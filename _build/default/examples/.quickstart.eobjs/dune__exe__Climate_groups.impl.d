@@ -1,0 +1,1 @@
+examples/climate_groups.ml: Array Float Format Harmony List Printf Server Simplex

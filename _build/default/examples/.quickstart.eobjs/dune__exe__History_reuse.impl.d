@@ -1,0 +1,1 @@
+examples/history_reuse.ml: Analyzer Filename Format Harmony Harmony_numerics Harmony_objective Harmony_webservice History List Model Sys Tpcw Tuner

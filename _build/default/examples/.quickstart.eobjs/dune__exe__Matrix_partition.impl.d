@@ -1,0 +1,1 @@
+examples/matrix_partition.ml: Array Float Format Harmony Harmony_objective Harmony_param List Objective Param Printf Rsl Space String Tuner

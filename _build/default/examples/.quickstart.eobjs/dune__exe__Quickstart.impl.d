@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Harmony Harmony_objective Harmony_param Objective Param Sensitivity Space Tuner

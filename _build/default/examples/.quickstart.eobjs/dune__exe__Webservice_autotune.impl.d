@@ -1,0 +1,1 @@
+examples/webservice_autotune.ml: Format Harmony Harmony_param Harmony_webservice List Model Sensitivity Simulation Subspace Tpcw Tuner Wsconfig

@@ -1,0 +1,1 @@
+examples/webservice_autotune.mli:

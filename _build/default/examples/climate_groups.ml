@@ -1,0 +1,79 @@
+(* The paper's climate-simulation example (Section 4.1 / Appendix B):
+   a fixed pool of A compute nodes is split between the land, ocean
+   and atmosphere tasks; a fixed split causes load imbalance, so the
+   node counts are tunable — with the constraint L + O + M = A
+   expressed in the resource specification language.
+
+   This example drives the tuning through the Harmony *server*
+   protocol, the way an instrumented application would: register the
+   RSL program, receive assignments, run a (simulated) time step,
+   report the step time.
+
+   Run with: dune exec examples/climate_groups.exe *)
+
+open Harmony
+
+let total_nodes = 32
+
+(* Computational demand of each task (work units per time step): the
+   atmosphere dominates, as in real coupled models. *)
+let demand = [| 40.0; 65.0; 150.0 |] (* land, ocean, atmosphere *)
+
+(* A time step finishes when the slowest group finishes; groups scale
+   almost linearly with a small coordination overhead per node. *)
+let step_time (l, o, m) =
+  let time task nodes =
+    let n = float_of_int nodes in
+    (demand.(task) /. n) +. (0.05 *. n)
+  in
+  Float.max (time 0 l) (Float.max (time 1 o) (time 2 m))
+
+(* L and O are free; M = A - L - O is determined (Appendix B). *)
+let spec =
+  Printf.sprintf
+    "{ harmonyBundle LAND { int {1 %d 1} }}\n\
+     { harmonyBundle OCEAN { int {1 %d-$LAND 1} }}"
+    (total_nodes - 2) (total_nodes - 1)
+
+let () =
+  Format.printf "balancing %d nodes across land/ocean/atmosphere@." total_nodes;
+  Format.printf "specification:@.%s@.@." spec;
+
+  let server =
+    Server.create
+      ~options:{ Simplex.default_options with Simplex.max_evaluations = 120 }
+      ()
+  in
+  let steps = ref 0 in
+  let rec session reply =
+    match reply with
+    | Server.Assign assignment ->
+        incr steps;
+        let l = List.assoc "LAND" assignment in
+        let o = List.assoc "OCEAN" assignment in
+        let m = total_nodes - l - o in
+        (* One simulated time step under this node split; the server
+           minimizes the reported step time. *)
+        session (Server.handle server (Server.Report (step_time (l, o, m))))
+    | Server.Done { best; performance } ->
+        let l = List.assoc "LAND" best in
+        let o = List.assoc "OCEAN" best in
+        (l, o, performance)
+    | Server.Rejected msg -> failwith ("server rejected: " ^ msg)
+  in
+  let l, o, best_time =
+    session
+      (Server.handle server (Server.Register { spec; direction = Server.Minimize }))
+  in
+  let m = total_nodes - l - o in
+  Format.printf "after %d time steps: land=%d ocean=%d atmosphere=%d@." !steps l o m;
+  Format.printf "step time: %.3f (fixed equal split: %.3f)@." best_time
+    (step_time (total_nodes / 3, total_nodes / 3, total_nodes - (2 * (total_nodes / 3))));
+  (* Brute-force reference over all feasible splits. *)
+  let ideal = ref infinity in
+  for l = 1 to total_nodes - 2 do
+    for o = 1 to total_nodes - 1 - l do
+      ideal := Float.min !ideal (step_time (l, o, total_nodes - l - o))
+    done
+  done;
+  Format.printf "exhaustive optimum: %.3f@." !ideal

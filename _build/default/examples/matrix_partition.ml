@@ -1,0 +1,83 @@
+(* Parameter restriction (Appendix B): tuning how a k-row matrix is
+   partitioned into n row blocks across worker groups.
+
+   Block sizes must sum to k with every block non-empty, so most of
+   the naive (size_1, ..., size_{n-1}) box is infeasible.  The
+   resource specification language prunes it: block i's range is
+   conditioned on blocks 1..i-1.  We count the reduction, then tune a
+   synthetic load-balance cost over the restricted space.
+
+   Run with: dune exec examples/matrix_partition.exe *)
+
+open Harmony
+open Harmony_param
+open Harmony_objective
+
+let rows = 60
+let blocks = 4
+
+(* Heterogeneous workers: relative speeds of the n groups.  The ideal
+   partition sizes are proportional to the speeds. *)
+let speeds = [| 1.0; 2.0; 3.0; 4.0 |]
+
+(* Completion time of a partition = the slowest group's time. *)
+let completion sizes =
+  let t = ref 0.0 in
+  Array.iteri (fun i s -> t := Float.max !t (s /. speeds.(i))) sizes;
+  !t
+
+let sizes_of_config c =
+  let free = Array.map int_of_float c in
+  let used = Array.fold_left ( + ) 0 free in
+  Array.append (Array.map float_of_int free) [| float_of_int (rows - used) |]
+
+let () =
+  (* The restricted specification: P1..P3 free, P4 determined. *)
+  let spec =
+    Rsl.parse
+      (String.concat "\n"
+         (List.init (blocks - 1) (fun i ->
+              let i = i + 1 in
+              let prior = List.init (i - 1) (fun j -> Printf.sprintf "-$P%d" (j + 1)) in
+              Printf.sprintf "{ harmonyBundle P%d { int {1 %d%s 1} }}" i
+                (rows - (blocks - i))
+                (String.concat "" prior))))
+  in
+  Format.printf "specification:@.%s@." (Rsl.to_string spec);
+  let restricted = Rsl.feasible_count spec in
+  let unrestricted =
+    int_of_float (float_of_int rows ** float_of_int (blocks - 1))
+  in
+  Format.printf "search space: %d unrestricted -> %d restricted (%.1f%% pruned)@."
+    unrestricted restricted
+    (100.0 *. (1.0 -. (float_of_int restricted /. float_of_int unrestricted)));
+
+  (* Tune over the free sizes.  Infeasible proposals (blocks that
+     would leave no rows for the rest) pay a penalty proportional to
+     the violation, which gives the simplex a slope back into the
+     feasible region; Rsl.repair then projects the final answer. *)
+  let space =
+    Space.create
+      (List.init (blocks - 1) (fun i ->
+           Param.int_range
+             ~name:(Printf.sprintf "P%d" (i + 1))
+             ~lo:1
+             ~hi:(rows - blocks + 1)
+             ~default:(rows / blocks) ()))
+  in
+  let objective =
+    Objective.create ~space ~direction:Objective.Lower_is_better (fun c ->
+        let used = Array.fold_left ( +. ) 0.0 c in
+        let remaining = float_of_int rows -. used in
+        if remaining < 1.0 then 1000.0 +. (1.0 -. remaining)
+        else completion (sizes_of_config c))
+  in
+  let outcome = Tuner.tune objective in
+  let best = Rsl.repair spec outcome.Tuner.best_config in
+  let sizes = sizes_of_config best in
+  Format.printf "@.best partition:";
+  Array.iteri (fun i s -> Format.printf " group%d=%g" (i + 1) s) sizes;
+  Format.printf "@.completion time: %.3f (ideal %.3f)@."
+    outcome.Tuner.best_performance
+    (float_of_int rows /. Array.fold_left ( +. ) 0.0 speeds);
+  Format.printf "evaluations: %d@." outcome.Tuner.evaluations

@@ -1,0 +1,66 @@
+(* Tuning the full three-tier web service, end to end, against the
+   discrete-event simulator (the "real" system of this reproduction):
+
+   1. prioritize the ten parameters on the fast analytic model,
+   2. tune only the top-4 on the (slower, stochastic) simulator,
+   3. compare default vs tuned WIPS on the simulator.
+
+   Run with: dune exec examples/webservice_autotune.exe *)
+
+open Harmony
+open Harmony_webservice
+module Space = Harmony_param.Space
+
+let mix = Tpcw.shopping
+
+let () =
+  Format.printf "workload: %s (%.0f%% browse)@." mix.Tpcw.label
+    (100.0 *. Tpcw.browse_fraction mix);
+
+  (* Fast sweep on the analytic model to rank the parameters — the
+     paper amortizes this one-off cost over many runs. *)
+  let model_obj = Model.objective ~mix () in
+  let report = Sensitivity.analyze model_obj in
+  Format.printf "@.sensitivities (analytic model):@.%a@." Sensitivity.pp report;
+
+  (* Tune the four most performance-critical parameters against the
+     discrete-event simulator.  Short measurement windows keep each
+     evaluation cheap, like the paper's few-time-step explorations. *)
+  let sim_options =
+    { Simulation.default_options with
+      Simulation.warmup_ms = 4_000.0; horizon_ms = 25_000.0;
+      (* Browsers stay within a Browse/Order session 50% of the time:
+         bursty, session-like arrivals with the same stationary mix. *)
+      session_persistence = 0.5 }
+  in
+  let sim_obj = Simulation.objective ~options:sim_options ~mix () in
+  let indices = Sensitivity.top_n report 4 in
+  Format.printf "tuning top-4 parameters:";
+  List.iter
+    (fun i -> Format.printf " %s" (Space.param Wsconfig.space i).Harmony_param.Param.name)
+    indices;
+  Format.printf "@.";
+  let sub = Subspace.project sim_obj ~indices () in
+  let outcome =
+    Tuner.tune
+      ~options:{ Tuner.default_options with Tuner.max_evaluations = 80 }
+      (Subspace.objective sub)
+  in
+  let tuned_config = Subspace.embed sub outcome.Tuner.best_config in
+
+  (* Validate on the simulator with a longer measurement window. *)
+  let validate config =
+    (Simulation.run ~options:{ sim_options with Simulation.horizon_ms = 60_000.0; seed = 99 }
+       (Wsconfig.of_config config) ~mix)
+      .Simulation.wips
+  in
+  let default_wips = validate (Wsconfig.to_config Wsconfig.default) in
+  let tuned_wips = validate tuned_config in
+  Format.printf "@.default config: %a@." (Space.pp_config Wsconfig.space)
+    (Wsconfig.to_config Wsconfig.default);
+  Format.printf "tuned config:   %a@." (Space.pp_config Wsconfig.space) tuned_config;
+  Format.printf "@.simulated WIPS: default %.2f -> tuned %.2f (%+.1f%%)@."
+    default_wips tuned_wips
+    (100.0 *. ((tuned_wips /. default_wips) -. 1.0));
+  let m = Tuner.Metrics.of_outcome (Subspace.objective sub) outcome in
+  Format.printf "tuning trace:   %a@." Tuner.Metrics.pp m

@@ -1,0 +1,1 @@
+lib/cachesim/matmul.ml: Array Cache Harmony_objective Harmony_param Objective Param Space

@@ -1,0 +1,1 @@
+lib/cachesim/matmul.mli: Cache Harmony_objective Harmony_param

@@ -1,0 +1,1 @@
+lib/core/analyzer.ml: Array Estimator Float Harmony_numerics Harmony_objective Harmony_param History List Logs Objective Simplex Space Tuner

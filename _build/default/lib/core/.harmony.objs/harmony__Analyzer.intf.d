@@ -1,0 +1,1 @@
+lib/core/analyzer.mli: Harmony_objective History Objective Simplex Tuner

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Float Harmony_numerics Harmony_objective Harmony_param List Objective Param Printf Recorder Seq Space

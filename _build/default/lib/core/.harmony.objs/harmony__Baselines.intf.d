@@ -1,0 +1,1 @@
+lib/core/baselines.mli: Harmony_numerics Harmony_objective Harmony_param Objective Recorder Space

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Effect Fun Harmony_objective Harmony_param Objective Simplex Space

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Harmony_objective Harmony_param Objective Simplex Space

@@ -1,0 +1,1 @@
+lib/core/estimator.ml: Array Harmony_numerics Harmony_param List Space

@@ -1,0 +1,1 @@
+lib/core/estimator.mli: Harmony_param Space

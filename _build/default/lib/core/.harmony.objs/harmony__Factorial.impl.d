@@ -1,0 +1,1 @@
+lib/core/factorial.ml: Array Float Harmony_objective Harmony_param List Objective Param Space

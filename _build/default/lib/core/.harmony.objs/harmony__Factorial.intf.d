@@ -1,0 +1,1 @@
+lib/core/factorial.mli: Harmony_objective Objective

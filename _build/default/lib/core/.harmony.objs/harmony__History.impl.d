@@ -1,0 +1,1 @@
+lib/core/history.ml: Array Buffer Fun Harmony_ml Harmony_numerics Harmony_objective Harmony_param Hashtbl List Objective Printf Recorder Seq Space String Sys Tuner

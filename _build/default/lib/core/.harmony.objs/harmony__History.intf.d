@@ -1,0 +1,1 @@
+lib/core/history.mli: Harmony_numerics Harmony_objective Harmony_param Objective Space Tuner

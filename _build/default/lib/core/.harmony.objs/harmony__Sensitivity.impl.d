@@ -1,0 +1,1 @@
+lib/core/sensitivity.ml: Array Float Format Fun Harmony_objective Harmony_param List Objective Param Space

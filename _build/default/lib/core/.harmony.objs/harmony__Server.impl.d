@@ -1,0 +1,1 @@
+lib/core/server.ml: Array Controller Harmony_objective Harmony_param List Objective Option Printf Rsl Simplex String

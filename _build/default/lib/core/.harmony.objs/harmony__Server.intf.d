@@ -1,0 +1,1 @@
+lib/core/server.mli: Harmony_param Rsl Simplex

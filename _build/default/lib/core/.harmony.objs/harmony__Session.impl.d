@@ -1,0 +1,1 @@
+lib/core/session.ml: Analyzer Fun Harmony_objective Harmony_param History List Objective Option Sensitivity Space Subspace Tuner

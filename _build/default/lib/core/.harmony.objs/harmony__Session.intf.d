@@ -1,0 +1,1 @@
+lib/core/session.mli: Harmony_objective Harmony_param History Objective Sensitivity Space Tuner

@@ -1,0 +1,1 @@
+lib/core/simplex.ml: Array Float Harmony_numerics Harmony_objective Harmony_param List Logs Objective Param Space

@@ -1,0 +1,1 @@
+lib/core/simplex.mli: Harmony_objective Harmony_param Objective Space

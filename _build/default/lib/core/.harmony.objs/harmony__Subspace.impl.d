@@ -1,0 +1,1 @@
+lib/core/subspace.ml: Array Harmony_objective Harmony_param List Objective Space

@@ -1,0 +1,1 @@
+lib/core/subspace.mli: Harmony_objective Harmony_param Objective Space

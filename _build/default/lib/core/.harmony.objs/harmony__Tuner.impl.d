@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Array Buffer Float Format Harmony_numerics Harmony_objective Harmony_param List Objective Option Param Printf Recorder Simplex Space

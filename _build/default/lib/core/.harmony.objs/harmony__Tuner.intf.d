@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Format Harmony_objective Harmony_param Objective Recorder Simplex Space

@@ -1,0 +1,149 @@
+open Harmony_param
+open Harmony_objective
+
+let log_src = Logs.Src.create "harmony.analyzer" ~doc:"Workload data analyzer"
+
+module Log = (val Logs.src_log log_src)
+
+type t = {
+  db : History.t;
+  classifier : History.t -> float array -> History.entry option;
+}
+
+let with_classifier classifier db = { db; classifier }
+let create db = with_classifier History.find_closest db
+let database t = t.db
+
+let characterize ~probe ~samples =
+  if samples < 1 then invalid_arg "Analyzer.characterize: samples < 1";
+  let first = probe () in
+  let acc = Array.copy first in
+  for _ = 2 to samples do
+    let obs = probe () in
+    if Array.length obs <> Array.length acc then
+      invalid_arg "Analyzer.characterize: probe arity changed";
+    Array.iteri (fun i v -> acc.(i) <- acc.(i) +. v) obs
+  done;
+  Array.map (fun v -> v /. float_of_int samples) acc
+
+let classify t observed = t.classifier t.db observed
+
+type preparation = {
+  matched : History.entry option;
+  init : Simplex.Init.t;
+  estimated_vertices : int;
+}
+
+let prepare ?(fallback = Simplex.Init.Spread) t obj ~characteristics =
+  match classify t characteristics with
+  | None ->
+      Log.info (fun m -> m "no matching experience; cold start");
+      { matched = None; init = fallback; estimated_vertices = 0 }
+  | Some entry ->
+      let space = obj.Objective.space in
+      let dims = Space.dims space in
+      (* Seed vertices are chosen for quality *and* diversity: the
+         best historical configurations of one run cluster tightly
+         around its optimum, and a degenerate simplex cannot adapt
+         when the new workload's optimum lies elsewhere.  Greedily
+         pick, among the better half of the history, the point
+         farthest from the seeds chosen so far. *)
+      let pool = History.best_evaluations obj entry ~n:max_int in
+      let pool =
+        let len = List.length pool in
+        List.filteri (fun i _ -> 2 * i <= len) pool
+      in
+      let seeds =
+        match pool with
+        | [] -> []
+        | best :: rest ->
+            let dist a b = Space.distance space a b in
+            let rec pick chosen remaining =
+              if List.length chosen >= dims + 1 || remaining = [] then
+                List.rev chosen
+              else begin
+                let score (c, _) =
+                  List.fold_left
+                    (fun acc (s, _) -> Float.min acc (dist c s))
+                    infinity chosen
+                in
+                let farthest =
+                  List.fold_left
+                    (fun acc cand ->
+                      match acc with
+                      | None -> Some cand
+                      | Some a -> if score cand > score a then Some cand else acc)
+                    None remaining
+                in
+                match farthest with
+                | None -> List.rev chosen
+                | Some cand ->
+                    pick (cand :: chosen)
+                      (List.filter (fun c -> c != cand) remaining)
+              end
+            in
+            pick [ best ] rest
+      in
+      (* Historical performance values are only trusted when the
+         stored characteristics match the observed ones exactly; under
+         a different workload the configurations still seed the
+         simplex but are re-measured, since stale values would anchor
+         the search to a falsely good vertex. *)
+      let exact_match =
+        Array.length entry.History.characteristics = Array.length characteristics
+        && Harmony_numerics.Stats.euclidean_distance entry.History.characteristics
+             characteristics
+           < 1e-9
+      in
+      let trusted =
+        List.map
+          (fun (c, p) ->
+            (Space.snap space c, if exact_match then Some p else None))
+          seeds
+      in
+      let missing = (dims + 1) - List.length trusted in
+      let estimated =
+        if missing <= 0 || not exact_match then []
+        else begin
+          (* Fill the simplex with spread vertices whose performance is
+             estimated by triangulation over the entry's history. *)
+          let spread = Simplex.Init.vertices Simplex.Init.Spread space in
+          let candidates =
+            List.filter
+              (fun (c, _) ->
+                not (List.exists (fun (s, _) -> Space.config_equal c s) trusted))
+              spread
+          in
+          let targets =
+            List.filteri (fun i _ -> i < missing) (List.map fst candidates)
+          in
+          let points =
+            List.map (fun (c, p) -> (Space.snap space c, p)) entry.History.evaluations
+          in
+          if points = [] then List.map (fun c -> (c, None)) targets
+          else
+            List.map
+              (fun (c, p) -> (c, Some p))
+              (Estimator.fill ~space ~points ~targets ())
+        end
+      in
+      let estimated_vertices =
+        List.length (List.filter (fun (_, p) -> p <> None) estimated)
+      in
+      Log.info (fun m ->
+          m "matched experience %S (%d seeds, %d estimated, trusted %b)"
+            entry.History.label (List.length trusted) estimated_vertices
+            exact_match);
+      {
+        matched = Some entry;
+        init = Simplex.Init.Seeded (trusted @ estimated);
+        estimated_vertices;
+      }
+
+let tune_with_experience ?(options = Tuner.default_options) ?label t obj
+    ~characteristics =
+  let preparation = prepare ~fallback:options.Tuner.init t obj ~characteristics in
+  let options = { options with Tuner.init = preparation.init } in
+  let outcome = Tuner.tune ~options obj in
+  ignore (History.add_outcome t.db ?label ~characteristics outcome);
+  (outcome, preparation)

@@ -1,0 +1,74 @@
+open Harmony_param
+open Harmony_objective
+
+type _ Effect.t += Measure : Space.config -> float Effect.t
+
+type state =
+  | Waiting of {
+      config : Space.config;
+      resume : (float, unit) Effect.Deep.continuation;
+    }
+  | Finished of Simplex.outcome
+  | Running  (** transient, only observable on re-entrant misuse *)
+
+type t = {
+  space : Space.t;
+  direction : Objective.direction;
+  mutable state : state;
+  mutable measurements : int;
+  mutable best : (Space.config * float) option;
+}
+
+let create ?(options = Simplex.default_options) ~space ~direction () =
+  let t =
+    { space; direction; state = Running; measurements = 0; best = None }
+  in
+  (* Run the batch kernel with an objective whose every evaluation
+     suspends via an effect; the continuation is parked in [t.state]
+     until the client reports the measurement. *)
+  let computation () =
+    let objective =
+      Objective.create ~space ~direction (fun config ->
+          Effect.perform (Measure (Array.copy config)))
+    in
+    let outcome = Simplex.optimize ~options objective in
+    t.state <- Finished outcome
+  in
+  let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+      = function
+    | Measure config ->
+        Some
+          (fun resume -> t.state <- Waiting { config; resume })
+    | _ -> None
+  in
+  Effect.Deep.match_with computation ()
+    { retc = Fun.id; exnc = raise; effc };
+  t
+
+let pending t =
+  match t.state with
+  | Waiting { config; _ } -> `Measure (Array.copy config)
+  | Finished outcome -> `Done outcome
+  | Running -> invalid_arg "Controller.pending: controller is mid-step"
+
+let report t performance =
+  match t.state with
+  | Finished _ -> invalid_arg "Controller.report: search already finished"
+  | Running -> invalid_arg "Controller.report: no measurement outstanding"
+  | Waiting { config; resume } ->
+      t.measurements <- t.measurements + 1;
+      (match t.best with
+      | Some (_, best_perf)
+        when not
+               (match t.direction with
+               | Objective.Higher_is_better -> performance > best_perf
+               | Objective.Lower_is_better -> performance < best_perf) ->
+          ()
+      | Some _ | None -> t.best <- Some (Array.copy config, performance));
+      t.state <- Running;
+      (* Resuming runs the kernel until its next evaluation (which
+         re-parks the state) or completion (which finishes it). *)
+      Effect.Deep.continue resume performance
+
+let measurements t = t.measurements
+let best_so_far t = t.best

@@ -1,0 +1,53 @@
+(** Online (server-driven) tuning.
+
+    Active Harmony is a {e runtime} tuning system: the application
+    reports one performance measurement at a time and the adaptation
+    controller replies with the next configuration to try (Section 2).
+    This module inverts the {!Simplex} kernel into exactly that
+    request/report protocol — the same search, one measurement per
+    exchange — using OCaml 5 effect handlers, so the online behaviour
+    is identical to {!Simplex.optimize} by construction.
+
+    {[
+      let c = Controller.create ~space ~direction:Higher_is_better () in
+      let rec loop () =
+        match Controller.pending c with
+        | `Measure config ->
+            Controller.report c (run_application_with config);
+            loop ()
+        | `Done outcome -> outcome
+      in
+      loop ()
+    ]} *)
+
+open Harmony_param
+open Harmony_objective
+
+type t
+
+val create :
+  ?options:Simplex.options ->
+  space:Space.t ->
+  direction:Objective.direction ->
+  unit ->
+  t
+(** A fresh controller; the first {!pending} call already has a
+    configuration to measure (unless the initial simplex is fully
+    trusted). *)
+
+val pending : t -> [ `Measure of Space.config | `Done of Simplex.outcome ]
+(** What the controller wants next: a configuration to measure, or the
+    final outcome.  Idempotent until {!report} is called. *)
+
+val report : t -> float -> unit
+(** Supply the measurement for the configuration last returned by
+    {!pending}.
+    @raise Invalid_argument if the search already finished or no
+    measurement is outstanding. *)
+
+val measurements : t -> int
+(** Measurements reported so far. *)
+
+val best_so_far : t -> (Space.config * float) option
+(** Best (configuration, performance) among reported measurements
+    under the controller's direction. *)

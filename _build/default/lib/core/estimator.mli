@@ -1,0 +1,44 @@
+(** Performance estimation by triangulation (Section 4.3).
+
+    When historical data does not contain the exact configurations the
+    tuning server wants to train with, their performance is estimated:
+    pick "appropriate" known vertices, lift them into an (N+1)-D space
+    whose extra axis is performance, fit the hyperplane [[C_i 1] x =
+    P_i] (exact solve when square, least squares otherwise), and
+    interpolate/extrapolate the target configuration.
+
+    Vertex selection follows the paper's footnote: the current
+    implementation uses the vertices {e closest} to the target;
+    a recency-based alternative ([Latest]) is provided for changing
+    environments and ablated in the benches. *)
+
+open Harmony_param
+
+type vertex_choice =
+  | Nearest  (** the k points closest to the target in normalized space *)
+  | Latest   (** the k most recent points (list order = age, last = newest) *)
+
+val estimate :
+  ?k:int ->
+  ?choice:vertex_choice ->
+  space:Space.t ->
+  points:(Space.config * float) list ->
+  target:Space.config ->
+  unit ->
+  float
+(** [estimate ~space ~points ~target ()] predicts the performance at
+    [target].  [k] defaults to [dims + 1] (a full simplex).
+    Coordinates are normalized before fitting so parameters with wide
+    ranges do not dominate.
+    @raise Invalid_argument when [points] is empty. *)
+
+val fill :
+  ?k:int ->
+  ?choice:vertex_choice ->
+  space:Space.t ->
+  points:(Space.config * float) list ->
+  targets:Space.config list ->
+  unit ->
+  (Space.config * float) list
+(** Estimate several targets against the same historical data (the
+    training-stage batch: every missing simplex vertex at once). *)

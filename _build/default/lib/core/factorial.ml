@@ -1,0 +1,149 @@
+open Harmony_param
+open Harmony_objective
+
+type effects = {
+  names : string array;
+  main : float array;
+  interactions : (int * int * float) array;
+  runs : int;
+}
+
+let param_names space =
+  Array.map (fun p -> p.Param.name) (Space.params space)
+
+let level_values space (lo_frac, hi_frac) =
+  if not (0.0 <= lo_frac && lo_frac < hi_frac && hi_frac <= 1.0) then
+    invalid_arg "Factorial: levels must satisfy 0 <= lo < hi <= 1";
+  Array.map
+    (fun p -> (Param.denormalize p lo_frac, Param.denormalize p hi_frac))
+    (Space.params space)
+
+let full ?(levels = (0.0, 1.0)) ?(max_runs = 4096) obj =
+  let space = obj.Objective.space in
+  let n = Space.dims space in
+  if n >= 63 || 1 lsl n > max_runs then
+    invalid_arg "Factorial.full: too many parameters for a full design";
+  let lv = level_values space levels in
+  let runs = 1 lsl n in
+  (* Response per corner; corner bit i set = parameter i at high. *)
+  let responses =
+    Array.init runs (fun corner ->
+        let config =
+          Array.init n (fun i ->
+              let lo, hi = lv.(i) in
+              if corner land (1 lsl i) <> 0 then hi else lo)
+        in
+        obj.Objective.eval config)
+  in
+  let half = float_of_int (runs / 2) in
+  let main =
+    Array.init n (fun i ->
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun corner y ->
+            if corner land (1 lsl i) <> 0 then acc := !acc +. y
+            else acc := !acc -. y)
+          responses;
+        !acc /. half)
+  in
+  let interactions =
+    let out = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let acc = ref 0.0 in
+        Array.iteri
+          (fun corner y ->
+            let si = corner land (1 lsl i) <> 0 in
+            let sj = corner land (1 lsl j) <> 0 in
+            if si = sj then acc := !acc +. y else acc := !acc -. y)
+          responses;
+        out := (i, j, !acc /. half) :: !out
+      done
+    done;
+    Array.of_list (List.rev !out)
+  in
+  { names = param_names space; main; interactions; runs }
+
+(* Standard Plackett-Burman generator rows (first row of the cyclic
+   design); true = high level. *)
+let pb_generators =
+  [
+    (8, [| true; true; true; false; true; false; false |]);
+    (12, [| true; true; false; true; true; true; false; false; false; true; false |]);
+    ( 16,
+      [|
+        true; true; true; true; false; true; false; true; true; false; false;
+        true; false; false; false;
+      |] );
+    ( 20,
+      [|
+        true; true; false; false; true; true; true; true; false; true; false;
+        true; false; false; false; false; true; true; false;
+      |] );
+    ( 24,
+      [|
+        true; true; true; true; true; false; true; false; true; true; false;
+        false; true; true; false; false; true; false; true; false; false;
+        false; false;
+      |] );
+  ]
+
+let plackett_burman obj =
+  let space = obj.Objective.space in
+  let n = Space.dims space in
+  let generator =
+    List.find_opt (fun (runs, _) -> runs - 1 >= n) pb_generators
+  in
+  match generator with
+  | None -> invalid_arg "Factorial.plackett_burman: more than 23 parameters"
+  | Some (runs, row) ->
+      let cols = runs - 1 in
+      let lv = level_values space (0.0, 1.0) in
+      (* Cyclic design: run r, column c = row.((c + r) mod cols); plus
+         a final all-low run. *)
+      let design =
+        Array.init runs (fun r ->
+            if r = runs - 1 then Array.make cols false
+            else Array.init cols (fun c -> row.((c + r) mod cols)))
+      in
+      let responses =
+        Array.map
+          (fun signs ->
+            let config =
+              Array.init n (fun i ->
+                  let lo, hi = lv.(i) in
+                  if signs.(i) then hi else lo)
+            in
+            obj.Objective.eval config)
+          design
+      in
+      let half = float_of_int (runs / 2) in
+      let main =
+        Array.init n (fun i ->
+            let acc = ref 0.0 in
+            Array.iteri
+              (fun r y ->
+                if design.(r).(i) then acc := !acc +. y else acc := !acc -. y)
+              responses;
+            !acc /. half)
+      in
+      { names = param_names space; main; interactions = [||]; runs }
+
+let ranked_main t =
+  let keyed = Array.mapi (fun i m -> (t.names.(i), m)) t.main in
+  Array.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) keyed;
+  Array.to_list keyed
+
+let interaction_ratio t =
+  if Array.length t.interactions = 0 then 0.0
+  else begin
+    let max_main =
+      Array.fold_left (fun acc m -> Float.max acc (Float.abs m)) 0.0 t.main
+    in
+    let max_inter =
+      Array.fold_left
+        (fun acc (_, _, e) -> Float.max acc (Float.abs e))
+        0.0 t.interactions
+    in
+    if max_main = 0.0 then 0.0 else max_inter /. max_main
+  end

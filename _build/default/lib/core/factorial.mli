@@ -1,0 +1,45 @@
+(** Factorial experiment designs.
+
+    The prioritizing tool assumes parameter interactions are small;
+    when that is not true, the paper points users to "full or
+    fractional factorial experiment design" (Section 3, citing Jain
+    and Plackett-Burman).  This module provides both: a two-level full
+    factorial that also measures two-way interactions, and
+    Plackett-Burman screening that estimates all main effects in a
+    handful of runs. *)
+
+open Harmony_objective
+
+type effects = {
+  names : string array;
+  main : float array;
+      (** main effect per parameter: mean response at its high level
+          minus mean at its low level *)
+  interactions : (int * int * float) array;
+      (** two-way interaction effects (full factorial only; empty for
+          Plackett-Burman) *)
+  runs : int;  (** objective evaluations spent *)
+}
+
+val full : ?levels:float * float -> ?max_runs:int -> Objective.t -> effects
+(** Two-level full factorial: evaluates all 2^n corner combinations of
+    each parameter's low/high level (given as range fractions,
+    default [(0.0, 1.0)] — the extremes, as classic designs use).
+    @raise Invalid_argument when [2^n] exceeds [max_runs]
+    (default 4096), or levels are not within [0, 1] in order. *)
+
+val plackett_burman : Objective.t -> effects
+(** Plackett-Burman screening: main effects for up to 23 parameters
+    from the smallest standard design (8, 12, 16, 20 or 24 runs) with
+    at least [n + 1] rows.  Interaction estimates are not available
+    (they alias onto main effects by design).
+    @raise Invalid_argument for more than 23 parameters. *)
+
+val ranked_main : effects -> (string * float) list
+(** Parameters by decreasing absolute main effect. *)
+
+val interaction_ratio : effects -> float
+(** [max |interaction| / max |main|]: above ~0.5, the prioritizing
+    tool's no-interaction assumption is doubtful and the full design
+    should be preferred.  [0.] when no interactions were measured or
+    all main effects are zero. *)

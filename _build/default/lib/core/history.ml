@@ -1,0 +1,241 @@
+open Harmony_param
+open Harmony_objective
+
+type entry = {
+  id : int;
+  label : string;
+  characteristics : float array;
+  evaluations : (Space.config * float) list;
+}
+
+type t = { mutable rev_entries : entry list; mutable next_id : int }
+
+let create () = { rev_entries = []; next_id = 0 }
+
+let add t ?(label = "") ~characteristics ~evaluations () =
+  let entry =
+    {
+      id = t.next_id;
+      label;
+      characteristics = Array.copy characteristics;
+      evaluations =
+        List.map (fun (c, p) -> (Array.copy c, p)) evaluations;
+    }
+  in
+  t.rev_entries <- entry :: t.rev_entries;
+  t.next_id <- t.next_id + 1;
+  entry
+
+let add_outcome t ?label ~characteristics outcome =
+  let evaluations =
+    List.map
+      (fun e -> (e.Recorder.config, e.Recorder.performance))
+      outcome.Tuner.trace
+  in
+  add t ?label ~characteristics ~evaluations ()
+
+let entries t = List.rev t.rev_entries
+let size t = List.length t.rev_entries
+
+let find_closest t observed =
+  let candidates =
+    List.filter
+      (fun e -> Array.length e.characteristics = Array.length observed)
+      t.rev_entries
+  in
+  match candidates with
+  | [] -> None
+  | _ :: _ ->
+      let features = Array.of_list (List.map (fun e -> e.characteristics) candidates) in
+      let idx = Harmony_ml.Nearest.nearest_index features observed in
+      Some (List.nth candidates idx)
+
+let best_evaluations obj entry ~n =
+  if n < 0 then invalid_arg "History.best_evaluations: negative n";
+  let distinct =
+    List.fold_left
+      (fun acc (c, p) ->
+        (* Keep the best measurement per distinct configuration. *)
+        match List.find_opt (fun (c', _) -> Space.config_equal c c') acc with
+        | Some (_, p') when not (Objective.better obj p p') -> acc
+        | Some _ ->
+            (c, p) :: List.filter (fun (c', _) -> not (Space.config_equal c c')) acc
+        | None -> (c, p) :: acc)
+      [] entry.evaluations
+  in
+  let sorted =
+    List.sort
+      (fun (_, a) (_, b) ->
+        if Objective.better obj a b then -1
+        else if Objective.better obj b a then 1
+        else 0)
+      distinct
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let merged_evaluations t =
+  List.concat_map (fun e -> e.evaluations) (entries t)
+
+let compress rng t ~max_entries =
+  if max_entries < 1 then invalid_arg "History.compress: max_entries < 1";
+  let all = Array.of_list (entries t) in
+  let n = Array.length all in
+  if n <= max_entries then begin
+    let out = create () in
+    Array.iter
+      (fun e ->
+        ignore
+          (add out ~label:e.label ~characteristics:e.characteristics
+             ~evaluations:e.evaluations ()))
+      all;
+    out
+  end
+  else begin
+    let dim = Array.length all.(0).characteristics in
+    Array.iter
+      (fun e ->
+        if Array.length e.characteristics <> dim then
+          invalid_arg "History.compress: mixed characteristics arity")
+      all;
+    let features = Array.map (fun e -> e.characteristics) all in
+    let { Harmony_ml.Kmeans.centroids; assignment; _ } =
+      Harmony_ml.Kmeans.fit rng ~k:max_entries features
+    in
+    (* Representative per cluster: the member closest to the centroid;
+       its evaluation log absorbs the whole cluster's (in id order). *)
+    let out = create () in
+    let emitted = Hashtbl.create max_entries in
+    Array.iteri
+      (fun i _ ->
+        let cluster = assignment.(i) in
+        if not (Hashtbl.mem emitted cluster) then begin
+          Hashtbl.add emitted cluster ();
+          let members =
+            Array.to_list
+              (Array.of_seq
+                 (Seq.filter
+                    (fun j -> assignment.(j) = cluster)
+                    (Seq.init n Fun.id)))
+          in
+          let closest =
+            List.fold_left
+              (fun best j ->
+                let d e =
+                  Harmony_numerics.Stats.euclidean_distance
+                    all.(e).characteristics centroids.(cluster)
+                in
+                if d j < d best then j else best)
+              (List.hd members) members
+          in
+          let evaluations =
+            List.concat_map (fun j -> all.(j).evaluations) members
+          in
+          ignore
+            (add out ~label:all.(closest).label
+               ~characteristics:all.(closest).characteristics ~evaluations ())
+        end)
+      all;
+    out
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a line-oriented text format.
+
+     entry <id> <label-with-%20-escapes>
+     chars <x1> <x2> ...
+     eval <perf> <c1> <c2> ...
+     end
+*)
+
+let escape_label s =
+  String.concat "%20" (String.split_on_char ' ' s)
+
+(* Split on the literal substring "%20". *)
+let unescape_label s =
+  let sub = "%20" in
+  let out = Buffer.create (String.length s) in
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i >= n then ()
+    else if i + m <= n && String.sub s i m = sub then begin
+      Buffer.add_char out ' ';
+      go (i + m)
+    end
+    else begin
+      Buffer.add_char out s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents out
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          Printf.fprintf oc "entry %d %s\n" e.id
+            (if e.label = "" then "-" else escape_label e.label);
+          Printf.fprintf oc "chars";
+          Array.iter (fun v -> Printf.fprintf oc " %.17g" v) e.characteristics;
+          Printf.fprintf oc "\n";
+          List.iter
+            (fun (c, p) ->
+              Printf.fprintf oc "eval %.17g" p;
+              Array.iter (fun v -> Printf.fprintf oc " %.17g" v) c;
+              Printf.fprintf oc "\n")
+            e.evaluations;
+          Printf.fprintf oc "end\n")
+        (entries t))
+
+let malformed line = failwith ("History.load: malformed line: " ^ line)
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let t = create () in
+      let current_label = ref None in
+      let current_chars = ref [||] in
+      let current_evals = ref [] in
+      let flush_entry () =
+        match !current_label with
+        | None -> ()
+        | Some label ->
+            ignore
+              (add t ~label ~characteristics:!current_chars
+                 ~evaluations:(List.rev !current_evals) ());
+            current_label := None;
+            current_chars := [||];
+            current_evals := []
+      in
+      (try
+         while true do
+           let line = input_line ic in
+           let line = String.trim line in
+           if line = "" then ()
+           else
+             match String.split_on_char ' ' line with
+             | "entry" :: _id :: label :: _ ->
+                 flush_entry ();
+                 current_label :=
+                   Some (if label = "-" then "" else unescape_label label)
+             | "chars" :: values ->
+                 current_chars :=
+                   Array.of_list (List.map float_of_string values)
+             | "eval" :: perf :: coords ->
+                 let p = float_of_string perf in
+                 let c = Array.of_list (List.map float_of_string coords) in
+                 current_evals := (c, p) :: !current_evals
+             | [ "end" ] -> flush_entry ()
+             | _ -> malformed line
+         done
+       with
+      | End_of_file -> flush_entry ()
+      | Failure _ -> malformed "(bad number)");
+      t)
+
+let load_or_create path = if Sys.file_exists path then load path else create ()

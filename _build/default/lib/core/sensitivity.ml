@@ -1,0 +1,90 @@
+open Harmony_param
+open Harmony_objective
+
+type score = {
+  index : int;
+  name : string;
+  sensitivity : float;
+  best_value : float;
+  worst_value : float;
+  evaluations : int;
+}
+
+type report = { scores : score array }
+
+(* Evenly subsample [count] indices out of [0 .. n-1], endpoints
+   included. *)
+let subsample n count =
+  if count >= n then Array.init n Fun.id
+  else
+    Array.init count (fun i ->
+        let f = float_of_int i /. float_of_int (count - 1) in
+        int_of_float (Float.round (f *. float_of_int (n - 1))))
+
+let analyze ?(max_points = 16) ?(repeats = 1) obj =
+  if max_points < 2 then invalid_arg "Sensitivity.analyze: max_points < 2";
+  if repeats < 1 then invalid_arg "Sensitivity.analyze: repeats < 1";
+  let space = obj.Objective.space in
+  let defaults = Space.defaults space in
+  let score_param index =
+    let p = Space.param space index in
+    let nv = Param.num_values p in
+    let picks = subsample nv max_points in
+    let values = Array.map (Param.value_at p) picks in
+    let perfs =
+      Array.map
+        (fun v ->
+          let c = Array.copy defaults in
+          c.(index) <- v;
+          let total = ref 0.0 in
+          for _ = 1 to repeats do
+            total := !total +. obj.Objective.eval c
+          done;
+          !total /. float_of_int repeats)
+        values
+    in
+    (* argmax / argmin of the sweep. *)
+    let a = ref 0 and b = ref 0 in
+    Array.iteri
+      (fun i perf ->
+        if perf > perfs.(!a) then a := i;
+        if perf < perfs.(!b) then b := i)
+      perfs;
+    let dp = Float.abs (perfs.(!a) -. perfs.(!b)) in
+    let dv = Float.abs (Param.normalize p values.(!a) -. Param.normalize p values.(!b)) in
+    let sensitivity = if dv = 0.0 then 0.0 else dp /. dv in
+    {
+      index;
+      name = p.Param.name;
+      sensitivity;
+      best_value = values.(!a);
+      worst_value = values.(!b);
+      evaluations = Array.length values * repeats;
+    }
+  in
+  { scores = Array.init (Space.dims space) score_param }
+
+let ranked report =
+  let scores = Array.copy report.scores in
+  Array.sort
+    (fun a b ->
+      match compare b.sensitivity a.sensitivity with
+      | 0 -> compare a.index b.index
+      | c -> c)
+    scores;
+  scores
+
+let top_n report n =
+  let scores = ranked report in
+  let n = max 0 (min n (Array.length scores)) in
+  List.sort compare (List.init n (fun i -> scores.(i).index))
+
+let evaluations report =
+  Array.fold_left (fun acc s -> acc + s.evaluations) 0 report.scores
+
+let pp ppf report =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun s -> Format.fprintf ppf "%-24s %10.3f@," s.name s.sensitivity)
+    (ranked report);
+  Format.fprintf ppf "@]"

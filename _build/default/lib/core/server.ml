@@ -1,0 +1,125 @@
+open Harmony_param
+open Harmony_objective
+
+type direction = Minimize | Maximize
+
+type message =
+  | Register of { spec : string; direction : direction }
+  | Query
+  | Report of float
+
+type reply =
+  | Assign of (string * int) list
+  | Done of { best : (string * int) list; performance : float }
+  | Rejected of string
+
+type session = {
+  rsl : Rsl.t;
+  names : string list;
+  controller : Controller.t;
+  mutable outstanding : (string * int) list option;
+      (* assignment awaiting its performance report *)
+}
+
+type t = { options : Simplex.options; mutable session : session option }
+
+let create ?(options = Simplex.default_options) () = { options; session = None }
+
+let spec t = Option.map (fun s -> s.rsl) t.session
+
+let assignment_of_config session config =
+  (* Proposals come from the box space; project into the restricted
+     region so the client only ever runs meaningful configurations.
+     The controller is told the performance of its own proposal — the
+     projection distance is at most one conditional-range clamp, the
+     same approximation Rsl.repair-based tuning makes everywhere. *)
+  let feasible = Rsl.repair session.rsl config in
+  List.mapi (fun i name -> (name, int_of_float feasible.(i))) session.names
+
+(* Advance the controller to its next request and turn it into a
+   reply, remembering the outstanding assignment. *)
+let next_reply session =
+  match Controller.pending session.controller with
+  | `Measure config ->
+      let assignment = assignment_of_config session config in
+      session.outstanding <- Some assignment;
+      Assign assignment
+  | `Done outcome ->
+      session.outstanding <- None;
+      Done
+        {
+          best = assignment_of_config session outcome.Simplex.best_config;
+          performance = outcome.Simplex.best_performance;
+        }
+
+let handle t message =
+  match (message, t.session) with
+  | Register { spec; direction }, _ -> (
+      match Rsl.parse spec with
+      | exception Rsl.Parse_error msg -> Rejected ("bad specification: " ^ msg)
+      | rsl -> (
+          match Rsl.to_space rsl with
+          | exception Invalid_argument msg -> Rejected msg
+          | space ->
+              let direction =
+                match direction with
+                | Minimize -> Objective.Lower_is_better
+                | Maximize -> Objective.Higher_is_better
+              in
+              let controller =
+                Controller.create ~options:t.options ~space ~direction ()
+              in
+              let session =
+                { rsl; names = Rsl.names rsl; controller; outstanding = None }
+              in
+              t.session <- Some session;
+              next_reply session))
+  | Query, None -> Rejected "no specification registered"
+  | Query, Some session -> (
+      (* Idempotent: repeat the outstanding assignment if any. *)
+      match session.outstanding with
+      | Some assignment -> Assign assignment
+      | None -> next_reply session)
+  | Report _, None -> Rejected "no specification registered"
+  | Report performance, Some session -> (
+      match session.outstanding with
+      | None -> Rejected "no assignment outstanding"
+      | Some _ ->
+          session.outstanding <- None;
+          (match Controller.pending session.controller with
+          | `Measure _ -> Controller.report session.controller performance
+          | `Done _ -> ());
+          next_reply session)
+
+(* ------------------------------------------------------------------ *)
+(* Line codec                                                          *)
+
+let parse_message text =
+  let text = String.trim text in
+  match String.index_opt text '\n' with
+  | Some i -> (
+      let first = String.trim (String.sub text 0 i) in
+      let rest = String.sub text (i + 1) (String.length text - i - 1) in
+      match String.split_on_char ' ' first with
+      | [ "register"; "min" ] -> Ok (Register { spec = rest; direction = Minimize })
+      | [ "register"; "max" ] -> Ok (Register { spec = rest; direction = Maximize })
+      | _ -> Error ("unknown multi-line command: " ^ first))
+  | None -> (
+      match String.split_on_char ' ' text with
+      | [ "query" ] -> Ok Query
+      | [ "report"; value ] -> (
+          match float_of_string_opt value with
+          | Some v -> Ok (Report v)
+          | None -> Error ("bad performance value: " ^ value))
+      | _ -> Error ("unknown command: " ^ text))
+
+let reply_to_string = function
+  | Assign assignment ->
+      "assign "
+      ^ String.concat " "
+          (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) assignment)
+  | Done { best; performance } ->
+      Printf.sprintf "done %s perf=%g"
+        (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) best))
+        performance
+  | Rejected msg -> "error " ^ msg

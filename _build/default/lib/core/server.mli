@@ -1,0 +1,57 @@
+(** The Active Harmony tuning server.
+
+    The system to be tuned registers its tunable parameters with a
+    resource-specification-language program (Appendix B), then
+    alternates between asking for the next configuration and reporting
+    the measured performance; the server runs the adaptation
+    controller behind the scenes.  The line-based message codec makes
+    wrapping the server in a socket loop trivial, and the in-process
+    {!handle} entry point is what the tests and examples use.
+
+    {v
+      client -> server          server -> client
+      -----------------         -----------------
+      register max              assign B=3 C=4
+      { harmonyBundle B ... }
+      query                     assign B=3 C=4
+      report 42.5               assign B=4 C=2
+      report 57.0               ... eventually:
+      query                     done B=4 C=2 perf=57.0
+    v} *)
+
+open Harmony_param
+
+type direction = Minimize | Maximize
+
+type message =
+  | Register of { spec : string; direction : direction }
+      (** RSL text; restarts the server's session *)
+  | Query  (** what configuration should I run? *)
+  | Report of float  (** performance of the last assigned configuration *)
+
+type reply =
+  | Assign of (string * int) list  (** bundle name, value — in spec order *)
+  | Done of { best : (string * int) list; performance : float }
+  | Rejected of string  (** protocol or parse error *)
+
+type t
+
+val create : ?options:Simplex.options -> unit -> t
+(** A server with no registered client yet.  [options] bounds each
+    session's search (budget, tolerance, initial simplex). *)
+
+val handle : t -> message -> reply
+(** Process one message.  [Query] before [Register], or [Report]
+    without an outstanding assignment, yields [Rejected].  Every
+    assignment is feasible under the registered restrictions
+    (box proposals are projected with {!Rsl.repair}). *)
+
+val spec : t -> Rsl.t option
+(** The currently registered specification, if any. *)
+
+val parse_message : string -> (message, string) result
+(** Parse the text form: ["register min|max\n<rsl...>"], ["query"],
+    ["report <float>"]. *)
+
+val reply_to_string : reply -> string
+(** ["assign B=3 C=4"], ["done B=4 C=2 perf=57"], ["error <msg>"]. *)

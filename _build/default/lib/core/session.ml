@@ -1,0 +1,82 @@
+open Harmony_param
+open Harmony_objective
+
+type t = {
+  objective : Objective.t;
+  db : History.t;
+  db_path : string option;
+  options : Tuner.options;
+  mutable report : Sensitivity.report option;
+}
+
+let create ~objective ?db ?db_path ?(options = Tuner.default_options) () =
+  let db =
+    match (db, db_path) with
+    | Some _, Some _ -> invalid_arg "Session.create: both db and db_path given"
+    | Some db, None -> db
+    | None, Some path -> History.load_or_create path
+    | None, None -> History.create ()
+  in
+  { objective; db; db_path; options; report = None }
+
+let save_database t =
+  match t.db_path with None -> () | Some path -> History.save t.db path
+
+let objective t = t.objective
+let database t = t.db
+
+let prioritize ?max_points t =
+  match t.report with
+  | Some report -> report
+  | None ->
+      let report = Sensitivity.analyze ?max_points t.objective in
+      t.report <- Some report;
+      report
+
+let last_report t = t.report
+
+type tune_result = {
+  outcome : Tuner.outcome;
+  tuned_indices : int list;
+  used_experience : bool;
+  full_best_config : Space.config;
+}
+
+let tune ?top_n ?characteristics ?label ?options t =
+  let options = Option.value options ~default:t.options in
+  (* Optional projection onto the most sensitive parameters. *)
+  let projection =
+    match top_n with
+    | None -> None
+    | Some n ->
+        let report = prioritize t in
+        let indices = Sensitivity.top_n report n in
+        Some (Subspace.project t.objective ~indices ())
+  in
+  let working_objective =
+    match projection with
+    | None -> t.objective
+    | Some sub -> Subspace.objective sub
+  in
+  let outcome, used_experience =
+    match characteristics with
+    | None -> (Tuner.tune ~options working_objective, false)
+    | Some characteristics ->
+        let analyzer = Analyzer.create t.db in
+        let outcome, preparation =
+          Analyzer.tune_with_experience ~options ?label analyzer working_objective
+            ~characteristics
+        in
+        (outcome, preparation.Analyzer.matched <> None)
+  in
+  let tuned_indices =
+    match projection with
+    | None -> List.init (Space.dims t.objective.Objective.space) Fun.id
+    | Some sub -> Subspace.indices sub
+  in
+  let full_best_config =
+    match projection with
+    | None -> outcome.Tuner.best_config
+    | Some sub -> Subspace.embed sub outcome.Tuner.best_config
+  in
+  { outcome; tuned_indices; used_experience; full_best_config }

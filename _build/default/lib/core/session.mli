@@ -1,0 +1,70 @@
+(** High-level Active Harmony workflow.
+
+    Ties the pieces together the way the paper's improved system uses
+    them: (1) prioritize parameters once per new workload, (2) focus
+    tuning on the top-n sensitive parameters, (3) characterize the
+    incoming workload and train from the closest prior experience,
+    (4) tune with the improved search refinement, and (5) store the
+    run back into the experience database.
+
+    {[
+      let session = Session.create ~objective () in
+      let report = Session.prioritize session in
+      let outcome =
+        Session.tune session ~top_n:6 ~characteristics ()
+      in
+      ...
+    ]} *)
+
+open Harmony_param
+open Harmony_objective
+
+type t
+
+val create :
+  objective:Objective.t -> ?db:History.t -> ?db_path:string ->
+  ?options:Tuner.options -> unit -> t
+(** A session around an objective.  [db] defaults to a fresh empty
+    database; with [db_path] instead, the database is loaded from that
+    file when it exists ({!History.load_or_create}) and {!save_database}
+    writes it back — experience then persists across executions.
+    [options] defaults to {!Tuner.default_options} (improved spread
+    init).
+    @raise Invalid_argument when both [db] and [db_path] are given. *)
+
+val save_database : t -> unit
+(** Persist the experience database to the session's [db_path]; a
+    no-op for sessions created without one. *)
+
+val objective : t -> Objective.t
+val database : t -> History.t
+
+val prioritize : ?max_points:int -> t -> Sensitivity.report
+(** Run the parameter prioritizing tool (cached: repeated calls return
+    the first report). *)
+
+val last_report : t -> Sensitivity.report option
+
+type tune_result = {
+  outcome : Tuner.outcome;
+  tuned_indices : int list;       (** parameters actually tuned *)
+  used_experience : bool;         (** true when history seeded the simplex *)
+  full_best_config : Space.config; (** best configuration in the full space *)
+}
+
+val tune :
+  ?top_n:int ->
+  ?characteristics:float array ->
+  ?label:string ->
+  ?options:Tuner.options ->
+  t ->
+  tune_result
+(** Tune the objective.
+
+    - With [top_n], only the n most sensitive parameters are tuned
+      (running {!prioritize} first if needed); the rest stay at their
+      defaults.
+    - With [characteristics], the data analyzer seeds the simplex from
+      the closest experience, and the run is recorded back into the
+      database under those characteristics.
+    - [options] overrides the session's tuner options for this run. *)

@@ -1,0 +1,309 @@
+open Harmony_param
+open Harmony_objective
+
+let log_src = Logs.Src.create "harmony.simplex" ~doc:"Nelder-Mead tuning kernel"
+
+module Log = (val Logs.src_log log_src)
+
+module Init = struct
+  type t =
+    | Extremes
+    | Spread
+    | Around_default of float
+    | Seeded of (Space.config * float option) list
+
+  (* The original predefined simplex "tries the extreme values for the
+     parameters" (Figure 1a): n+1 distinct corners of the box, rotating
+     which half of the parameters sit at their maximum. *)
+  let extremes space =
+    let n = Space.dims space in
+    let corner j =
+      Array.init n (fun i ->
+          let p = Space.param space i in
+          if (i + j) mod (n + 1) < (n + 1) / 2 then p.Param.max_value
+          else p.Param.min_value)
+    in
+    List.init (n + 1) (fun j -> (corner j, None))
+
+  (* A staircase spread: vertex j places parameter i at the interior
+     grid fraction (((i + j) mod (n+1)) + 1/2) / (n+1), so the n+1
+     vertices jointly cover every (n+1)-ile of every parameter without
+     touching the boundaries. *)
+  let spread space =
+    let n = Space.dims space in
+    let vertex j =
+      Array.init n (fun i ->
+          let p = Space.param space i in
+          let frac = (float_of_int ((i + j) mod (n + 1)) +. 0.5) /. float_of_int (n + 1) in
+          Param.denormalize p frac)
+    in
+    List.init (n + 1) (fun j -> (vertex j, None))
+
+  let around_default offset space =
+    let n = Space.dims space in
+    let base = Space.defaults space in
+    let shifted i =
+      let c = Array.copy base in
+      let p = Space.param space i in
+      let span = p.Param.max_value -. p.Param.min_value in
+      let v = c.(i) +. (offset *. span) in
+      (* Flip the offset direction rather than collapse onto the
+         boundary. *)
+      c.(i) <- (if v > p.Param.max_value then c.(i) -. (offset *. span) else v);
+      c
+    in
+    (base, None) :: List.init n (fun i -> (shifted i, None))
+
+  let dedup space vertices =
+    let rec go seen = function
+      | [] -> List.rev seen
+      | (c, v) :: rest ->
+          if List.exists (fun (c', _) -> Space.config_equal c c') seen then
+            go seen rest
+          else go ((c, v) :: seen) rest
+    in
+    go []
+      (List.map (fun (c, v) -> (Space.snap space c, v)) vertices)
+
+  let vertices t space =
+    let n = Space.dims space in
+    let raw =
+      match t with
+      | Extremes -> extremes space
+      | Spread -> spread space
+      | Around_default offset -> around_default offset space
+      | Seeded seeds ->
+          (* Fill up to n+1 vertices from a Spread simplex, skipping
+             duplicates of the seeds. *)
+          let seeds = dedup space seeds in
+          let missing = (n + 1) - List.length seeds in
+          if missing <= 0 then seeds
+          else begin
+            let fillers =
+              List.filter
+                (fun (c, _) ->
+                  not (List.exists (fun (s, _) -> Space.config_equal c s) seeds))
+                (spread space)
+            in
+            seeds @ List.filteri (fun i _ -> i < missing) fillers
+          end
+    in
+    dedup space raw
+end
+
+type options = { init : Init.t; max_evaluations : int; tolerance : float }
+
+let default_options = { init = Init.Spread; max_evaluations = 400; tolerance = 1e-3 }
+
+type outcome = {
+  best_config : Space.config;
+  best_performance : float;
+  evaluations : int;
+  iterations : int;
+  converged : bool;
+}
+
+type vertex = { config : Space.config; value : float }
+
+(* Normalized simplex diameter: the largest pairwise Chebyshev
+   distance in [0,1]^n coordinates. *)
+let diameter space vertices =
+  let norm = Array.map (fun v -> Space.normalize space v.config) vertices in
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b ->
+          if j > i then
+            d := Float.max !d (Harmony_numerics.Stats.chebyshev_distance a b))
+        norm)
+    norm;
+  !d
+
+let optimize ?(options = default_options) obj =
+  let space = obj.Objective.space in
+  let n = Space.dims space in
+  if options.max_evaluations < n + 2 then
+    invalid_arg "Simplex.optimize: budget below n+2 evaluations";
+  let evaluations = ref 0 in
+  let eval c =
+    incr evaluations;
+    obj.Objective.eval c
+  in
+  let budget_left () = !evaluations < options.max_evaluations in
+  let iterations = ref 0 in
+  let sort vertices =
+    Array.sort
+      (fun a b ->
+        if Objective.better obj a.value b.value then -1
+        else if Objective.better obj b.value a.value then 1
+        else 0)
+      vertices
+  in
+  let move ~from ~towards ~factor =
+    Space.snap space
+      (Array.mapi (fun d v -> v +. (factor *. (towards.(d) -. v))) from)
+  in
+  (* One Nelder-Mead run over a given simplex; returns with the
+     simplex sorted, and whether it genuinely converged (by tolerance
+     or because no transformation can change it any more). *)
+  let search vertices =
+    let k = Array.length vertices in
+    sort vertices;
+    let converged = ref false in
+    let centroid () =
+      let c = Array.make n 0.0 in
+      for i = 0 to k - 2 do
+        Array.iteri (fun d v -> c.(d) <- c.(d) +. v) vertices.(i).config
+      done;
+      Array.map (fun v -> v /. float_of_int (k - 1)) c
+    in
+    let is_vertex c =
+      Array.exists (fun v -> Space.config_equal v.config c) vertices
+    in
+    let replace_worst v =
+      vertices.(k - 1) <- v;
+      sort vertices
+    in
+    (* Shrink every non-best vertex halfway towards the best one.  On a
+       discrete grid this is the genuine fixpoint test: when shrinking
+       moves nothing, the simplex cannot change any further. *)
+    let shrink () =
+      let best = vertices.(0) in
+      let changed = ref false in
+      for i = 1 to k - 1 do
+        let c = move ~from:vertices.(i).config ~towards:best.config ~factor:0.5 in
+        if (not (Space.config_equal c vertices.(i).config)) && budget_left ()
+        then begin
+          vertices.(i) <- { config = c; value = eval c };
+          changed := true
+        end
+      done;
+      sort vertices;
+      if not !changed then converged := true
+    in
+    while budget_left () && not !converged do
+      incr iterations;
+      if diameter space vertices <= options.tolerance then converged := true
+      else begin
+        let worst = vertices.(k - 1) in
+        let second_worst = vertices.(k - 2) in
+        let best = vertices.(0) in
+        let cen = centroid () in
+        (* Reflection of the worst vertex through the centroid; when
+           snapping collapses it onto the simplex, fall through to
+           contraction, then to a shrink. *)
+        let reflected = move ~from:worst.config ~towards:cen ~factor:2.0 in
+        if is_vertex reflected then begin
+          let contracted = move ~from:worst.config ~towards:cen ~factor:0.5 in
+          if is_vertex contracted || not (budget_left ()) then shrink ()
+          else begin
+            let v = eval contracted in
+            if Objective.better obj v worst.value then
+              replace_worst { config = contracted; value = v }
+            else shrink ()
+          end
+        end
+        else begin
+          let rv = eval reflected in
+          if Objective.better obj rv best.value && budget_left () then begin
+            (* Try expanding further. *)
+            let expanded = move ~from:worst.config ~towards:cen ~factor:3.0 in
+            if Space.config_equal expanded reflected || is_vertex expanded then
+              replace_worst { config = reflected; value = rv }
+            else begin
+              let ev = eval expanded in
+              if Objective.better obj ev rv then
+                replace_worst { config = expanded; value = ev }
+              else replace_worst { config = reflected; value = rv }
+            end
+          end
+          else if Objective.better obj rv second_worst.value then
+            replace_worst { config = reflected; value = rv }
+          else if budget_left () then begin
+            (* Contraction (keep the reflection if it at least beats
+               the worst vertex). *)
+            let contracted = move ~from:worst.config ~towards:cen ~factor:0.5 in
+            if is_vertex contracted then
+              if Objective.better obj rv worst.value then
+                replace_worst { config = reflected; value = rv }
+              else shrink ()
+            else begin
+              let cv = eval contracted in
+              if Objective.better obj cv worst.value then
+                replace_worst { config = contracted; value = cv }
+              else if Objective.better obj rv worst.value then
+                replace_worst { config = reflected; value = rv }
+              else shrink ()
+            end
+          end
+        end
+      end
+    done;
+    !converged
+  in
+  let eval_initial initial =
+    Array.of_list
+      (List.filter_map
+         (fun (config, value) ->
+           match value with
+           | Some v -> Some { config; value = v }
+           | None ->
+               if budget_left () then Some { config; value = eval config } else None)
+         initial)
+  in
+  let vertices = eval_initial (Init.vertices options.init space) in
+  if Array.length vertices < 2 then
+    invalid_arg "Simplex.optimize: degenerate initial simplex";
+  let converged = ref (search vertices) in
+  let best = ref vertices.(0) in
+  (* Oriented restarts: a collapsed simplex loses dimensions (e.g.
+     every vertex shares one coordinate) and can stall far from the
+     optimum.  While budget remains, rebuild a fresh simplex around
+     the incumbent best; the restart offset halves after each failed
+     attempt, and the search only gives up once the smallest offset
+     fails to improve. *)
+  let min_offset = 0.05 in
+  let offset = ref 0.25 in
+  let keep_restarting = ref true in
+  while
+    budget_left () && !keep_restarting
+    && !evaluations + n + 1 <= options.max_evaluations
+  do
+    let around =
+      List.init n (fun i ->
+          let c = Array.copy !best.config in
+          let p = Space.param space i in
+          let span = p.Param.max_value -. p.Param.min_value in
+          let v = c.(i) +. (!offset *. span) in
+          c.(i) <-
+            (if v > p.Param.max_value then c.(i) -. (!offset *. span) else v);
+          (c, None))
+    in
+    let restart =
+      eval_initial ((!best.config, Some !best.value) :: Init.dedup space around)
+    in
+    if Array.length restart < 2 then keep_restarting := false
+    else begin
+      let c = search restart in
+      converged := c;
+      if Objective.better obj restart.(0).value !best.value then begin
+        Log.debug (fun m ->
+            m "restart (offset %.2f) improved %g -> %g" !offset !best.value
+              restart.(0).value);
+        best := restart.(0)
+      end
+      else if !offset <= min_offset then keep_restarting := false;
+      offset := Float.max min_offset (!offset /. 2.0)
+    end
+  done;
+  Log.debug (fun m ->
+      m "finished: best %g after %d evaluations (%d iterations, converged %b)"
+        !best.value !evaluations !iterations !converged);
+  {
+    best_config = !best.config;
+    best_performance = !best.value;
+    evaluations = !evaluations;
+    iterations = !iterations;
+    converged = !converged;
+  }

@@ -1,0 +1,60 @@
+(** The Active Harmony tuning kernel: a Nelder-Mead simplex search
+    adapted to discrete parameter spaces (paper Section 2), with
+    pluggable initial-simplex strategies (Section 4.1).
+
+    Continuous simplex proposals are snapped to the nearest grid
+    point.  The search works directly under the objective's direction
+    (maximizing WIPS or minimizing time). *)
+
+open Harmony_param
+open Harmony_objective
+
+module Init : sig
+  (** How the k+1 initial configurations are chosen. *)
+  type t =
+    | Extremes
+        (** the original Active Harmony predefined simplex: n+1
+            distinct corners of the box (rotating which half of the
+            parameters sit at their maximum) — "tries the extreme
+            values for the parameters" (Figure 1a) *)
+    | Spread
+        (** the paper's improvement: interior configurations equally
+            distributed over the search space — "for each of n
+            parameters, we increase 1/n of its extreme values every
+            time in the first n explorations" (Figure 1b) *)
+    | Around_default of float
+        (** a simplex centred on the default configuration; the float
+            is the per-parameter offset as a fraction of its range *)
+    | Seeded of (Space.config * float option) list
+        (** explicit vertices, e.g. from historical data.  A vertex
+            with [Some perf] is {e trusted}: its (possibly estimated)
+            performance is used without re-measuring — the paper's
+            training stage (Sections 4.2-4.3).  Missing vertices are
+            filled from a [Spread] simplex. *)
+
+  val vertices : t -> Space.t -> (Space.config * float option) list
+  (** The k+1 initial vertices (deduplicated, snapped). *)
+end
+
+type options = {
+  init : Init.t;
+  max_evaluations : int;  (** budget of objective evaluations *)
+  tolerance : float;      (** stop when the normalized simplex diameter
+                              falls below this *)
+}
+
+val default_options : options
+(** [Spread] init, 400 evaluations, tolerance 1e-3. *)
+
+type outcome = {
+  best_config : Space.config;
+  best_performance : float;
+  evaluations : int;    (** objective evaluations actually spent *)
+  iterations : int;     (** simplex transformation steps *)
+  converged : bool;     (** true when stopped by the tolerance test *)
+}
+
+val optimize : ?options:options -> Objective.t -> outcome
+(** Run the search.  All proposals are snapped into the objective's
+    space, so the objective is only ever called on valid grid
+    configurations. *)

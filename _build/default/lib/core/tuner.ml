@@ -1,0 +1,166 @@
+open Harmony_param
+open Harmony_objective
+
+type options = {
+  init : Simplex.Init.t;
+  max_evaluations : int;
+  tolerance : float;
+}
+
+let default_options =
+  { init = Simplex.Init.Spread; max_evaluations = 400; tolerance = 1e-3 }
+
+let original_options = { default_options with init = Simplex.Init.Extremes }
+
+type outcome = {
+  best_config : Space.config;
+  best_performance : float;
+  trace : Recorder.entry list;
+  evaluations : int;
+  converged : bool;
+}
+
+let tune ?(options = default_options) obj =
+  let recorder, recorded = Recorder.wrap obj in
+  let simplex_options =
+    {
+      Simplex.init = options.init;
+      max_evaluations = options.max_evaluations;
+      tolerance = options.tolerance;
+    }
+  in
+  let result = Simplex.optimize ~options:simplex_options recorded in
+  let trace = Recorder.entries recorder in
+  (* The best *measured* point can beat the simplex's final best
+     vertex (e.g. a good vertex was later shrunk away); report the
+     best measurement, as a real tuning server would keep it.  With a
+     seeded (trusted) simplex the trace can also be empty or worse
+     than a trusted vertex, in which case the simplex result wins. *)
+  let best_config, best_performance =
+    match Recorder.best obj recorder with
+    | Some e when Objective.better obj e.Recorder.performance result.Simplex.best_performance ->
+        (e.Recorder.config, e.Recorder.performance)
+    | Some _ | None -> (result.Simplex.best_config, result.Simplex.best_performance)
+  in
+  {
+    best_config;
+    best_performance;
+    trace;
+    evaluations = result.Simplex.evaluations;
+    converged = result.Simplex.converged;
+  }
+
+let trace_csv space outcome =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "iteration";
+  Array.iter
+    (fun p ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf p.Param.name)
+    (Space.params space);
+  Buffer.add_string buf ",performance\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (string_of_int (e.Recorder.index + 1));
+      Array.iter
+        (fun v ->
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "%g" v))
+        e.Recorder.config;
+      Buffer.add_string buf (Printf.sprintf ",%g\n" e.Recorder.performance))
+    outcome.trace;
+  Buffer.contents buf
+
+module Metrics = struct
+  type t = {
+    performance : float;
+    convergence_iteration : int;
+    settling_iteration : int;
+    worst_performance : float;
+    bad_iterations : int;
+    initial_mean : float;
+    initial_stddev : float;
+  }
+
+  (* Direction-aware test: is [p] within [frac] of [target]? *)
+  let within obj frac target p =
+    match obj.Objective.direction with
+    | Objective.Higher_is_better -> p >= target *. (1.0 -. frac)
+    | Objective.Lower_is_better -> p <= target *. (1.0 +. frac)
+
+  let of_outcome ?(convergence_fraction = 0.05) ?(bad_fraction = 0.8) ?reference
+      obj outcome =
+    let perfs =
+      Array.of_list (List.map (fun e -> e.Recorder.performance) outcome.trace)
+    in
+    let n = Array.length perfs in
+    if n = 0 then
+      {
+        performance = outcome.best_performance;
+        convergence_iteration = 0;
+        settling_iteration = 0;
+        worst_performance = outcome.best_performance;
+        bad_iterations = 0;
+        initial_mean = outcome.best_performance;
+        initial_stddev = 0.0;
+      }
+    else begin
+      let final_best = outcome.best_performance in
+      let reference = Option.value reference ~default:final_best in
+      (* Best-so-far series. *)
+      let best_so_far = Array.make n perfs.(0) in
+      for i = 1 to n - 1 do
+        best_so_far.(i) <-
+          (if Objective.better obj perfs.(i) best_so_far.(i - 1) then perfs.(i)
+           else best_so_far.(i - 1))
+      done;
+      let convergence_iteration =
+        let rec find i =
+          if i >= n then n
+          else if within obj convergence_fraction reference best_so_far.(i) then
+            i + 1
+          else find (i + 1)
+        in
+        find 0
+      in
+      (* Last iteration that still improved the incumbent by more than
+         0.5% (relative): how long the tuner kept finding better
+         configurations. *)
+      let settling_iteration =
+        let last = ref 1 in
+        for i = 1 to n - 1 do
+          let prev = best_so_far.(i - 1) in
+          if
+            Objective.better obj best_so_far.(i) prev
+            && Float.abs (best_so_far.(i) -. prev) > 0.005 *. Float.abs prev
+          then last := i + 1
+        done;
+        !last
+      in
+      let bad_threshold =
+        match obj.Objective.direction with
+        | Objective.Higher_is_better -> fun p -> p < reference *. bad_fraction
+        | Objective.Lower_is_better -> fun p -> p > reference /. bad_fraction
+      in
+      let bad_iterations =
+        Array.fold_left (fun acc p -> if bad_threshold p then acc + 1 else acc) 0 perfs
+      in
+      (* The initial oscillation stage: everything before convergence. *)
+      let window = Array.sub perfs 0 (max 1 convergence_iteration) in
+      {
+        performance = final_best;
+        convergence_iteration;
+        settling_iteration;
+        worst_performance = Objective.worst_of obj window;
+        bad_iterations;
+        initial_mean = Harmony_numerics.Stats.mean window;
+        initial_stddev = Harmony_numerics.Stats.stddev window;
+      }
+    end
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "perf=%.2f converge@%d settle@%d worst=%.2f bad=%d initial=%.2f (%.2f)"
+      t.performance t.convergence_iteration t.settling_iteration
+      t.worst_performance t.bad_iterations t.initial_mean t.initial_stddev
+end

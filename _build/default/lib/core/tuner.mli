@@ -1,0 +1,75 @@
+(** The Active Harmony adaptation controller.
+
+    Runs the {!Simplex} kernel against an objective while recording
+    every (configuration, performance) measurement — the tuning
+    trace.  The trace is what the paper's evaluation is about: not
+    just the final configuration but the performance of the system
+    {e while getting there} (Section 4.1), summarized by convergence
+    time, worst performance, and oscillation statistics. *)
+
+open Harmony_param
+open Harmony_objective
+
+type options = {
+  init : Simplex.Init.t;
+  max_evaluations : int;
+  tolerance : float;
+}
+
+val default_options : options
+(** [Spread] init, 400 evaluations, tolerance 1e-3 — mirror of
+    {!Simplex.default_options}. *)
+
+val original_options : options
+(** The pre-improvement Active Harmony behaviour: [Extremes]
+    initial simplex (Table 1's "original implementation"). *)
+
+type outcome = {
+  best_config : Space.config;
+  best_performance : float;
+  trace : Recorder.entry list;  (** every measurement, in order *)
+  evaluations : int;
+  converged : bool;
+}
+
+val tune : ?options:options -> Objective.t -> outcome
+
+val trace_csv : Space.t -> outcome -> string
+(** The tuning trace as CSV: header
+    [iteration,<param names...>,performance], one measurement per
+    line — convenient for plotting the oscillation figures. *)
+
+(** Trace summary metrics. *)
+module Metrics : sig
+  type t = {
+    performance : float;            (** final best measured performance *)
+    convergence_iteration : int;    (** the paper's "convergence time
+                                        (iterations)" *)
+    settling_iteration : int;       (** last iteration that still improved
+                                        the best-so-far by >0.5% *)
+    worst_performance : float;      (** Table 1's "worst performance" — worst
+                                        measurement in the oscillation stage *)
+    bad_iterations : int;           (** Table 2's count of bad-performance
+                                        iterations *)
+    initial_mean : float;           (** mean performance over the initial
+                                        oscillation window *)
+    initial_stddev : float;         (** its standard deviation — Table 2's
+                                        "average (standard deviation)" *)
+  }
+
+  val of_outcome :
+    ?convergence_fraction:float -> ?bad_fraction:float -> ?reference:float ->
+    Objective.t -> outcome -> t
+  (** [convergence_iteration] is the first measurement index (1-based)
+      from which the best-so-far performance stays within
+      [convergence_fraction] (default 0.05) of [reference] — the
+      run's final best unless a common [reference] is given (compare
+      two variants against the same target, as the paper's tables
+      do).  [bad_iterations] counts measurements worse than
+      [bad_fraction] (default 0.8) of the reference (direction-aware).
+      The initial oscillation window is everything before convergence;
+      [worst_performance], [initial_mean] and [initial_stddev] are
+      computed over it. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,1 @@
+lib/datagen/generator.ml: Array Float Fun Harmony_numerics Harmony_objective Harmony_param List Objective Param Rules Space

@@ -1,0 +1,1 @@
+lib/datagen/generator.mli: Harmony_objective Harmony_param Objective Rules Space

@@ -1,0 +1,1 @@
+lib/datagen/rules.ml: Array Buffer List Printf String

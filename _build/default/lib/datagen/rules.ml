@@ -1,0 +1,197 @@
+type condition = { var : int; lo : float; hi : float }
+type rule = { conditions : condition list; performance : float }
+type t = { num_vars : int; ranges : (float * float) array; rules : rule array }
+
+let create ~num_vars ~ranges rule_list =
+  if num_vars <= 0 then invalid_arg "Rules.create: num_vars <= 0";
+  if Array.length ranges <> num_vars then invalid_arg "Rules.create: ranges arity";
+  Array.iter
+    (fun (lo, hi) -> if hi < lo then invalid_arg "Rules.create: empty variable range")
+    ranges;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun c ->
+          if c.var < 0 || c.var >= num_vars then
+            invalid_arg "Rules.create: condition variable out of range";
+          if c.lo > c.hi then invalid_arg "Rules.create: condition lo > hi")
+        r.conditions)
+    rule_list;
+  { num_vars; ranges; rules = Array.of_list rule_list }
+
+let num_vars t = t.num_vars
+let rules t = t.rules
+
+let satisfies r input =
+  List.for_all (fun c -> input.(c.var) >= c.lo && input.(c.var) <= c.hi) r.conditions
+
+let first_satisfied t input =
+  if Array.length input <> t.num_vars then
+    invalid_arg "Rules.first_satisfied: arity mismatch";
+  Array.find_opt (fun r -> satisfies r input) t.rules
+
+(* Two interval-conjunction rules can fire simultaneously iff, for
+   every variable constrained by both, the intervals intersect (a
+   variable constrained by only one rule is free in the other). *)
+let rules_overlap a b =
+  List.for_all
+    (fun ca ->
+      List.for_all
+        (fun cb ->
+          if ca.var <> cb.var then true
+          else ca.lo <= cb.hi && cb.lo <= ca.hi)
+        b.conditions)
+    a.conditions
+
+let conflict_free t =
+  let n = Array.length t.rules in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if !ok && rules_overlap t.rules.(i) t.rules.(j) then ok := false
+    done
+  done;
+  !ok
+
+let rule_distance t r input =
+  let d2 = ref 0.0 in
+  List.iter
+    (fun c ->
+      let v = input.(c.var) in
+      let gap = if v < c.lo then c.lo -. v else if v > c.hi then v -. c.hi else 0.0 in
+      let lo, hi = t.ranges.(c.var) in
+      let span = hi -. lo in
+      let g = if span = 0.0 then gap else gap /. span in
+      d2 := !d2 +. (g *. g))
+    r.conditions;
+  sqrt !d2
+
+exception Parse_error of string
+
+let strict_epsilon = 1e-9
+
+(* One condition in the textual notation.  Accepted shapes:
+   "v3 = 5", "v3 <= 8", "v3 < 8", "v3 >= 2", "v3 > 2",
+   "2 <= v3 < 8", "2 < v3 <= 8", ... *)
+let parse_condition ~num_vars ~ranges text =
+  let tokens =
+    String.split_on_char ' ' text |> List.filter (fun s -> s <> "")
+  in
+  let var_of s =
+    if String.length s < 2 || s.[0] <> 'v' then
+      raise (Parse_error ("expected a variable like v0, got " ^ s));
+    match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+    | Some v when v >= 0 && v < num_vars -> v
+    | Some _ -> raise (Parse_error ("variable out of range: " ^ s))
+    | None -> raise (Parse_error ("bad variable: " ^ s))
+  in
+  let num_of s =
+    match float_of_string_opt s with
+    | Some v -> v
+    | None -> raise (Parse_error ("bad number: " ^ s))
+  in
+  let full_range var = ranges.(var) in
+  match tokens with
+  | [ v; "="; x ] ->
+      let var = var_of v and value = num_of x in
+      { var; lo = value; hi = value }
+  | [ v; "<="; x ] ->
+      let var = var_of v in
+      { var; lo = fst (full_range var); hi = num_of x }
+  | [ v; "<"; x ] ->
+      let var = var_of v in
+      { var; lo = fst (full_range var); hi = num_of x -. strict_epsilon }
+  | [ v; ">="; x ] ->
+      let var = var_of v in
+      { var; lo = num_of x; hi = snd (full_range var) }
+  | [ v; ">"; x ] ->
+      let var = var_of v in
+      { var; lo = num_of x +. strict_epsilon; hi = snd (full_range var) }
+  | [ a; op1; v; op2; b ] when (op1 = "<=" || op1 = "<") && (op2 = "<=" || op2 = "<")
+    ->
+      let var = var_of v in
+      let lo = num_of a +. if op1 = "<" then strict_epsilon else 0.0 in
+      let hi = num_of b -. if op2 = "<" then strict_epsilon else 0.0 in
+      { var; lo; hi }
+  | _ -> raise (Parse_error ("cannot parse condition: " ^ text))
+
+let split_on_substring ~sub s =
+  let out = ref [] in
+  let buf = Buffer.create 16 in
+  let n = String.length s and m = String.length sub in
+  let i = ref 0 in
+  while !i < n do
+    if !i + m <= n && String.sub s !i m = sub then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf;
+      i := !i + m
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  out := Buffer.contents buf :: !out;
+  List.rev !out
+
+let of_text ~num_vars ~ranges text =
+  let parse_line line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then None
+    else
+      match split_on_substring ~sub:"<-" line with
+      | [ perf; conds ] ->
+          let performance =
+            match float_of_string_opt (String.trim perf) with
+            | Some v -> v
+            | None -> raise (Parse_error ("bad performance: " ^ perf))
+          in
+          let conds = String.trim conds in
+          let conditions =
+            if conds = "" then []
+            else
+              List.map
+                (fun c -> parse_condition ~num_vars ~ranges (String.trim c))
+                (String.split_on_char '&' conds)
+          in
+          Some { conditions; performance }
+      | _ -> raise (Parse_error ("expected 'performance <- conditions': " ^ line))
+  in
+  let rules =
+    List.filter_map parse_line (String.split_on_char '\n' text)
+  in
+  if rules = [] then raise (Parse_error "no rules");
+  create ~num_vars ~ranges rules
+
+let to_text t =
+  let cond c = Printf.sprintf "%g <= v%d <= %g" c.lo c.var c.hi in
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun r ->
+            Printf.sprintf "%g <- %s" r.performance
+              (String.concat " & " (List.map cond r.conditions)))
+          t.rules))
+
+let eval t input =
+  if Array.length input <> t.num_vars then invalid_arg "Rules.eval: arity mismatch";
+  if Array.length t.rules = 0 then invalid_arg "Rules.eval: empty rule set";
+  match first_satisfied t input with
+  | Some r -> r.performance
+  | None ->
+      let best = ref t.rules.(0) in
+      let best_d = ref (rule_distance t t.rules.(0) input) in
+      Array.iter
+        (fun r ->
+          let d = rule_distance t r input in
+          if d < !best_d then begin
+            best := r;
+            best_d := d
+          end)
+        t.rules;
+      !best.performance

@@ -1,0 +1,1 @@
+lib/des/resource.mli: Sim

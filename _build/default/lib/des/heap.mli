@@ -1,0 +1,20 @@
+(** A binary min-heap keyed by float priority with FIFO tie-breaking.
+
+    The event queue of the discrete-event simulator: events at equal
+    times fire in insertion order, which keeps simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+(** Smallest key (earliest inserted among equals), without removing. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the smallest key. *)
+
+val clear : 'a t -> unit

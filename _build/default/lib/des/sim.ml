@@ -1,0 +1,36 @@
+type t = { mutable clock : float; events : handler Heap.t }
+and handler = t -> unit
+
+let create () = { clock = 0.0; events = Heap.create () }
+let now t = t.clock
+
+let schedule_at t ~time handler =
+  if time < t.clock then invalid_arg "Sim.schedule_at: time in the past";
+  Heap.push t.events time handler
+
+let schedule t ~delay handler =
+  if delay < 0.0 then invalid_arg "Sim.schedule: negative delay";
+  Heap.push t.events (t.clock +. delay) handler
+
+let pending t = Heap.size t.events
+
+let step t =
+  match Heap.pop t.events with
+  | None -> false
+  | Some (time, handler) ->
+      t.clock <- time;
+      handler t;
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.events with
+        | Some (time, _) when time <= horizon -> ignore (step t)
+        | Some _ | None ->
+            t.clock <- Float.max t.clock horizon;
+            continue := false
+      done

@@ -1,0 +1,1 @@
+lib/experiments/fig10.ml: Harmony_param List Printf Report Rsl String

@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Array Baselines Harmony Harmony_datagen Harmony_numerics Harmony_webservice Model Printf Report Tpcw

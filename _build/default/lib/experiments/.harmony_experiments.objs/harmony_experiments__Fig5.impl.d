@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Array Harmony Harmony_datagen Harmony_numerics Harmony_objective Harmony_param List Param Report Sensitivity Space String

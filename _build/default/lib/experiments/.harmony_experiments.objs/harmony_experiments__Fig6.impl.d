@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Harmony Harmony_datagen Harmony_numerics Harmony_objective List Printf Report Sensitivity Subspace Tuner

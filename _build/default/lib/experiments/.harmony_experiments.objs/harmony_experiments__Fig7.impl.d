@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Analyzer Array Float Harmony Harmony_datagen Harmony_numerics Harmony_objective History List Printf Report Tuner

@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Array Fun Harmony Harmony_webservice Model Report Sensitivity Tpcw Wsconfig

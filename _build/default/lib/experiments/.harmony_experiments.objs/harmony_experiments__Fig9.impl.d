@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Harmony Harmony_numerics Harmony_objective Harmony_webservice List Model Report Sensitivity Subspace Tpcw Tuner

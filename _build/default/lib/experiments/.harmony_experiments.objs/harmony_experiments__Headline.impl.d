@@ -1,0 +1,1 @@
+lib/experiments/headline.ml: Analyzer Harmony Harmony_numerics Harmony_objective Harmony_webservice History List Model Report Tpcw Tuner

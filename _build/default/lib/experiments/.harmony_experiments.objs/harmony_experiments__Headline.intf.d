@@ -1,0 +1,1 @@
+lib/experiments/headline.mli: Report

@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Fig10 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Headline List Report Restriction Table1 Table2

@@ -1,0 +1,1 @@
+lib/experiments/restriction.ml: Array Fig10 Float Harmony Harmony_objective Harmony_param List Objective Param Printf Report Rsl Space Tuner

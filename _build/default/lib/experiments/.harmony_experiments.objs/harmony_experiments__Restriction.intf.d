@@ -1,0 +1,1 @@
+lib/experiments/restriction.mli: Report

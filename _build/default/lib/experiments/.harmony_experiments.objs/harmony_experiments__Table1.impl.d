@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Harmony Harmony_webservice List Model Printf Report Tpcw Tuner

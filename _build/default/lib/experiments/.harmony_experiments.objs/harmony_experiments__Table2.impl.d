@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Analyzer Harmony Harmony_numerics Harmony_objective Harmony_webservice History List Model Printf Report Tpcw Tuner

@@ -1,0 +1,84 @@
+open Harmony_param
+
+type scenario = {
+  name : string;
+  unrestricted : int;
+  restricted : int;
+  reduction : float;
+  spec : string;
+}
+
+type result = { scenarios : scenario list }
+
+(* B in [1, A-2]; C in [1, A-1-$B]; D = A-B-C is determined, so only
+   two bundles are tuned (Appendix B's worked example). *)
+let connectors_spec ~total =
+  if total < 3 then invalid_arg "Fig10.connectors_spec: total < 3";
+  Rsl.parse
+    (Printf.sprintf
+       "{ harmonyBundle B { int {1 %d 1} }}\n{ harmonyBundle C { int {1 %d-$B 1} }}"
+       (total - 2) (total - 1))
+
+(* Partition sizes P1..P(n-1); Pi at least 1 and small enough to leave
+   one row for each remaining block (the paper's scientific-library
+   example). *)
+let partition_spec ~rows ~blocks =
+  if blocks < 2 || rows < blocks then invalid_arg "Fig10.partition_spec: bad shape";
+  let bundle i =
+    let remaining_blocks = blocks - i in
+    let prior = List.init (i - 1) (fun j -> Printf.sprintf "-$P%d" (j + 1)) in
+    Printf.sprintf "{ harmonyBundle P%d { int {1 %d%s 1} }}" i
+      (rows - remaining_blocks)
+      (String.concat "" prior)
+  in
+  Rsl.parse (String.concat "\n" (List.init (blocks - 1) (fun i -> bundle (i + 1))))
+
+(* The same bundles with their conditional bounds replaced by the full
+   static range: what the search space costs without restriction. *)
+let unrestricted_count ~per_param ~params = int_of_float (float_of_int per_param ** float_of_int params)
+
+let scenario_of name spec ~unrestricted =
+  let restricted = Rsl.feasible_count spec in
+  {
+    name;
+    unrestricted;
+    restricted;
+    reduction = 1.0 -. (float_of_int restricted /. float_of_int unrestricted);
+    spec = Rsl.to_string spec;
+  }
+
+let run ?(total = 10) ?(rows = 20) ?(blocks = 4) () =
+  let connectors =
+    scenario_of "connectors (B+C+D=A)" (connectors_spec ~total)
+      (* Unrestricted: B, C independently in [1, A]. *)
+      ~unrestricted:(unrestricted_count ~per_param:total ~params:2)
+  in
+  let partition =
+    scenario_of
+      (Printf.sprintf "row partition (k=%d, n=%d)" rows blocks)
+      (partition_spec ~rows ~blocks)
+      (* Unrestricted: each of the n-1 sizes in [1, k]. *)
+      ~unrestricted:(unrestricted_count ~per_param:rows ~params:(blocks - 1))
+  in
+  { scenarios = [ connectors; partition ] }
+
+let table () =
+  let r = run () in
+  let rows =
+    List.map
+      (fun s ->
+        [
+          s.name;
+          string_of_int s.unrestricted;
+          string_of_int s.restricted;
+          Report.pct s.reduction;
+        ])
+      r.scenarios
+  in
+  Report.make ~id:"fig10"
+    ~title:"Search-space reduction by parameter restriction (Appendix B)"
+    ~columns:[ "scenario"; "unrestricted"; "restricted"; "reduction" ]
+    ~notes:
+      (List.map (fun s -> s.name ^ ": " ^ String.concat " " (String.split_on_char '\n' s.spec))
+         r.scenarios)
+    rows

@@ -1,0 +1,61 @@
+open Harmony
+open Harmony_param
+module Rng = Harmony_numerics.Rng
+module Generator = Harmony_datagen.Generator
+
+type result = {
+  names : string array;
+  perturbations : float array;
+  sensitivities : float array array;
+  irrelevant : string list;
+}
+
+let default_perturbations = [| 0.0; 0.05; 0.10; 0.25 |]
+
+let run ?(seed = 42) ?(perturbations = default_perturbations) () =
+  let g = Generator.synthetic_webservice ~seed () in
+  let space = Generator.space g in
+  let names = Array.map (fun p -> p.Param.name) (Space.params space) in
+  let base = Generator.objective g ~workload:Generator.shopping_mix in
+  let sensitivities =
+    Array.mapi
+      (fun i level ->
+        let obj =
+          if level = 0.0 then base
+          else
+            Harmony_objective.Objective.with_noise
+              (Rng.create (seed + (31 * i)))
+              ~level base
+        in
+        let report = Sensitivity.analyze obj in
+        Array.map (fun s -> s.Sensitivity.sensitivity) report.Sensitivity.scores)
+      perturbations
+  in
+  let irrelevant =
+    List.map (fun i -> names.(i)) (Generator.irrelevant g)
+  in
+  { names; perturbations; sensitivities; irrelevant }
+
+let table ?seed () =
+  let r = run ?seed () in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun p name ->
+           name
+           :: Array.to_list
+                (Array.map (fun row -> Report.f2 row.(p)) r.sensitivities))
+         r.names)
+  in
+  let columns =
+    "parameter"
+    :: Array.to_list (Array.map (fun l -> Report.pct l) r.perturbations)
+  in
+  Report.make ~id:"fig5" ~title:"Parameter sensitivity of the synthetic data"
+    ~columns
+    ~notes:
+      [
+        "ground-truth irrelevant parameters: " ^ String.concat ", " r.irrelevant;
+        "paper: H and M stand out as irrelevant at every perturbation level";
+      ]
+    rows

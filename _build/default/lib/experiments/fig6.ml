@@ -1,0 +1,70 @@
+open Harmony
+module Rng = Harmony_numerics.Rng
+module Generator = Harmony_datagen.Generator
+module Objective = Harmony_objective.Objective
+
+type cell = {
+  n : int;
+  perturbation : float;
+  tuning_time : int;
+  performance : float;
+}
+
+type result = { cells : cell list; full_time : int; full_performance : float }
+
+let tune_top_n ~seed ~clean ~level n =
+  let noisy =
+    if level = 0.0 then clean
+    else Objective.with_noise (Rng.create (seed + (97 * n))) ~level clean
+  in
+  (* Prioritize on the noisy objective (the tool sees the same
+     measurement noise the tuner does), but score the tuned
+     configuration noise-free. *)
+  let report = Sensitivity.analyze noisy in
+  let indices = Sensitivity.top_n report n in
+  let sub = Subspace.project noisy ~indices () in
+  let outcome = Tuner.tune (Subspace.objective sub) in
+  let metrics = Tuner.Metrics.of_outcome (Subspace.objective sub) outcome in
+  let full_config = Subspace.embed sub outcome.Tuner.best_config in
+  {
+    n;
+    perturbation = level;
+    tuning_time = metrics.Tuner.Metrics.settling_iteration;
+    performance = clean.Objective.eval full_config;
+  }
+
+let run ?(seed = 42) ?(ns = [ 1; 5; 9; 12; 15 ]) ?(perturbations = [ 0.0; 0.05; 0.10; 0.25 ])
+    () =
+  let g = Generator.synthetic_webservice ~seed () in
+  let clean = Generator.objective g ~workload:Generator.shopping_mix in
+  let cells =
+    List.concat_map
+      (fun level -> List.map (tune_top_n ~seed ~clean ~level) ns)
+      perturbations
+  in
+  let full = tune_top_n ~seed ~clean ~level:0.0 15 in
+  { cells; full_time = full.tuning_time; full_performance = full.performance }
+
+let table ?seed () =
+  let r = run ?seed () in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          Report.pct c.perturbation;
+          string_of_int c.n;
+          string_of_int c.tuning_time;
+          Report.f2 c.performance;
+        ])
+      r.cells
+  in
+  Report.make ~id:"fig6"
+    ~title:"Tuning only the n most sensitive synthetic parameters"
+    ~columns:[ "perturbation"; "n"; "tuning time (iters)"; "performance" ]
+    ~notes:
+      [
+        Printf.sprintf "all-15 reference: %d iterations, performance %.2f"
+          r.full_time r.full_performance;
+        "paper: small n saves up to 85% tuning time at <8% performance loss";
+      ]
+    rows

@@ -1,0 +1,27 @@
+(** Figure 7: tuning with experiences recorded under workloads at
+    increasing distance from the current one.
+
+    The system faces workload A; the tuning server is first trained
+    with historical data recorded under a workload A' whose
+    characteristics lie at Euclidean distance d from A's.  The paper
+    shows tuning time growing with d while the tuning result stays
+    roughly flat: experience close to the current workload helps
+    most. *)
+
+type point = {
+  distance : float;        (** characteristic-space distance A to A' *)
+  tuning_time : int;       (** convergence iteration when seeded with A' *)
+  performance : float;     (** tuned performance under A *)
+}
+
+type result = {
+  points : point list;
+  cold_time : int;         (** no-history reference *)
+  cold_performance : float;
+}
+
+val run : ?seed:int -> ?distances:float list -> unit -> result
+(** Distances default to 0.0, 0.1 ... 0.6 in normalized
+    characteristic space (the paper's x-axis 0..6 rescaled). *)
+
+val table : ?seed:int -> unit -> Report.table

@@ -1,0 +1,60 @@
+open Harmony
+open Harmony_webservice
+module Rng = Harmony_numerics.Rng
+module Objective = Harmony_objective.Objective
+
+type cell = { workload : string; n : int; tuning_time : int; wips : float }
+type result = { cells : cell list }
+
+(* Run-to-run variation of the live system: each replica tunes under
+   a differently-seeded 3% measurement noise; times and resulting
+   WIPS are averaged. *)
+let replicas = 5
+
+let noise_level = 0.03
+
+let cells_for mix ns =
+  let clean = Model.objective ~mix () in
+  let report = Sensitivity.analyze clean in
+  List.map
+    (fun n ->
+      let indices = Sensitivity.top_n report n in
+      let times = ref 0 and wips_sum = ref 0.0 in
+      for r = 1 to replicas do
+        let noisy =
+          Objective.with_noise (Rng.create ((1000 * r) + n)) ~level:noise_level clean
+        in
+        let sub = Subspace.project noisy ~indices () in
+        let sub_obj = Subspace.objective sub in
+        let outcome = Tuner.tune sub_obj in
+        let m = Tuner.Metrics.of_outcome sub_obj outcome in
+        times := !times + m.Tuner.Metrics.settling_iteration;
+        wips_sum :=
+          !wips_sum
+          +. clean.Objective.eval (Subspace.embed sub outcome.Tuner.best_config)
+      done;
+      {
+        workload = mix.Tpcw.label;
+        n;
+        tuning_time = !times / replicas;
+        wips = !wips_sum /. float_of_int replicas;
+      })
+    ns
+
+let run ?(ns = [ 1; 3; 6; 10 ]) () =
+  { cells = cells_for Tpcw.shopping ns @ cells_for Tpcw.ordering ns }
+
+let table () =
+  let r = run () in
+  let rows =
+    List.map
+      (fun c ->
+        [ c.workload; string_of_int c.n; string_of_int c.tuning_time; Report.f2 c.wips ])
+      r.cells
+  in
+  Report.make ~id:"fig9"
+    ~title:"Tuning only the n most sensitive web-service parameters"
+    ~columns:[ "workload"; "n"; "tuning time (iters)"; "WIPS" ]
+    ~notes:
+      [ "paper: up to 71.8% tuning-time saving at <2.5% WIPS loss" ]
+    rows

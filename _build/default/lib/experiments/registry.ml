@@ -1,0 +1,42 @@
+let all =
+  [
+    ( "fig4",
+      "performance distribution: web service vs synthetic data",
+      fun () -> Fig4.table () );
+    ( "fig5",
+      "synthetic-data parameter sensitivity under perturbation",
+      fun () -> Fig5.table () );
+    ( "fig6",
+      "tuning the n most sensitive synthetic parameters",
+      fun () -> Fig6.table () );
+    ( "fig7",
+      "tuning with experiences at increasing workload distance",
+      fun () -> Fig7.table () );
+    ("fig8", "web-service parameter sensitivity", fun () -> Fig8.table ());
+    ( "fig9",
+      "tuning the n most sensitive web-service parameters",
+      fun () -> Fig9.table () );
+    ( "table1",
+      "improved search refinement (original vs improved init)",
+      fun () -> Table1.table () );
+    ( "table2",
+      "tuning with and without prior histories",
+      fun () -> Table2.table () );
+    ( "fig10",
+      "search-space reduction by parameter restriction",
+      fun () -> Fig10.table () );
+    ( "restriction",
+      "tuning with vs without parameter restriction",
+      fun () -> Restriction.table () );
+    ( "headline",
+      "35-50% reduction of the initial unstable stage",
+      fun () -> Headline.table () );
+  ]
+
+let ids = List.map (fun (id, _, _) -> id) all
+
+let find id =
+  List.find_map (fun (id', _, f) -> if id = id' then Some f else None) all
+
+let run_all ppf =
+  List.iter (fun (_, _, f) -> Report.print ppf (f ())) all

@@ -1,0 +1,12 @@
+(** Experiment registry: every table/figure of the paper, runnable by
+    id from the CLI and the bench harness. *)
+
+val all : (string * string * (unit -> Report.table)) list
+(** (id, description, runner) for every experiment, in paper order. *)
+
+val ids : string list
+
+val find : string -> (unit -> Report.table) option
+
+val run_all : Format.formatter -> unit
+(** Run every experiment and print its table. *)

@@ -1,0 +1,1 @@
+lib/ml/dtree.ml: Array Classifier Fun

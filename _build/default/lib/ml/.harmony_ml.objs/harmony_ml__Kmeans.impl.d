@@ -1,0 +1,1 @@
+lib/ml/kmeans.ml: Array Classifier Float Harmony_numerics Nearest Printf

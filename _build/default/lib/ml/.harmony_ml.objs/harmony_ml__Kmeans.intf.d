@@ -1,0 +1,1 @@
+lib/ml/kmeans.mli: Classifier Harmony_numerics

@@ -1,0 +1,1 @@
+lib/ml/mlp.ml: Array Classifier Float Fun Harmony_numerics

@@ -1,0 +1,1 @@
+lib/ml/mlp.mli: Classifier Harmony_numerics

@@ -1,0 +1,1 @@
+lib/ml/nearest.ml: Array Classifier Printf

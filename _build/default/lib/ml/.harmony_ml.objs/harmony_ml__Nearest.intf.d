@@ -1,0 +1,1 @@
+lib/ml/nearest.mli: Classifier

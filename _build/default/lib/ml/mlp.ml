@@ -1,0 +1,123 @@
+module Rng = Harmony_numerics.Rng
+
+type t = {
+  mean : float array;
+  std : float array;
+  w1 : float array array; (* hidden x input *)
+  b1 : float array;
+  w2 : float array array; (* classes x hidden *)
+  b2 : float array;
+}
+
+let standardize t x = Array.mapi (fun i v -> (v -. t.mean.(i)) /. t.std.(i)) x
+
+let forward t x =
+  let z = standardize t x in
+  let hidden =
+    Array.mapi
+      (fun h row ->
+        let s = ref t.b1.(h) in
+        Array.iteri (fun i v -> s := !s +. (row.(i) *. v)) z;
+        tanh !s)
+      t.w1
+  in
+  let logits =
+    Array.mapi
+      (fun c row ->
+        let s = ref t.b2.(c) in
+        Array.iteri (fun h v -> s := !s +. (row.(h) *. v)) hidden;
+        !s)
+      t.w2
+  in
+  (z, hidden, logits)
+
+let softmax logits =
+  let m = Array.fold_left Float.max logits.(0) logits in
+  let e = Array.map (fun v -> exp (v -. m)) logits in
+  let total = Array.fold_left ( +. ) 0.0 e in
+  Array.map (fun v -> v /. total) e
+
+let predict_probabilities t x =
+  let _, _, logits = forward t x in
+  softmax logits
+
+let classify t x =
+  let p = predict_probabilities t x in
+  let best = ref 0 in
+  Array.iteri (fun i v -> if v > p.(!best) then best := i) p;
+  !best
+
+let fit rng ?(hidden = 16) ?(epochs = 200) ?(learning_rate = 0.05) training =
+  let dim = Classifier.validate_training training in
+  if hidden < 1 then invalid_arg "Mlp.fit: hidden < 1";
+  if epochs < 1 then invalid_arg "Mlp.fit: epochs < 1";
+  let { Classifier.features; labels } = training in
+  let n = Array.length features in
+  let classes = Classifier.num_classes training in
+  let mean =
+    Array.init dim (fun j ->
+        Array.fold_left (fun acc f -> acc +. f.(j)) 0.0 features /. float_of_int n)
+  in
+  let std =
+    Array.init dim (fun j ->
+        let s =
+          Array.fold_left
+            (fun acc f ->
+              let d = f.(j) -. mean.(j) in
+              acc +. (d *. d))
+            0.0 features
+        in
+        Float.max 1e-9 (sqrt (s /. float_of_int n)))
+  in
+  let init_weight fan_in = Rng.gaussian rng 0.0 (1.0 /. sqrt (float_of_int fan_in)) in
+  let t =
+    {
+      mean;
+      std;
+      w1 = Array.init hidden (fun _ -> Array.init dim (fun _ -> init_weight dim));
+      b1 = Array.make hidden 0.0;
+      w2 = Array.init classes (fun _ -> Array.init hidden (fun _ -> init_weight hidden));
+      b2 = Array.make classes 0.0;
+    }
+  in
+  let order = Array.init n Fun.id in
+  for _ = 1 to epochs do
+    Rng.shuffle rng order;
+    Array.iter
+      (fun i ->
+        let x = features.(i) and label = labels.(i) in
+        let z, h, logits = forward t x in
+        let p = softmax logits in
+        (* Output gradient: dL/dlogit_c = p_c - [c = label]. *)
+        let dlogit =
+          Array.mapi (fun c pc -> pc -. if c = label then 1.0 else 0.0) p
+        in
+        (* Hidden gradient through tanh. *)
+        let dh = Array.make (Array.length h) 0.0 in
+        Array.iteri
+          (fun c dc ->
+            Array.iteri
+              (fun hj w -> dh.(hj) <- dh.(hj) +. (dc *. w))
+              t.w2.(c);
+            t.b2.(c) <- t.b2.(c) -. (learning_rate *. dc);
+            Array.iteri
+              (fun hj hv ->
+                t.w2.(c).(hj) <- t.w2.(c).(hj) -. (learning_rate *. dc *. hv))
+              h)
+          dlogit;
+        Array.iteri
+          (fun hj dhj ->
+            let grad = dhj *. (1.0 -. (h.(hj) *. h.(hj))) in
+            t.b1.(hj) <- t.b1.(hj) -. (learning_rate *. grad);
+            Array.iteri
+              (fun k zk ->
+                t.w1.(hj).(k) <- t.w1.(hj).(k) -. (learning_rate *. grad *. zk))
+              z)
+          dh)
+      order
+  done;
+  t
+
+let classifier rng ?hidden ?epochs ?learning_rate training =
+  let t = fit rng ?hidden ?epochs ?learning_rate training in
+  { Classifier.name = "mlp"; classify = classify t }

@@ -1,0 +1,16 @@
+(** Least-squares nearest-neighbour classification — the paper's
+    classification mechanism (Section 4.2): return the stored class
+    [j] minimising [sum_k (c_jk - c_ok)^2]. *)
+
+val least_squares : Classifier.training -> Classifier.t
+(** 1-nearest-neighbour under squared Euclidean distance; ties go to
+    the earliest training example. *)
+
+val knn : k:int -> Classifier.training -> Classifier.t
+(** Majority vote among the [k] nearest examples (ties to the class
+    with the nearest member). Requires [k >= 1]. *)
+
+val nearest_index : float array array -> float array -> int
+(** Index of the row closest (squared Euclidean) to the query; the
+    raw primitive both classifiers and the experience database use.
+    @raise Invalid_argument on an empty matrix. *)

@@ -1,0 +1,1 @@
+lib/numerics/lstsq.ml: Array Float Matrix Stats

@@ -1,0 +1,55 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x9e3779b9; seed lxor 0x5bf03635 |]
+
+let split t =
+  (* Draw a fresh seed from the parent stream; the child is then
+     decoupled from subsequent parent draws. *)
+  let seed = Random.State.bits t in
+  Random.State.make [| seed; Random.State.bits t |]
+
+let copy = Random.State.copy
+let int t n = Random.State.int t n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + Random.State.int t (hi - lo + 1)
+
+let float t x = Random.State.float t x
+let uniform t lo hi = lo +. Random.State.float t (hi -. lo)
+let bool t = Random.State.bool t
+
+let exponential t mean =
+  let u = 1.0 -. Random.State.float t 1.0 in
+  -.mean *. log u
+
+let gaussian t mu sigma =
+  let u1 = 1.0 -. Random.State.float t 1.0 in
+  let u2 = Random.State.float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let perturb t p x = x *. uniform t (1.0 -. p) (1.0 +. p)
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  let pool = Array.init n (fun i -> i) in
+  (* Partial Fisher-Yates: after k swaps the prefix is the sample. *)
+  for i = 0 to k - 1 do
+    let j = int_in t i (n - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k

@@ -1,0 +1,107 @@
+let require_non_empty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let mean a =
+  require_non_empty "Stats.mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let acc = Array.fold_left (fun s x -> s +. ((x -. m) *. (x -. m))) 0.0 a in
+    acc /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min a =
+  require_non_empty "Stats.min" a;
+  Array.fold_left Float.min a.(0) a
+
+let max a =
+  require_non_empty "Stats.max" a;
+  Array.fold_left Float.max a.(0) a
+
+let sorted_copy a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let percentile a p =
+  require_non_empty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted_copy a in
+  let n = Array.length b in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
+
+let median a = percentile a 50.0
+
+let rescale ~lo ~hi a =
+  require_non_empty "Stats.rescale" a;
+  let amin = min a and amax = max a in
+  let span = amax -. amin in
+  if span = 0.0 then Array.map (fun _ -> lo) a
+  else Array.map (fun x -> lo +. ((x -. amin) /. span *. (hi -. lo))) a
+
+let normalize a = rescale ~lo:0.0 ~hi:1.0 a
+
+let histogram ~buckets ~lo ~hi a =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
+  if hi <= lo then invalid_arg "Stats.histogram: hi <= lo";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  let bucket_of x =
+    let i = int_of_float ((x -. lo) /. width) in
+    Stdlib.max 0 (Stdlib.min (buckets - 1) i)
+  in
+  Array.iter (fun x -> counts.(bucket_of x) <- counts.(bucket_of x) + 1) a;
+  counts
+
+let histogram_fractions ~buckets ~lo ~hi a =
+  let counts = histogram ~buckets ~lo ~hi a in
+  let total = float_of_int (Array.length a) in
+  if total = 0.0 then Array.make buckets 0.0
+  else Array.map (fun c -> float_of_int c /. total) counts
+
+let pearson xs ys =
+  if Array.length xs <> Array.length ys then
+    invalid_arg "Stats.pearson: length mismatch";
+  if Array.length xs < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let sxy = ref 0.0 and sxx = ref 0.0 and syy = ref 0.0 in
+    Array.iteri
+      (fun i x ->
+        let dx = x -. mx and dy = ys.(i) -. my in
+        sxy := !sxy +. (dx *. dy);
+        sxx := !sxx +. (dx *. dx);
+        syy := !syy +. (dy *. dy))
+      xs;
+    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+let check_same_length name a b =
+  if Array.length a <> Array.length b then invalid_arg (name ^ ": length mismatch")
+
+let chebyshev_distance a b =
+  check_same_length "Stats.chebyshev_distance" a b;
+  let d = ref 0.0 in
+  Array.iteri (fun i x -> d := Float.max !d (Float.abs (x -. b.(i)))) a;
+  !d
+
+let euclidean_distance a b =
+  check_same_length "Stats.euclidean_distance" a b;
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      let d = x -. b.(i) in
+      s := !s +. (d *. d))
+    a;
+  sqrt !s

@@ -1,0 +1,47 @@
+(** Descriptive statistics over float arrays.
+
+    Used throughout the experiment harness: oscillation magnitude
+    (mean and standard deviation of the initial tuning window, Table
+    2), performance-distribution histograms (Figure 4), and the
+    normalizations used by the sensitivity tool (Section 3). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Sample variance (divides by [n-1]); [0.] for arrays of length < 2. *)
+
+val stddev : float array -> float
+(** Sample standard deviation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+(** Median by sorting a copy. Requires a non-empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0, 100], linear interpolation
+    between order statistics. Requires a non-empty array. *)
+
+val normalize : float array -> float array
+(** Affine rescaling onto [0, 1]; constant arrays map to all zeros. *)
+
+val rescale : lo:float -> hi:float -> float array -> float array
+(** Affine rescaling onto [lo, hi]; constant arrays map to all [lo]. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array
+(** [histogram ~buckets ~lo ~hi a] counts values into [buckets]
+    equal-width buckets spanning [lo, hi]; values outside the span are
+    clamped into the end buckets. *)
+
+val histogram_fractions :
+  buckets:int -> lo:float -> hi:float -> float array -> float array
+(** Same as {!histogram} but as fractions of the total count. *)
+
+val pearson : float array -> float array -> float
+(** Pearson correlation coefficient of two equal-length arrays; [0.]
+    when either side is constant. *)
+
+val chebyshev_distance : float array -> float array -> float
+val euclidean_distance : float array -> float array -> float

@@ -1,0 +1,1 @@
+lib/objective/objective.ml: Array Harmony_numerics Harmony_param Hashtbl Printf Space String

@@ -1,0 +1,1 @@
+lib/objective/objective.mli: Harmony_numerics Harmony_param Space

@@ -1,0 +1,1 @@
+lib/objective/recorder.ml: Array Harmony_param List Objective Space

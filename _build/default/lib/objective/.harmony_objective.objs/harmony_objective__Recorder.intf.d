@@ -1,0 +1,1 @@
+lib/objective/recorder.mli: Harmony_param Objective Space

@@ -1,0 +1,1 @@
+lib/objective/testbed.ml: Array Float Harmony_param List Objective Param Printf Space

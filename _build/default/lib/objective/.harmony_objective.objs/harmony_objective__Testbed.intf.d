@@ -1,0 +1,1 @@
+lib/objective/testbed.mli: Objective

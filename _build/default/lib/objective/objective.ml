@@ -1,0 +1,61 @@
+open Harmony_param
+module Rng = Harmony_numerics.Rng
+
+type direction = Higher_is_better | Lower_is_better
+
+type t = {
+  space : Space.t;
+  direction : direction;
+  eval : Space.config -> float;
+}
+
+let create ~space ~direction eval = { space; direction; eval }
+
+let better t a b =
+  match t.direction with
+  | Higher_is_better -> a > b
+  | Lower_is_better -> a < b
+
+let best_of t values =
+  if Array.length values = 0 then invalid_arg "Objective.best_of: empty array";
+  Array.fold_left
+    (fun acc v -> if better t v acc then v else acc)
+    values.(0) values
+
+let worst_of t values =
+  if Array.length values = 0 then invalid_arg "Objective.worst_of: empty array";
+  Array.fold_left
+    (fun acc v -> if better t acc v then v else acc)
+    values.(0) values
+
+let eval_default t = t.eval (Space.defaults t.space)
+
+let with_noise rng ~level t =
+  if level < 0.0 then invalid_arg "Objective.with_noise: negative level";
+  { t with eval = (fun c -> Rng.perturb rng level (t.eval c)) }
+
+let with_snap t = { t with eval = (fun c -> t.eval (Space.snap t.space c)) }
+
+let with_cache t =
+  let table = Hashtbl.create 256 in
+  let key c =
+    String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") c))
+  in
+  let eval c =
+    let k = key c in
+    match Hashtbl.find_opt table k with
+    | Some v -> v
+    | None ->
+        let v = t.eval c in
+        Hashtbl.add table k v;
+        v
+  in
+  { t with eval }
+
+let negate t =
+  let direction =
+    match t.direction with
+    | Higher_is_better -> Lower_is_better
+    | Lower_is_better -> Higher_is_better
+  in
+  { t with direction; eval = (fun c -> -.t.eval c) }

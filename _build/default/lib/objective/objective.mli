@@ -1,0 +1,53 @@
+(** Objective functions: what the tuner measures.
+
+    An objective wraps a search space with an evaluation function and
+    a direction.  Throughput-style metrics (the paper's WIPS) are
+    higher-is-better; latency/time metrics are lower-is-better.  The
+    tuner and all experiment code work against this interface, so the
+    synthetic rule data, the web-service simulator, and analytic test
+    functions are interchangeable. *)
+
+open Harmony_param
+
+type direction = Higher_is_better | Lower_is_better
+
+type t = {
+  space : Space.t;
+  direction : direction;
+  eval : Space.config -> float;
+}
+
+val create : space:Space.t -> direction:direction -> (Space.config -> float) -> t
+
+val better : t -> float -> float -> bool
+(** [better t a b] is true when performance [a] is strictly preferable
+    to [b] under the objective's direction. *)
+
+val best_of : t -> float array -> float
+(** Best value in a non-empty array under the objective's direction. *)
+
+val worst_of : t -> float array -> float
+
+val eval_default : t -> float
+(** Evaluate the all-defaults configuration. *)
+
+val with_noise : Harmony_numerics.Rng.t -> level:float -> t -> t
+(** [with_noise rng ~level t] multiplies every measurement by a factor
+    uniform in [1-level, 1+level] — the paper's run-to-run
+    perturbation (Section 5.2, 0% to +/-25%). *)
+
+val with_snap : t -> t
+(** Snap configurations onto the grid before evaluating; makes an
+    objective total over continuous proposals. *)
+
+val with_cache : t -> t
+(** Memoize measurements per configuration: a repeated configuration
+    returns its recorded value instead of re-measuring.  This is the
+    paper's "save time by not retrying all those configurations again"
+    within one execution; it also freezes noise, so noisy objectives
+    become repeatable.  Unbounded cache — intended for tuning-scale
+    evaluation counts. *)
+
+val negate : t -> t
+(** Flip the direction by negating measurements (useful for reusing
+    minimizers as maximizers in tests). *)

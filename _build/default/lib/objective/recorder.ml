@@ -1,0 +1,49 @@
+open Harmony_param
+
+type entry = { index : int; config : Space.config; performance : float }
+type t = { mutable rev_entries : entry list; mutable next : int }
+
+let wrap obj =
+  let r = { rev_entries = []; next = 0 } in
+  let eval c =
+    let performance = obj.Objective.eval c in
+    r.rev_entries <-
+      { index = r.next; config = Array.copy c; performance } :: r.rev_entries;
+    r.next <- r.next + 1;
+    performance
+  in
+  (r, { obj with Objective.eval })
+
+let entries r = List.rev r.rev_entries
+let count r = r.next
+
+let clear r =
+  r.rev_entries <- [];
+  r.next <- 0
+
+let performances r =
+  let a = Array.make r.next 0.0 in
+  List.iter (fun e -> a.(e.index) <- e.performance) r.rev_entries;
+  a
+
+let best obj r =
+  List.fold_left
+    (fun acc e ->
+      match acc with
+      | None -> Some e
+      | Some b ->
+          if
+            Objective.better obj e.performance b.performance
+            || (e.performance = b.performance && e.index < b.index)
+          then Some e
+          else acc)
+    None r.rev_entries
+
+let lookup r config =
+  let rec find = function
+    | [] -> None
+    | e :: rest ->
+        if Space.config_equal e.config config then Some e.performance
+        else find rest
+  in
+  find r.rev_entries

@@ -1,0 +1,1 @@
+lib/param/enum.ml: Float List Param String

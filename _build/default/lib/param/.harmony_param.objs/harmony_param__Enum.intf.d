@@ -1,0 +1,1 @@
+lib/param/enum.mli: Param

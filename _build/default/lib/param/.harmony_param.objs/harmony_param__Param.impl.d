@@ -1,0 +1,1 @@
+lib/param/param.ml: Array Float Format

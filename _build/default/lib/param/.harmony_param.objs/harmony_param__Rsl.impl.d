@@ -1,0 +1,1 @@
+lib/param/rsl.ml: Array Float Harmony_numerics Hashtbl List Param Printf Seq Space String

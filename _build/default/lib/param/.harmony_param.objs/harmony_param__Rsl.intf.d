@@ -1,0 +1,1 @@
+lib/param/rsl.mli: Harmony_numerics Seq Space

@@ -1,0 +1,1 @@
+lib/param/space.ml: Array Float Format Harmony_numerics Hashtbl List Param Seq

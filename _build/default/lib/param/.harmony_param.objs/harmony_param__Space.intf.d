@@ -1,0 +1,1 @@
+lib/param/space.mli: Format Harmony_numerics Param Seq

@@ -1,0 +1,1 @@
+lib/webservice/effects.ml: Array Float Tpcw Wsconfig

@@ -1,0 +1,1 @@
+lib/webservice/effects.mli: Tpcw Wsconfig

@@ -1,0 +1,1 @@
+lib/webservice/model.ml: Array Effects Float Harmony_objective Objective Wsconfig

@@ -1,0 +1,1 @@
+lib/webservice/model.mli: Harmony_objective Tpcw Wsconfig

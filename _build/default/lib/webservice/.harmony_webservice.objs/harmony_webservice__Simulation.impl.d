@@ -1,0 +1,1 @@
+lib/webservice/simulation.ml: Array Effects Float Harmony_des Harmony_numerics Harmony_objective Objective Tpcw Wsconfig

@@ -1,0 +1,1 @@
+lib/webservice/simulation.mli: Harmony_objective Tpcw Wsconfig

@@ -1,0 +1,1 @@
+lib/webservice/tpcw.ml: Array Harmony_numerics

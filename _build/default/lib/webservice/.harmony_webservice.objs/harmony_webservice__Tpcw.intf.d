@@ -1,0 +1,1 @@
+lib/webservice/tpcw.mli: Harmony_numerics

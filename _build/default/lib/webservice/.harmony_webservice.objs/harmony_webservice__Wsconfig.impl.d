@@ -1,0 +1,1 @@
+lib/webservice/wsconfig.ml: Array Harmony_param Param Space

@@ -1,0 +1,1 @@
+lib/webservice/wsconfig.mli: Harmony_param Space

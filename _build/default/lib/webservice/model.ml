@@ -1,0 +1,113 @@
+open Harmony_objective
+
+type options = { clients : int; think_ms : float }
+
+let default_options = { clients = 120; think_ms = 1000.0 }
+
+type result = {
+  wips : float;
+  cache_hit : float;
+  utilization : float * float * float;
+  bottleneck : string;
+  reject_fraction : float;
+}
+
+type station = { name : string; demand_ms : float; servers : int }
+
+(* Schweitzer AMVA with Seidmann's multi-server approximation: a
+   c-server station with demand D becomes a queueing station with
+   demand D/c plus a pure delay of D*(c-1)/c. *)
+let amva ~clients ~think_ms stations =
+  let n = float_of_int clients in
+  let k = Array.length stations in
+  let q_demand = Array.map (fun s -> s.demand_ms /. float_of_int s.servers) stations in
+  let fixed_delay =
+    Array.fold_left
+      (fun acc s ->
+        acc +. (s.demand_ms *. float_of_int (s.servers - 1) /. float_of_int s.servers))
+      0.0 stations
+  in
+  let q = Array.make k (n /. float_of_int (max 1 k)) in
+  let x = ref 0.0 in
+  for _ = 1 to 200 do
+    let r = Array.mapi (fun i d -> d *. (1.0 +. (q.(i) *. (n -. 1.0) /. n))) q_demand in
+    let total = Array.fold_left ( +. ) 0.0 r in
+    x := n /. (think_ms +. fixed_delay +. total);
+    Array.iteri (fun i ri -> q.(i) <- !x *. ri) r
+  done;
+  (!x, q)
+
+(* M/M/c/K blocking probability (Erlang loss with waiting room):
+   computed from the birth-death chain with a running normalization so
+   large K never overflows. [offered] is in Erlangs (arrival rate x
+   mean service time). *)
+let mmck_blocking ~servers ~queue ~offered =
+  if offered <= 0.0 then 0.0
+  else begin
+    let k = servers + queue in
+    let c = float_of_int servers in
+    (* p_n relative to p_0, renormalized on the fly. *)
+    let rel = ref 1.0 in
+    let total = ref 1.0 in
+    for n = 0 to k - 1 do
+      let rate = offered /. Float.min c (float_of_int (n + 1)) in
+      rel := !rel *. rate;
+      (* Guard against runaway growth in deeply saturated systems. *)
+      if !rel > 1e12 then begin
+        total := !total /. !rel;
+        rel := 1.0
+      end;
+      total := !total +. !rel
+    done;
+    !rel /. !total
+  end
+
+let evaluate ?(options = default_options) config ~mix =
+  if options.clients < 1 then invalid_arg "Model.evaluate: clients < 1";
+  let fx = Effects.derive config ~mix in
+  let d_proxy = Effects.mean_proxy_ms fx in
+  let d_app = Effects.mean_app_ms fx in
+  let d_db = Effects.mean_db_ms fx in
+  let stations =
+    [|
+      { name = "proxy"; demand_ms = Float.max 1e-6 d_proxy;
+        servers = Effects.proxy_servers fx };
+      { name = "app"; demand_ms = Float.max 1e-6 d_app;
+        servers = Effects.app_servers fx };
+      { name = "db"; demand_ms = Float.max 1e-6 d_db;
+        servers = Effects.db_servers fx };
+    |]
+  in
+  let x, _q = amva ~clients:options.clients ~think_ms:options.think_ms stations in
+  (* Accept-queue overflow at the proxy and app tiers: requests that
+     find the backlog full are rejected and retried after a client
+     backoff, costing throughput. *)
+  let blocking station queue_limit =
+    mmck_blocking ~servers:station.servers ~queue:queue_limit
+      ~offered:(x *. station.demand_ms)
+  in
+  let over_proxy = blocking stations.(0) (Effects.proxy_queue_limit fx) in
+  let over_app = blocking stations.(1) (Effects.app_queue_limit fx) in
+  let reject_fraction = Float.min 0.9 (over_proxy +. over_app) in
+  let x = x *. (1.0 -. (0.5 *. reject_fraction)) in
+  let util i =
+    Float.min 1.0 (x *. stations.(i).demand_ms /. float_of_int stations.(i).servers)
+  in
+  let u = (util 0, util 1, util 2) in
+  let bottleneck =
+    let u0, u1, u2 = u in
+    if u1 >= u0 && u1 >= u2 then "app" else if u2 >= u0 then "db" else "proxy"
+  in
+  {
+    wips = x *. 1000.0;
+    cache_hit = Effects.mean_cache_hit fx;
+    utilization = u;
+    bottleneck;
+    reject_fraction;
+  }
+
+let wips ?options config ~mix = (evaluate ?options config ~mix).wips
+
+let objective ?options ~mix () =
+  Objective.create ~space:Wsconfig.space ~direction:Objective.Higher_is_better
+    (fun c -> wips ?options (Wsconfig.of_config c) ~mix)

@@ -1,0 +1,34 @@
+(** Closed-queueing-network throughput model of the 3-tier service.
+
+    A fast, deterministic stand-in for running the benchmark: N
+    emulated browsers with exponential think time circulate through
+    proxy, application, and database stations.  Solved by Schweitzer
+    approximate mean value analysis with the Seidmann multi-server
+    transformation, plus a retry penalty when the application tier's
+    accept queue overflows.
+
+    The model evaluates one configuration in microseconds, which makes
+    exhaustive-ish sweeps (Figure 4) and long tuning traces cheap; the
+    discrete-event {!Simulation} validates its shape. *)
+
+type options = {
+  clients : int;        (** emulated browsers (default 120) *)
+  think_ms : float;     (** mean think time (default 1000 ms) *)
+}
+
+val default_options : options
+
+type result = {
+  wips : float;             (** web interactions per second *)
+  cache_hit : float;        (** mix-weighted cache hit probability *)
+  utilization : float * float * float;  (** proxy, app, db *)
+  bottleneck : string;      (** name of the most utilized station *)
+  reject_fraction : float;  (** estimated accept-queue overflow *)
+}
+
+val evaluate : ?options:options -> Wsconfig.t -> mix:Tpcw.mix -> result
+
+val wips : ?options:options -> Wsconfig.t -> mix:Tpcw.mix -> float
+
+val objective : ?options:options -> mix:Tpcw.mix -> unit -> Harmony_objective.Objective.t
+(** Higher-is-better WIPS over {!Wsconfig.space}. *)

@@ -1,0 +1,35 @@
+(** The cluster-based web service's tunable parameters.
+
+    The ten parameters of the paper's Figure 8, spanning all three
+    tiers: the Squid proxy (cache memory, object-size window), the
+    Tomcat HTTP/application server (connector processes, accept
+    queues, transfer buffer) and the MySQL database (connection pool,
+    delayed-insert queue, network buffer). *)
+
+open Harmony_param
+
+type t = {
+  ajp_accept_count : int;       (** app-tier accept/backlog queue slots *)
+  ajp_max_processors : int;     (** app-tier worker processes *)
+  http_buffer_kb : int;         (** HTTP transfer buffer size *)
+  http_accept_count : int;      (** proxy-tier accept queue slots *)
+  mysql_max_connections : int;  (** database connection pool size *)
+  mysql_delayed_queue : int;    (** delayed-insert queue rows *)
+  mysql_net_buffer_kb : int;    (** database network buffer size *)
+  proxy_max_object_kb : int;    (** largest object the cache stores *)
+  proxy_min_object_kb : int;    (** smallest object the cache stores *)
+  proxy_cache_mem_mb : int;     (** proxy cache memory *)
+}
+
+val space : Space.t
+(** The ten-dimensional search space, in the field order above. *)
+
+val param_names : string array
+
+val default : t
+
+val of_config : Space.config -> t
+(** Interpret a configuration vector (snapped to the grid first).
+    @raise Invalid_argument on arity mismatch. *)
+
+val to_config : t -> Space.config

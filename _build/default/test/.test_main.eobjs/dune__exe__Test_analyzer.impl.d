@@ -1,0 +1,1 @@
+test/test_analyzer.ml: Alcotest Analyzer Array Harmony Harmony_numerics Harmony_objective Harmony_param History List Objective Printf Simplex Tuner

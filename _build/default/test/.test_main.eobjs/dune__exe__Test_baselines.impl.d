@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Float Harmony Harmony_numerics Harmony_objective Harmony_param Objective Testbed

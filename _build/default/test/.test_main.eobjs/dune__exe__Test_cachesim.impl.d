@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Cache Harmony Harmony_cachesim List Matmul QCheck2 QCheck_alcotest

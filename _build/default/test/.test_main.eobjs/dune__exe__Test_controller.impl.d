@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Controller Harmony Harmony_objective Harmony_param List Objective Printf Simplex

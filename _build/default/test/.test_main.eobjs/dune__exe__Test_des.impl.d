@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Float Harmony_des Harmony_numerics List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_enum.ml: Alcotest Array Float Harmony Harmony_objective Harmony_param List Objective Tuner

@@ -1,0 +1,1 @@
+test/test_estimator.ml: Alcotest Array Estimator Float Harmony Harmony_param List

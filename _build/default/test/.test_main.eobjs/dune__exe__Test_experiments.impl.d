@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Fig10 Fig4 Fig5 Fig6 Fig7 Fig8 Fig9 Float Harmony_experiments Headline List Registry Report Restriction String Table1 Table2

@@ -1,0 +1,1 @@
+test/test_factorial.ml: Alcotest Array Factorial Harmony Harmony_objective Harmony_param List Objective Printf

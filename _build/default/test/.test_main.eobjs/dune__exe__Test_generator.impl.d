@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Array Harmony Harmony_datagen Harmony_numerics Harmony_objective Harmony_param Objective Seq

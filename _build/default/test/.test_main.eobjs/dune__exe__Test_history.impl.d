@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array Filename Fun Harmony Harmony_numerics Harmony_objective Harmony_param History List Objective Sys Tuner

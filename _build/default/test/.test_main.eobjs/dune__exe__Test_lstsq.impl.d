@@ -1,0 +1,1 @@
+test/test_lstsq.ml: Alcotest Array Float Harmony_numerics List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Array Float Harmony_numerics QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_ml.ml: Alcotest Array Classifier Dtree Float Harmony_ml Harmony_numerics Kmeans List Mlp Nearest QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_objective.ml: Alcotest Array Harmony_numerics Harmony_objective Harmony_param Objective

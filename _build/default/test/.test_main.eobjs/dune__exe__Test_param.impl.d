@@ -1,0 +1,1 @@
+test/test_param.ml: Alcotest Float Harmony_param List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_recorder.ml: Alcotest Array Harmony_objective Harmony_param List Objective Recorder

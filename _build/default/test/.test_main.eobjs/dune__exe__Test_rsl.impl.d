@@ -1,0 +1,1 @@
+test/test_rsl.ml: Alcotest Array Fun Harmony_experiments Harmony_numerics Harmony_param List Printf QCheck2 QCheck_alcotest Seq

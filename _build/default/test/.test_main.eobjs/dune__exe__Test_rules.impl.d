@@ -1,0 +1,1 @@
+test/test_rules.ml: Alcotest Array Harmony_datagen

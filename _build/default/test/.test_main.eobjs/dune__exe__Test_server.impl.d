@@ -1,0 +1,1 @@
+test/test_server.ml: Alcotest Array Harmony Harmony_param List Server Simplex String

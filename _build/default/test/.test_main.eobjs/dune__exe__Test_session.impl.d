@@ -1,0 +1,1 @@
+test/test_session.ml: Alcotest Array Filename Fun Harmony Harmony_objective Harmony_param History Objective Session Sys Tuner

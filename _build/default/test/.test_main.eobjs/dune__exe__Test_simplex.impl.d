@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Float Harmony Harmony_objective Harmony_param List Objective Printf QCheck2 QCheck_alcotest Simplex Testbed

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Float Harmony_numerics Harmony_param Hashtbl List Printf QCheck2 QCheck_alcotest Seq

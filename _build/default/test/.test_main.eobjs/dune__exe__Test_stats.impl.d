@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Harmony_numerics List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_subspace.ml: Alcotest Array Harmony Harmony_objective Harmony_param Objective Subspace Tuner

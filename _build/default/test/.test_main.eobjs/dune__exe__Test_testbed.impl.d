@@ -1,0 +1,1 @@
+test/test_testbed.ml: Alcotest Harmony_objective Harmony_param Objective Testbed

@@ -1,0 +1,1 @@
+test/test_tpcw.ml: Alcotest Array Float Harmony_numerics Harmony_webservice Hashtbl List Option

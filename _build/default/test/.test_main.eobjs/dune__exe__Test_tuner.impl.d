@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Array Float Harmony Harmony_objective Harmony_param List Objective Recorder Simplex String Testbed Tuner

@@ -1,0 +1,1 @@
+test/test_webservice.ml: Alcotest Array Effects Float Harmony_numerics Harmony_objective Harmony_param Harmony_webservice List Model Printf QCheck2 QCheck_alcotest Simulation Tpcw Wsconfig

@@ -1,0 +1,156 @@
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+
+let space =
+  Space.create
+    (List.init 2 (fun i ->
+         Param.int_range ~name:(Printf.sprintf "p%d" i) ~lo:0 ~hi:100 ~default:10 ()))
+
+let peak c =
+  let d2 = ref 0.0 in
+  Array.iteri
+    (fun i v ->
+      let d = (v -. if i = 0 then 60.0 else 40.0) /. 100.0 in
+      d2 := !d2 +. (d *. d))
+    c;
+  100.0 *. exp (-4.0 *. !d2)
+
+let drive ?(budget = 200) () =
+  let options = { Simplex.default_options with Simplex.max_evaluations = budget } in
+  let c = Controller.create ~options ~space ~direction:Objective.Higher_is_better () in
+  let rec loop () =
+    match Controller.pending c with
+    | `Measure config ->
+        Controller.report c (peak config);
+        loop ()
+    | `Done outcome -> (c, outcome)
+  in
+  loop ()
+
+let test_online_equals_batch () =
+  (* The controller is the same kernel inverted: identical search. *)
+  let options = { Simplex.default_options with Simplex.max_evaluations = 200 } in
+  let obj = Objective.create ~space ~direction:Objective.Higher_is_better peak in
+  let batch = Simplex.optimize ~options obj in
+  let _, online = drive () in
+  Alcotest.(check (float 1e-9))
+    "same best performance" batch.Simplex.best_performance
+    online.Simplex.best_performance;
+  Alcotest.(check (array (float 1e-9)))
+    "same best configuration" batch.Simplex.best_config online.Simplex.best_config;
+  Alcotest.(check int) "same evaluation count" batch.Simplex.evaluations
+    online.Simplex.evaluations
+
+let test_measurement_count () =
+  let c, outcome = drive () in
+  Alcotest.(check int) "reports = kernel evaluations" outcome.Simplex.evaluations
+    (Controller.measurements c)
+
+let test_pending_idempotent () =
+  let c = Controller.create ~space ~direction:Objective.Higher_is_better () in
+  match (Controller.pending c, Controller.pending c) with
+  | `Measure a, `Measure b ->
+      Alcotest.(check (array (float 1e-9))) "same config until reported" a b
+  | _ -> Alcotest.fail "expected a measurement request"
+
+let test_pending_configs_valid () =
+  let c = Controller.create ~space ~direction:Objective.Higher_is_better () in
+  let steps = ref 0 in
+  let rec loop () =
+    match Controller.pending c with
+    | `Measure config when !steps < 50 ->
+        incr steps;
+        Alcotest.(check bool) "on grid" true (Space.is_valid space config);
+        Controller.report c (peak config);
+        loop ()
+    | `Measure _ | `Done _ -> ()
+  in
+  loop ()
+
+let test_best_so_far_tracks () =
+  let c = Controller.create ~space ~direction:Objective.Higher_is_better () in
+  Alcotest.(check bool) "empty at start" true (Controller.best_so_far c = None);
+  (match Controller.pending c with
+  | `Measure _ -> Controller.report c 10.0
+  | `Done _ -> Alcotest.fail "finished too early");
+  (match Controller.pending c with
+  | `Measure _ -> Controller.report c 5.0
+  | `Done _ -> Alcotest.fail "finished too early");
+  match Controller.best_so_far c with
+  | Some (_, perf) -> Alcotest.(check (float 1e-12)) "keeps the higher" 10.0 perf
+  | None -> Alcotest.fail "expected a best"
+
+let test_best_so_far_lower_is_better () =
+  let c = Controller.create ~space ~direction:Objective.Lower_is_better () in
+  (match Controller.pending c with
+  | `Measure _ -> Controller.report c 10.0
+  | `Done _ -> Alcotest.fail "finished too early");
+  (match Controller.pending c with
+  | `Measure _ -> Controller.report c 5.0
+  | `Done _ -> Alcotest.fail "finished too early");
+  match Controller.best_so_far c with
+  | Some (_, perf) -> Alcotest.(check (float 1e-12)) "keeps the lower" 5.0 perf
+  | None -> Alcotest.fail "expected a best"
+
+let test_report_after_done_rejected () =
+  let c, _ = drive ~budget:20 () in
+  Alcotest.check_raises "finished"
+    (Invalid_argument "Controller.report: search already finished") (fun () ->
+      Controller.report c 1.0)
+
+let test_trusted_seed_init () =
+  (* A fully-trusted initial simplex: the first request is already a
+     transformation proposal. *)
+  let seeds =
+    [
+      ([| 10.0; 10.0 |], Some 50.0);
+      ([| 30.0; 10.0 |], Some 60.0);
+      ([| 10.0; 30.0 |], Some 55.0);
+    ]
+  in
+  let options =
+    { Simplex.default_options with Simplex.init = Simplex.Init.Seeded seeds;
+      max_evaluations = 30 }
+  in
+  let c = Controller.create ~options ~space ~direction:Objective.Higher_is_better () in
+  match Controller.pending c with
+  | `Measure config ->
+      Alcotest.(check bool) "not one of the seeds" true
+        (not (List.exists (fun (s, _) -> Space.config_equal s config) seeds))
+  | `Done _ -> Alcotest.fail "should want a measurement"
+
+let test_two_controllers_are_independent () =
+  (* Two interleaved sessions must not share state (the effect-handler
+     continuations are per instance). *)
+  let a = Controller.create ~space ~direction:Objective.Higher_is_better () in
+  let b = Controller.create ~space ~direction:Objective.Lower_is_better () in
+  for step = 1 to 40 do
+    (match Controller.pending a with
+    | `Measure config -> Controller.report a (peak config)
+    | `Done _ -> ());
+    if step mod 2 = 0 then
+      match Controller.pending b with
+      | `Measure config -> Controller.report b (peak config)
+      | `Done _ -> ()
+  done;
+  (* a maximizes, b minimizes the same function: their incumbents
+     diverge. *)
+  match (Controller.best_so_far a, Controller.best_so_far b) with
+  | Some (_, pa), Some (_, pb) ->
+      Alcotest.(check bool) "divergent incumbents" true (pa > pb)
+  | _ -> Alcotest.fail "both controllers should have measurements"
+
+let suite =
+  [
+    Alcotest.test_case "online equals batch" `Quick test_online_equals_batch;
+    Alcotest.test_case "measurement count" `Quick test_measurement_count;
+    Alcotest.test_case "pending idempotent" `Quick test_pending_idempotent;
+    Alcotest.test_case "pending configs valid" `Quick test_pending_configs_valid;
+    Alcotest.test_case "best so far" `Quick test_best_so_far_tracks;
+    Alcotest.test_case "best so far (minimize)" `Quick test_best_so_far_lower_is_better;
+    Alcotest.test_case "report after done" `Quick test_report_after_done_rejected;
+    Alcotest.test_case "trusted seed init" `Quick test_trusted_seed_init;
+    Alcotest.test_case "two controllers independent" `Quick test_two_controllers_are_independent;
+  ]

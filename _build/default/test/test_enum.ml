@@ -1,0 +1,79 @@
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+module Enum = Harmony_param.Enum
+
+let algorithms = [ "heap-sort"; "quick-sort"; "merge-sort" ]
+
+let test_param_shape () =
+  let p = Enum.param ~name:"algorithm" algorithms in
+  Alcotest.(check int) "one value per label" 3 (Param.num_values p);
+  Alcotest.(check (float 1e-12)) "default first" 0.0 p.Param.default
+
+let test_param_default () =
+  let p = Enum.param ~name:"algorithm" ~default:"merge-sort" algorithms in
+  Alcotest.(check (float 1e-12)) "default index" 2.0 p.Param.default
+
+let test_param_invalid () =
+  Alcotest.check_raises "empty" (Invalid_argument "Enum: empty label list")
+    (fun () -> ignore (Enum.param ~name:"x" []));
+  Alcotest.check_raises "dup" (Invalid_argument "Enum: duplicate labels")
+    (fun () -> ignore (Enum.param ~name:"x" [ "a"; "a" ]));
+  Alcotest.check_raises "unknown default"
+    (Invalid_argument "Enum.param: unknown default z") (fun () ->
+      ignore (Enum.param ~name:"x" ~default:"z" [ "a"; "b" ]))
+
+let test_roundtrip () =
+  List.iter
+    (fun label ->
+      Alcotest.(check string) "label roundtrip" label
+        (Enum.label_of algorithms (Enum.value_of algorithms label)))
+    algorithms
+
+let test_label_of_clamps () =
+  Alcotest.(check string) "below" "heap-sort" (Enum.label_of algorithms (-4.0));
+  Alcotest.(check string) "above" "merge-sort" (Enum.label_of algorithms 99.0);
+  Alcotest.(check string) "rounds" "quick-sort" (Enum.label_of algorithms 1.4)
+
+let test_value_of_missing () =
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (Enum.value_of algorithms "bogo-sort"))
+
+let test_tune_over_algorithm_choice () =
+  (* The paper's Section 2 scenario: the tuner picks an algorithm and
+     a threshold jointly. quick-sort is best unless the cutoff is
+     tiny. *)
+  let space =
+    Space.create
+      [
+        Enum.param ~name:"algorithm" algorithms;
+        Param.int_range ~name:"cutoff" ~lo:1 ~hi:64 ~default:8 ();
+      ]
+  in
+  let cost c =
+    let penalty =
+      match Enum.label_of algorithms c.(0) with
+      | "quick-sort" -> 10.0
+      | "merge-sort" -> 14.0
+      | _ -> 20.0
+    in
+    penalty +. (abs_float (c.(1) -. 16.0) /. 8.0)
+  in
+  let obj = Objective.create ~space ~direction:Objective.Lower_is_better cost in
+  let outcome = Tuner.tune obj in
+  Alcotest.(check string) "picks quick-sort" "quick-sort"
+    (Enum.label_of algorithms outcome.Tuner.best_config.(0));
+  Alcotest.(check bool) "tunes the cutoff near its optimum" true
+    (Float.abs (outcome.Tuner.best_config.(1) -. 16.0) <= 4.0)
+
+let suite =
+  [
+    Alcotest.test_case "param shape" `Quick test_param_shape;
+    Alcotest.test_case "param default" `Quick test_param_default;
+    Alcotest.test_case "param invalid" `Quick test_param_invalid;
+    Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "label clamps" `Quick test_label_of_clamps;
+    Alcotest.test_case "value missing" `Quick test_value_of_missing;
+    Alcotest.test_case "tune algorithm choice" `Quick test_tune_over_algorithm_choice;
+  ]

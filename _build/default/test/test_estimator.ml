@@ -1,0 +1,118 @@
+open Harmony
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+
+let space =
+  Space.create
+    [
+      Param.int_range ~name:"x" ~lo:0 ~hi:10 ~default:0 ();
+      Param.int_range ~name:"y" ~lo:0 ~hi:10 ~default:0 ();
+    ]
+
+(* Performance plane: P = 3x + 2y + 1 (linear in raw coordinates, so
+   also linear in normalized ones). *)
+let plane c = (3.0 *. c.(0)) +. (2.0 *. c.(1)) +. 1.0
+
+let points_on_plane =
+  List.map
+    (fun (x, y) ->
+      let c = [| float_of_int x; float_of_int y |] in
+      (c, plane c))
+    [ (0, 0); (10, 0); (0, 10); (10, 10); (5, 5) ]
+
+let test_interpolates_plane () =
+  let target = [| 4.0; 6.0 |] in
+  let est = Estimator.estimate ~space ~points:points_on_plane ~target () in
+  Alcotest.(check (float 1e-6)) "exact on a plane" (plane target) est
+
+let test_extrapolates_plane () =
+  (* Triangulation "with interpolation or extrapolation" (Section 4.3):
+     the target lies outside the convex hull of the three points. *)
+  let points =
+    List.map (fun (x, y) -> ([| x; y |], plane [| x; y |]))
+      [ (0.0, 0.0); (2.0, 0.0); (0.0, 2.0) ]
+  in
+  let target = [| 8.0; 8.0 |] in
+  let est = Estimator.estimate ~space ~points ~target () in
+  Alcotest.(check (float 1e-6)) "extrapolated" (plane target) est
+
+let test_single_point_fallback () =
+  let est =
+    Estimator.estimate ~space ~points:[ ([| 2.0; 2.0 |], 7.0) ] ~target:[| 9.0; 9.0 |] ()
+  in
+  Alcotest.(check (float 1e-9)) "constant" 7.0 est
+
+let test_empty_points () =
+  Alcotest.check_raises "no data"
+    (Invalid_argument "Estimator.estimate: no historical points") (fun () ->
+      ignore (Estimator.estimate ~space ~points:[] ~target:[| 0.0; 0.0 |] ()))
+
+let test_nearest_choice_uses_local_data () =
+  (* Two regions with different local planes; Nearest must use the
+     target's own region. *)
+  let local c = 100.0 +. c.(0) in
+  let far c = -.c.(0) in
+  let points =
+    List.map (fun x -> ([| x; 0.0 |], local [| x; 0.0 |])) [ 0.0; 1.0; 2.0 ]
+    @ List.map (fun x -> ([| x; 10.0 |], far [| x; 10.0 |])) [ 8.0; 9.0; 10.0 ]
+  in
+  let est =
+    Estimator.estimate ~k:3 ~choice:Estimator.Nearest ~space ~points
+      ~target:[| 1.0; 0.0 |] ()
+  in
+  Alcotest.(check (float 1e-6)) "local plane used" 101.0 est
+
+let test_latest_choice_uses_recent_data () =
+  (* An old performance regime followed by a new one (both sets span
+     the plane): Latest must reflect the new regime. *)
+  let old_points =
+    List.map (fun c -> (c, 10.0)) [ [| 2.0; 2.0 |]; [| 8.0; 2.0 |]; [| 2.0; 8.0 |] ]
+  in
+  let new_points =
+    List.map (fun c -> (c, 50.0)) [ [| 0.0; 0.0 |]; [| 10.0; 0.0 |]; [| 0.0; 10.0 |] ]
+  in
+  let points = old_points @ new_points in
+  let est_latest =
+    Estimator.estimate ~k:3 ~choice:Estimator.Latest ~space ~points
+      ~target:[| 5.0; 0.0 |] ()
+  in
+  Alcotest.(check (float 1e-6)) "recent regime" 50.0 est_latest
+
+let test_k_larger_than_points () =
+  let est =
+    Estimator.estimate ~k:50 ~space ~points:points_on_plane ~target:[| 3.0; 3.0 |] ()
+  in
+  Alcotest.(check (float 1e-6)) "clamped k still works" (plane [| 3.0; 3.0 |]) est
+
+let test_overdetermined_least_squares () =
+  (* More points than dims+1 and slightly inconsistent values: the
+     least-squares plane smooths them. *)
+  let noisy =
+    List.map
+      (fun (c, p) -> (c, p +. if c.(0) = 5.0 then 0.5 else 0.0))
+      points_on_plane
+  in
+  let est = Estimator.estimate ~k:5 ~space ~points:noisy ~target:[| 5.0; 5.0 |] () in
+  Alcotest.(check bool) "close to the plane" true
+    (Float.abs (est -. plane [| 5.0; 5.0 |]) < 1.0)
+
+let test_fill_batch () =
+  let targets = [ [| 1.0; 1.0 |]; [| 9.0; 2.0 |] ] in
+  let filled = Estimator.fill ~space ~points:points_on_plane ~targets () in
+  Alcotest.(check int) "both estimated" 2 (List.length filled);
+  List.iter
+    (fun (c, p) -> Alcotest.(check (float 1e-6)) "plane value" (plane c) p)
+    filled
+
+let suite =
+  [
+    Alcotest.test_case "interpolates plane" `Quick test_interpolates_plane;
+    Alcotest.test_case "extrapolates plane" `Quick test_extrapolates_plane;
+    Alcotest.test_case "single point" `Quick test_single_point_fallback;
+    Alcotest.test_case "empty points" `Quick test_empty_points;
+    Alcotest.test_case "nearest uses local data" `Quick test_nearest_choice_uses_local_data;
+    Alcotest.test_case "latest uses recent data" `Quick test_latest_choice_uses_recent_data;
+    Alcotest.test_case "k larger than points" `Quick test_k_larger_than_points;
+    Alcotest.test_case "overdetermined least squares" `Quick test_overdetermined_least_squares;
+    Alcotest.test_case "fill batch" `Quick test_fill_batch;
+  ]

@@ -1,0 +1,155 @@
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+
+let space3 =
+  Space.create
+    [
+      Param.int_range ~name:"a" ~lo:0 ~hi:10 ~default:0 ();
+      Param.int_range ~name:"b" ~lo:0 ~hi:10 ~default:0 ();
+      Param.int_range ~name:"c" ~lo:0 ~hi:10 ~default:0 ();
+    ]
+
+(* Additive response: main effects over the full range are exactly
+   20, 4, 0 (coefficients times the span). *)
+let additive =
+  Objective.create ~space:space3 ~direction:Objective.Higher_is_better (fun v ->
+      (2.0 *. v.(0)) +. (0.4 *. v.(1)))
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_full_main_effects () =
+  let e = Factorial.full additive in
+  Alcotest.(check int) "2^3 runs" 8 e.Factorial.runs;
+  feq "a effect" 20.0 e.Factorial.main.(0);
+  feq "b effect" 4.0 e.Factorial.main.(1);
+  feq "c effect" 0.0 e.Factorial.main.(2)
+
+let test_full_no_interactions_when_additive () =
+  let e = Factorial.full additive in
+  Array.iter
+    (fun (_, _, v) -> feq "zero interaction" 0.0 v)
+    e.Factorial.interactions;
+  feq "ratio" 0.0 (Factorial.interaction_ratio e)
+
+let test_full_detects_interaction () =
+  (* Product term: the a*b interaction effect over the full span is
+     0.5 * 10 * 10 / 2 = 25 in effect units... verified against the
+     classical definition below. *)
+  let multiplicative =
+    Objective.create ~space:space3 ~direction:Objective.Higher_is_better (fun v ->
+        0.5 *. v.(0) *. v.(1))
+  in
+  let e = Factorial.full multiplicative in
+  let ab =
+    Array.to_list e.Factorial.interactions
+    |> List.find_map (fun (i, j, v) -> if i = 0 && j = 1 then Some v else None)
+  in
+  (match ab with
+  | Some v -> feq "ab interaction" 25.0 v
+  | None -> Alcotest.fail "missing ab interaction");
+  Alcotest.(check bool) "ratio flags interactions" true
+    (Factorial.interaction_ratio e > 0.5)
+
+let test_full_levels () =
+  (* At interior levels 0.2/0.8 of [0,10] the span is 6, so a's effect
+     is 12. *)
+  let e = Factorial.full ~levels:(0.2, 0.8) additive in
+  feq "a effect over reduced span" 12.0 e.Factorial.main.(0)
+
+let test_full_guards () =
+  Alcotest.check_raises "levels order"
+    (Invalid_argument "Factorial: levels must satisfy 0 <= lo < hi <= 1") (fun () ->
+      ignore (Factorial.full ~levels:(0.8, 0.2) additive));
+  Alcotest.check_raises "too many runs"
+    (Invalid_argument "Factorial.full: too many parameters for a full design")
+    (fun () -> ignore (Factorial.full ~max_runs:4 additive))
+
+let test_ranked_main () =
+  let e = Factorial.full additive in
+  match Factorial.ranked_main e with
+  | (first, _) :: (second, _) :: (third, _) :: _ ->
+      Alcotest.(check string) "a first" "a" first;
+      Alcotest.(check string) "b second" "b" second;
+      Alcotest.(check string) "c third" "c" third
+  | _ -> Alcotest.fail "expected three entries"
+
+let test_pb_runs () =
+  let e = Factorial.plackett_burman additive in
+  Alcotest.(check int) "8-run design for 3 params" 8 e.Factorial.runs;
+  Alcotest.(check int) "no interactions" 0 (Array.length e.Factorial.interactions)
+
+let test_pb_recovers_additive_effects () =
+  let e = Factorial.plackett_burman additive in
+  feq "a effect" 20.0 e.Factorial.main.(0);
+  feq "b effect" 4.0 e.Factorial.main.(1);
+  feq "c effect" 0.0 e.Factorial.main.(2)
+
+let test_pb_scales_to_more_parameters () =
+  let wide =
+    Space.create
+      (List.init 14 (fun i ->
+           Param.int_range ~name:(Printf.sprintf "p%d" i) ~lo:0 ~hi:1 ~default:0 ()))
+  in
+  let obj =
+    Objective.create ~space:wide ~direction:Objective.Higher_is_better (fun v ->
+        Array.fold_left ( +. ) 0.0 v)
+  in
+  let e = Factorial.plackett_burman obj in
+  (* 14 params need the 16-run design: far fewer than 2^14. *)
+  Alcotest.(check int) "16 runs" 16 e.Factorial.runs;
+  Array.iter (fun m -> feq "unit effects" 1.0 m) e.Factorial.main
+
+let test_pb_too_many () =
+  let wide =
+    Space.create
+      (List.init 24 (fun i ->
+           Param.int_range ~name:(Printf.sprintf "p%d" i) ~lo:0 ~hi:1 ~default:0 ()))
+  in
+  let obj =
+    Objective.create ~space:wide ~direction:Objective.Higher_is_better (fun _ -> 0.0)
+  in
+  Alcotest.check_raises "23 max"
+    (Invalid_argument "Factorial.plackett_burman: more than 23 parameters")
+    (fun () -> ignore (Factorial.plackett_burman obj))
+
+(* Property: PB design columns are balanced (equal highs and lows),
+   which is what makes the effect estimates unbiased. *)
+let test_pb_balanced_columns () =
+  List.iter
+    (fun n ->
+      let space =
+        Space.create
+          (List.init n (fun i ->
+               Param.int_range ~name:(Printf.sprintf "p%d" i) ~lo:0 ~hi:1 ~default:0 ()))
+      in
+      let highs = Array.make n 0 in
+      let runs = ref 0 in
+      let obj =
+        Objective.create ~space ~direction:Objective.Higher_is_better (fun v ->
+            incr runs;
+            Array.iteri (fun i x -> if x > 0.5 then highs.(i) <- highs.(i) + 1) v;
+            0.0)
+      in
+      let _ = Factorial.plackett_burman obj in
+      Array.iter
+        (fun h ->
+          Alcotest.(check int) (Printf.sprintf "n=%d balanced" n) (!runs / 2) h)
+        highs)
+    [ 3; 7; 11; 15; 19; 23 ]
+
+let suite =
+  [
+    Alcotest.test_case "full main effects" `Quick test_full_main_effects;
+    Alcotest.test_case "full additive no interactions" `Quick test_full_no_interactions_when_additive;
+    Alcotest.test_case "full detects interaction" `Quick test_full_detects_interaction;
+    Alcotest.test_case "full levels" `Quick test_full_levels;
+    Alcotest.test_case "full guards" `Quick test_full_guards;
+    Alcotest.test_case "ranked main" `Quick test_ranked_main;
+    Alcotest.test_case "pb runs" `Quick test_pb_runs;
+    Alcotest.test_case "pb recovers effects" `Quick test_pb_recovers_additive_effects;
+    Alcotest.test_case "pb scales" `Quick test_pb_scales_to_more_parameters;
+    Alcotest.test_case "pb too many" `Quick test_pb_too_many;
+    Alcotest.test_case "pb balanced columns" `Quick test_pb_balanced_columns;
+  ]

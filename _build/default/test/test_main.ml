@@ -1,0 +1,35 @@
+let () =
+  Alcotest.run "harmony"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("matrix", Test_matrix.suite);
+      ("lstsq", Test_lstsq.suite);
+      ("param", Test_param.suite);
+      ("space", Test_space.suite);
+      ("rsl", Test_rsl.suite);
+      ("enum", Test_enum.suite);
+      ("objective", Test_objective.suite);
+      ("recorder", Test_recorder.suite);
+      ("testbed", Test_testbed.suite);
+      ("rules", Test_rules.suite);
+      ("generator", Test_generator.suite);
+      ("des", Test_des.suite);
+      ("tpcw", Test_tpcw.suite);
+      ("webservice", Test_webservice.suite);
+      ("ml", Test_ml.suite);
+      ("simplex", Test_simplex.suite);
+      ("tuner", Test_tuner.suite);
+      ("sensitivity", Test_sensitivity.suite);
+      ("subspace", Test_subspace.suite);
+      ("estimator", Test_estimator.suite);
+      ("history", Test_history.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("baselines", Test_baselines.suite);
+      ("session", Test_session.suite);
+      ("controller", Test_controller.suite);
+      ("server", Test_server.suite);
+      ("factorial", Test_factorial.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("experiments", Test_experiments.suite);
+    ]

@@ -1,0 +1,88 @@
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+module Rng = Harmony_numerics.Rng
+
+let space =
+  Space.create [ Param.int_range ~name:"x" ~lo:0 ~hi:10 ~default:5 () ]
+
+let higher = Objective.create ~space ~direction:Objective.Higher_is_better (fun c -> c.(0))
+let lower = Objective.create ~space ~direction:Objective.Lower_is_better (fun c -> c.(0))
+
+let test_better () =
+  Alcotest.(check bool) "higher" true (Objective.better higher 2.0 1.0);
+  Alcotest.(check bool) "higher strict" false (Objective.better higher 1.0 1.0);
+  Alcotest.(check bool) "lower" true (Objective.better lower 1.0 2.0)
+
+let test_best_worst () =
+  let vals = [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (float 1e-12)) "best high" 3.0 (Objective.best_of higher vals);
+  Alcotest.(check (float 1e-12)) "worst high" 1.0 (Objective.worst_of higher vals);
+  Alcotest.(check (float 1e-12)) "best low" 1.0 (Objective.best_of lower vals);
+  Alcotest.(check (float 1e-12)) "worst low" 3.0 (Objective.worst_of lower vals)
+
+let test_best_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Objective.best_of: empty array")
+    (fun () -> ignore (Objective.best_of higher [||]))
+
+let test_eval_default () =
+  Alcotest.(check (float 1e-12)) "default" 5.0 (Objective.eval_default higher)
+
+let test_with_noise_bounds () =
+  let noisy = Objective.with_noise (Rng.create 3) ~level:0.25 higher in
+  for _ = 1 to 200 do
+    let v = noisy.Objective.eval [| 8.0 |] in
+    Alcotest.(check bool) "within 25%" true (v >= 6.0 && v < 10.0)
+  done
+
+let test_with_noise_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Objective.with_noise: negative level")
+    (fun () -> ignore (Objective.with_noise (Rng.create 1) ~level:(-0.1) higher))
+
+let test_with_snap () =
+  let snapped = Objective.with_snap higher in
+  Alcotest.(check (float 1e-12)) "snapped eval" 7.0 (snapped.Objective.eval [| 7.4 |])
+
+let test_with_cache () =
+  let count = ref 0 in
+  let counted =
+    Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+        incr count;
+        c.(0))
+  in
+  let cached = Objective.with_cache counted in
+  Alcotest.(check (float 1e-12)) "first" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check (float 1e-12)) "repeat" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check (float 1e-12)) "other" 5.0 (cached.Objective.eval [| 5.0 |]);
+  Alcotest.(check int) "two real measurements" 2 !count
+
+let test_with_cache_freezes_noise () =
+  let noisy = Objective.with_noise (Harmony_numerics.Rng.create 1) ~level:0.25 higher in
+  let cached = Objective.with_cache noisy in
+  Alcotest.(check (float 1e-12)) "repeatable under noise"
+    (cached.Objective.eval [| 8.0 |])
+    (cached.Objective.eval [| 8.0 |])
+
+let test_negate () =
+  let neg = Objective.negate higher in
+  Alcotest.(check bool) "direction flipped" true
+    (neg.Objective.direction = Objective.Lower_is_better);
+  Alcotest.(check (float 1e-12)) "value negated" (-4.0) (neg.Objective.eval [| 4.0 |]);
+  (* Double negation restores preferences. *)
+  let nn = Objective.negate neg in
+  Alcotest.(check bool) "same winner" true
+    (Objective.better nn (nn.Objective.eval [| 9.0 |]) (nn.Objective.eval [| 1.0 |]))
+
+let suite =
+  [
+    Alcotest.test_case "better" `Quick test_better;
+    Alcotest.test_case "best worst" `Quick test_best_worst;
+    Alcotest.test_case "best empty" `Quick test_best_empty;
+    Alcotest.test_case "eval default" `Quick test_eval_default;
+    Alcotest.test_case "noise bounds" `Quick test_with_noise_bounds;
+    Alcotest.test_case "noise invalid" `Quick test_with_noise_invalid;
+    Alcotest.test_case "with snap" `Quick test_with_snap;
+    Alcotest.test_case "with cache" `Quick test_with_cache;
+    Alcotest.test_case "cache freezes noise" `Quick test_with_cache_freezes_noise;
+    Alcotest.test_case "negate" `Quick test_negate;
+  ]

@@ -1,0 +1,147 @@
+module Rng = Harmony_numerics.Rng
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check_float "same stream" (Rng.float a 1.0) (Rng.float b 1.0)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let xs = Array.init 16 (fun _ -> Rng.float a 1.0) in
+  let ys = Array.init 16 (fun _ -> Rng.float b 1.0) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.copy a in
+  check_float "copies agree" (Rng.float a 1.0) (Rng.float b 1.0);
+  (* Advancing one does not affect the other. *)
+  ignore (Rng.float a 1.0);
+  let third_a = Rng.float a 1.0 in
+  ignore (Rng.float b 1.0);
+  check_float "still in lockstep" third_a (Rng.float b 1.0)
+
+let test_split_decouples () =
+  let parent = Rng.create 3 in
+  let child = Rng.split parent in
+  (* Child values are reproducible from the same parent seed. *)
+  let parent2 = Rng.create 3 in
+  let child2 = Rng.split parent2 in
+  check_float "split reproducible" (Rng.float child 1.0) (Rng.float child2 1.0)
+
+let test_int_in_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-3) 7 in
+    Alcotest.(check bool) "in range" true (v >= -3 && v <= 7)
+  done
+
+let test_int_in_single () =
+  let rng = Rng.create 5 in
+  Alcotest.(check int) "degenerate range" 4 (Rng.int_in rng 4 4)
+
+let test_int_in_invalid () =
+  let rng = Rng.create 5 in
+  Alcotest.check_raises "empty range" (Invalid_argument "Rng.int_in: empty range")
+    (fun () -> ignore (Rng.int_in rng 5 4))
+
+let test_uniform_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.uniform rng 2.0 3.0 in
+    Alcotest.(check bool) "in [2,3)" true (v >= 2.0 && v < 3.0)
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create 13 in
+  let n = 20_000 in
+  let total = ref 0.0 in
+  for _ = 1 to n do
+    total := !total +. Rng.exponential rng 5.0
+  done;
+  let mean = !total /. float_of_int n in
+  Alcotest.(check bool) "mean close to 5" true (Float.abs (mean -. 5.0) < 0.2)
+
+let test_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng 1.0 2.0) in
+  let mean = Harmony_numerics.Stats.mean samples in
+  let std = Harmony_numerics.Stats.stddev samples in
+  Alcotest.(check bool) "mean ~1" true (Float.abs (mean -. 1.0) < 0.1);
+  Alcotest.(check bool) "std ~2" true (Float.abs (std -. 2.0) < 0.1)
+
+let test_perturb_range () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    let v = Rng.perturb rng 0.25 100.0 in
+    Alcotest.(check bool) "within +/-25%" true (v >= 75.0 && v < 125.0)
+  done
+
+let test_perturb_zero () =
+  let rng = Rng.create 19 in
+  Alcotest.(check (float 1e-12)) "no perturbation" 100.0 (Rng.perturb rng 0.0 100.0)
+
+let test_choice () =
+  let rng = Rng.create 23 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "member" true (Array.mem (Rng.choice rng arr) arr)
+  done
+
+let test_choice_empty () =
+  let rng = Rng.create 23 in
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choice: empty array")
+    (fun () -> ignore (Rng.choice rng [||]))
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 29 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create 31 in
+  let s = Rng.sample_without_replacement rng 5 10 in
+  Alcotest.(check int) "size" 5 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  let distinct =
+    Array.for_all Fun.id
+      (Array.mapi (fun i v -> i = 0 || sorted.(i - 1) <> v) sorted)
+  in
+  Alcotest.(check bool) "distinct" true distinct;
+  Array.iter (fun v -> Alcotest.(check bool) "in range" true (v >= 0 && v < 10)) s
+
+let test_sample_full () =
+  let rng = Rng.create 31 in
+  let s = Rng.sample_without_replacement rng 10 10 in
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "all of them" (Array.init 10 Fun.id) sorted
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "different seeds" `Quick test_different_seeds;
+    Alcotest.test_case "copy independent" `Quick test_copy_independent;
+    Alcotest.test_case "split decouples" `Quick test_split_decouples;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "int_in single" `Quick test_int_in_single;
+    Alcotest.test_case "int_in invalid" `Quick test_int_in_invalid;
+    Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "perturb range" `Quick test_perturb_range;
+    Alcotest.test_case "perturb zero" `Quick test_perturb_zero;
+    Alcotest.test_case "choice" `Quick test_choice;
+    Alcotest.test_case "choice empty" `Quick test_choice_empty;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "sample full" `Quick test_sample_full;
+  ]

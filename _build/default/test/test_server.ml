@@ -1,0 +1,179 @@
+open Harmony
+module Rsl = Harmony_param.Rsl
+
+let paper_spec =
+  "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}"
+
+(* Response surface over the restricted (B, C) space: peak at B=3, C=4. *)
+let respond assignment =
+  let v name = float_of_int (List.assoc name assignment) in
+  let db = v "B" -. 3.0 and dc = v "C" -. 4.0 in
+  100.0 -. (db *. db) -. (dc *. dc)
+
+let register server =
+  Server.handle server (Server.Register { spec = paper_spec; direction = Server.Maximize })
+
+let test_register_assigns () =
+  let server = Server.create () in
+  match register server with
+  | Server.Assign assignment ->
+      Alcotest.(check (list string)) "both bundles" [ "B"; "C" ]
+        (List.map fst assignment)
+  | _ -> Alcotest.fail "expected an assignment"
+
+let test_register_bad_spec () =
+  let server = Server.create () in
+  match Server.handle server (Server.Register { spec = "{ nope }"; direction = Server.Maximize }) with
+  | Server.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_query_before_register () =
+  let server = Server.create () in
+  match Server.handle server Server.Query with
+  | Server.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_report_without_assignment () =
+  let server = Server.create () in
+  let _ = register server in
+  (* Consume the outstanding assignment... *)
+  let _ = Server.handle server (Server.Report 1.0) in
+  (* ...then a bare Query re-issues; after Done, report must fail.
+     Simpler: a fresh server that never got an assignment. *)
+  let fresh = Server.create () in
+  match Server.handle fresh (Server.Report 1.0) with
+  | Server.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_query_idempotent () =
+  let server = Server.create () in
+  let a1 = register server in
+  let a2 = Server.handle server Server.Query in
+  Alcotest.(check bool) "same assignment until reported" true (a1 = a2)
+
+let test_assignments_feasible () =
+  let server = Server.create ~options:{ Simplex.default_options with Simplex.max_evaluations = 60 } () in
+  let spec = Rsl.parse paper_spec in
+  let rec loop reply steps =
+    if steps > 200 then Alcotest.fail "server never finished";
+    match reply with
+    | Server.Assign assignment ->
+        let values = Array.of_list (List.map snd assignment) in
+        Alcotest.(check bool) "feasible under restriction" true
+          (Rsl.is_feasible spec values);
+        loop (Server.handle server (Server.Report (respond assignment))) (steps + 1)
+    | Server.Done { best; performance } ->
+        Alcotest.(check bool) "found a good point" true (performance > 90.0);
+        let values = Array.of_list (List.map snd best) in
+        Alcotest.(check bool) "best feasible" true (Rsl.is_feasible spec values)
+    | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+  in
+  loop (register server) 0
+
+let test_reregister_resets () =
+  let server = Server.create () in
+  let _ = register server in
+  let _ = Server.handle server (Server.Report 42.0) in
+  (* Re-registering starts a fresh session. *)
+  match register server with
+  | Server.Assign _ -> (
+      match Server.spec server with
+      | Some spec -> Alcotest.(check (list string)) "spec live" [ "B"; "C" ] (Rsl.names spec)
+      | None -> Alcotest.fail "spec missing")
+  | _ -> Alcotest.fail "expected an assignment"
+
+(* Codec *)
+
+let test_parse_query () =
+  Alcotest.(check bool) "query" true (Server.parse_message "query" = Ok Server.Query)
+
+let test_parse_report () =
+  Alcotest.(check bool) "report" true
+    (Server.parse_message "report 42.5" = Ok (Server.Report 42.5));
+  (match Server.parse_message "report abc" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad float accepted")
+
+let test_parse_register () =
+  match Server.parse_message ("register max\n" ^ paper_spec) with
+  | Ok (Server.Register { direction = Server.Maximize; spec }) ->
+      Alcotest.(check bool) "spec text carried" true
+        (String.length spec > 0 && Rsl.names (Rsl.parse spec) = [ "B"; "C" ])
+  | _ -> Alcotest.fail "expected register"
+
+let test_parse_unknown () =
+  match Server.parse_message "frobnicate" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown command accepted"
+
+let test_reply_rendering () =
+  Alcotest.(check string) "assign" "assign B=3 C=4"
+    (Server.reply_to_string (Server.Assign [ ("B", 3); ("C", 4) ]));
+  Alcotest.(check string) "done" "done B=3 C=4 perf=97"
+    (Server.reply_to_string
+       (Server.Done { best = [ ("B", 3); ("C", 4) ]; performance = 97.0 }));
+  Alcotest.(check string) "error" "error nope"
+    (Server.reply_to_string (Server.Rejected "nope"))
+
+let test_text_round_trip_session () =
+  (* Drive the server purely through the text protocol. *)
+  let server = Server.create ~options:{ Simplex.default_options with Simplex.max_evaluations = 40 } () in
+  let send text =
+    match Server.parse_message text with
+    | Ok m -> Server.reply_to_string (Server.handle server m)
+    | Error e -> "parse-error " ^ e
+  in
+  let first = send ("register max\n" ^ paper_spec) in
+  Alcotest.(check bool) "assignment line" true
+    (String.length first > 7 && String.sub first 0 7 = "assign ");
+  let reply = ref (send "report 10.0") in
+  let steps = ref 0 in
+  while String.length !reply > 7 && String.sub !reply 0 7 = "assign " && !steps < 100 do
+    incr steps;
+    reply := send "report 10.0"
+  done;
+  Alcotest.(check bool) "session ends with done" true
+    (String.length !reply >= 4 && String.sub !reply 0 4 = "done")
+
+let test_minimize_session () =
+  (* A minimizing registration: the server should end near the cost
+     minimum (B=3, C=4 gives cost 0 on this surface). *)
+  let cost assignment =
+    let v name = float_of_int (List.assoc name assignment) in
+    ((v "B" -. 3.0) ** 2.0) +. ((v "C" -. 4.0) ** 2.0)
+  in
+  let server = Server.create ~options:{ Simplex.default_options with Simplex.max_evaluations = 80 } () in
+  let rec loop reply steps =
+    if steps > 300 then Alcotest.fail "no convergence"
+    else
+      match reply with
+      | Server.Assign assignment ->
+          loop (Server.handle server (Server.Report (cost assignment))) (steps + 1)
+      | Server.Done { performance; _ } -> performance
+      | Server.Rejected msg -> Alcotest.fail msg
+  in
+  let best =
+    loop
+      (Server.handle server
+         (Server.Register { spec = paper_spec; direction = Server.Minimize }))
+      0
+  in
+  Alcotest.(check bool) "found the cost minimum region" true (best <= 2.0)
+
+let suite =
+  [
+    Alcotest.test_case "register assigns" `Quick test_register_assigns;
+    Alcotest.test_case "register bad spec" `Quick test_register_bad_spec;
+    Alcotest.test_case "query before register" `Quick test_query_before_register;
+    Alcotest.test_case "report without assignment" `Quick test_report_without_assignment;
+    Alcotest.test_case "query idempotent" `Quick test_query_idempotent;
+    Alcotest.test_case "assignments feasible" `Quick test_assignments_feasible;
+    Alcotest.test_case "reregister resets" `Quick test_reregister_resets;
+    Alcotest.test_case "parse query" `Quick test_parse_query;
+    Alcotest.test_case "parse report" `Quick test_parse_report;
+    Alcotest.test_case "parse register" `Quick test_parse_register;
+    Alcotest.test_case "parse unknown" `Quick test_parse_unknown;
+    Alcotest.test_case "reply rendering" `Quick test_reply_rendering;
+    Alcotest.test_case "text round trip" `Quick test_text_round_trip_session;
+    Alcotest.test_case "minimize session" `Quick test_minimize_session;
+  ]

@@ -1,0 +1,110 @@
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+
+(* Performance = 50*a + 5*b, c irrelevant: a clean top-n landscape. *)
+let space =
+  Space.create
+    [
+      Param.int_range ~name:"a" ~lo:0 ~hi:10 ~default:5 ();
+      Param.int_range ~name:"b" ~lo:0 ~hi:10 ~default:5 ();
+      Param.int_range ~name:"c" ~lo:0 ~hi:10 ~default:5 ();
+    ]
+
+let obj =
+  Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+      (50.0 *. c.(0)) +. (5.0 *. c.(1)))
+
+let test_prioritize_cached () =
+  let count = ref 0 in
+  let counted = { obj with Objective.eval = (fun c -> incr count; obj.Objective.eval c) } in
+  let session = Session.create ~objective:counted () in
+  Alcotest.(check bool) "no report yet" true (Session.last_report session = None);
+  let r1 = Session.prioritize session in
+  let after_first = !count in
+  let r2 = Session.prioritize session in
+  Alcotest.(check bool) "cached" true (r1 == r2);
+  Alcotest.(check int) "no extra evaluations" after_first !count;
+  Alcotest.(check bool) "report exposed" true (Session.last_report session = Some r1)
+
+let test_tune_full_space () =
+  let session = Session.create ~objective:obj () in
+  let r = Session.tune session in
+  Alcotest.(check (list int)) "all indices" [ 0; 1; 2 ] r.Session.tuned_indices;
+  Alcotest.(check bool) "no experience" false r.Session.used_experience;
+  Alcotest.(check bool) "found a good point" true
+    (r.Session.outcome.Tuner.best_performance > 500.0)
+
+let test_tune_top_n_projects () =
+  let session = Session.create ~objective:obj () in
+  let r = Session.tune ~top_n:1 session in
+  Alcotest.(check (list int)) "most sensitive only" [ 0 ] r.Session.tuned_indices;
+  (* The full-space best config keeps b and c at their defaults. *)
+  Alcotest.(check (float 1e-9)) "b frozen" 5.0 r.Session.full_best_config.(1);
+  Alcotest.(check (float 1e-9)) "c frozen" 5.0 r.Session.full_best_config.(2);
+  Alcotest.(check (float 1e-9)) "a maximized" 10.0 r.Session.full_best_config.(0)
+
+let test_tune_with_characteristics_records () =
+  let db = History.create () in
+  let session = Session.create ~objective:obj ~db () in
+  let r1 = Session.tune ~characteristics:[| 0.9; 0.1 |] ~label:"w1" session in
+  Alcotest.(check bool) "first run is cold" false r1.Session.used_experience;
+  Alcotest.(check int) "recorded" 1 (History.size db);
+  let r2 = Session.tune ~characteristics:[| 0.9; 0.1 |] ~label:"w1-again" session in
+  Alcotest.(check bool) "second run reuses experience" true r2.Session.used_experience;
+  Alcotest.(check int) "recorded again" 2 (History.size db)
+
+let test_tune_options_override () =
+  let count = ref 0 in
+  let counted = { obj with Objective.eval = (fun c -> incr count; obj.Objective.eval c) } in
+  let session = Session.create ~objective:counted () in
+  let _ = Session.tune ~options:{ Tuner.default_options with Tuner.max_evaluations = 12 } session in
+  Alcotest.(check bool) "budget honoured" true (!count <= 12)
+
+let test_top_n_and_characteristics_compose () =
+  let db = History.create () in
+  let session = Session.create ~objective:obj ~db () in
+  let _ = Session.tune ~top_n:2 ~characteristics:[| 0.5 |] session in
+  let r = Session.tune ~top_n:2 ~characteristics:[| 0.5 |] session in
+  Alcotest.(check bool) "experience reused in the subspace" true r.Session.used_experience;
+  Alcotest.(check (list int)) "subspace indices" [ 0; 1 ] r.Session.tuned_indices;
+  Alcotest.(check (float 1e-9)) "c frozen" 5.0 r.Session.full_best_config.(2)
+
+let test_db_path_persists () =
+  let path = Filename.temp_file "harmony_session" ".db" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      let s1 = Session.create ~objective:obj ~db_path:path () in
+      let _ = Session.tune ~characteristics:[| 0.3 |] s1 in
+      Session.save_database s1;
+      (* A new session picks up the stored experience. *)
+      let s2 = Session.create ~objective:obj ~db_path:path () in
+      Alcotest.(check int) "experience survived" 1 (History.size (Session.database s2));
+      let r = Session.tune ~characteristics:[| 0.3 |] s2 in
+      Alcotest.(check bool) "warm start" true r.Session.used_experience)
+
+let test_db_and_path_conflict () =
+  Alcotest.check_raises "both given"
+    (Invalid_argument "Session.create: both db and db_path given") (fun () ->
+      ignore
+        (Session.create ~objective:obj ~db:(History.create ()) ~db_path:"/tmp/x" ()))
+
+let test_save_without_path_is_noop () =
+  let s = Session.create ~objective:obj () in
+  Session.save_database s
+
+let suite =
+  [
+    Alcotest.test_case "prioritize cached" `Quick test_prioritize_cached;
+    Alcotest.test_case "tune full space" `Quick test_tune_full_space;
+    Alcotest.test_case "tune top_n projects" `Quick test_tune_top_n_projects;
+    Alcotest.test_case "characteristics recorded" `Quick test_tune_with_characteristics_records;
+    Alcotest.test_case "options override" `Quick test_tune_options_override;
+    Alcotest.test_case "top_n + characteristics" `Quick test_top_n_and_characteristics_compose;
+    Alcotest.test_case "db_path persists" `Quick test_db_path_persists;
+    Alcotest.test_case "db and db_path conflict" `Quick test_db_and_path_conflict;
+    Alcotest.test_case "save without path" `Quick test_save_without_path_is_noop;
+  ]

@@ -1,0 +1,143 @@
+module Stats = Harmony_numerics.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () = feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |])
+let test_mean_single () = feq "single" 7.0 (Stats.mean [| 7.0 |])
+
+let test_mean_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+let test_variance () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  feq "variance" (32.0 /. 7.0) (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_variance_short () =
+  feq "one element" 0.0 (Stats.variance [| 3.0 |]);
+  feq "empty" 0.0 (Stats.variance [||])
+
+let test_stddev () =
+  feq "stddev" (sqrt (32.0 /. 7.0)) (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_min_max () =
+  feq "min" (-2.0) (Stats.min [| 3.0; -2.0; 5.0 |]);
+  feq "max" 5.0 (Stats.max [| 3.0; -2.0; 5.0 |])
+
+let test_median_odd () = feq "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |])
+let test_median_even () = feq "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_percentile_endpoints () =
+  let a = [| 10.0; 20.0; 30.0 |] in
+  feq "p0" 10.0 (Stats.percentile a 0.0);
+  feq "p100" 30.0 (Stats.percentile a 100.0);
+  feq "p50" 20.0 (Stats.percentile a 50.0)
+
+let test_percentile_interpolates () =
+  feq "p25" 1.5 (Stats.percentile [| 1.0; 2.0; 3.0 |] 25.0)
+
+let test_percentile_invalid () =
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile [| 1.0 |] 101.0))
+
+let test_normalize () =
+  Alcotest.(check (array (float 1e-9)))
+    "normalize" [| 0.0; 0.5; 1.0 |]
+    (Stats.normalize [| 2.0; 4.0; 6.0 |])
+
+let test_normalize_constant () =
+  Alcotest.(check (array (float 1e-9)))
+    "constant" [| 0.0; 0.0 |]
+    (Stats.normalize [| 3.0; 3.0 |])
+
+let test_rescale () =
+  Alcotest.(check (array (float 1e-9)))
+    "rescale" [| 1.0; 25.5; 50.0 |]
+    (Stats.rescale ~lo:1.0 ~hi:50.0 [| 0.0; 0.5; 1.0 |])
+
+let test_histogram_counts () =
+  let h = Stats.histogram ~buckets:5 ~lo:0.0 ~hi:10.0 [| 0.5; 1.5; 2.5; 9.9; 10.0 |] in
+  Alcotest.(check (array int)) "counts" [| 2; 1; 0; 0; 2 |] h
+
+let test_histogram_clamps () =
+  let h = Stats.histogram ~buckets:2 ~lo:0.0 ~hi:1.0 [| -5.0; 5.0 |] in
+  Alcotest.(check (array int)) "clamped" [| 1; 1 |] h
+
+let test_histogram_fractions () =
+  let h = Stats.histogram_fractions ~buckets:2 ~lo:0.0 ~hi:1.0 [| 0.1; 0.2; 0.9; 0.8 |] in
+  Alcotest.(check (array (float 1e-9))) "fractions" [| 0.5; 0.5 |] h
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "no buckets" (Invalid_argument "Stats.histogram: buckets <= 0")
+    (fun () -> ignore (Stats.histogram ~buckets:0 ~lo:0.0 ~hi:1.0 [||]))
+
+let test_pearson_perfect () =
+  feq "positive" 1.0 (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 2.0; 4.0; 6.0 |]);
+  feq "negative" (-1.0) (Stats.pearson [| 1.0; 2.0; 3.0 |] [| 3.0; 2.0; 1.0 |])
+
+let test_pearson_constant () =
+  feq "constant side" 0.0 (Stats.pearson [| 1.0; 1.0; 1.0 |] [| 1.0; 2.0; 3.0 |])
+
+let test_distances () =
+  feq "euclidean" 5.0 (Stats.euclidean_distance [| 0.0; 0.0 |] [| 3.0; 4.0 |]);
+  feq "chebyshev" 4.0 (Stats.chebyshev_distance [| 0.0; 0.0 |] [| 3.0; 4.0 |])
+
+let test_distance_mismatch () =
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Stats.euclidean_distance: length mismatch") (fun () ->
+      ignore (Stats.euclidean_distance [| 1.0 |] [| 1.0; 2.0 |]))
+
+(* Property tests *)
+
+let float_array = QCheck2.Gen.(array_size (int_range 1 40) (float_range (-1e6) 1e6))
+
+let prop_mean_bounded =
+  QCheck2.Test.make ~name:"mean between min and max" ~count:200 float_array
+    (fun a ->
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-6 && m <= Stats.max a +. 1e-6)
+
+let prop_normalize_range =
+  QCheck2.Test.make ~name:"normalize lands in [0,1]" ~count:200 float_array
+    (fun a ->
+      Array.for_all (fun v -> v >= -1e-9 && v <= 1.0 +. 1e-9) (Stats.normalize a))
+
+let prop_histogram_total =
+  QCheck2.Test.make ~name:"histogram preserves count" ~count:200 float_array
+    (fun a ->
+      let h = Stats.histogram ~buckets:7 ~lo:(-1e6) ~hi:1e6 a in
+      Array.fold_left ( + ) 0 h = Array.length a)
+
+let prop_variance_nonneg =
+  QCheck2.Test.make ~name:"variance nonnegative" ~count:200 float_array
+    (fun a -> Stats.variance a >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "mean single" `Quick test_mean_single;
+    Alcotest.test_case "mean empty" `Quick test_mean_empty;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "variance short" `Quick test_variance_short;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min max" `Quick test_min_max;
+    Alcotest.test_case "median odd" `Quick test_median_odd;
+    Alcotest.test_case "median even" `Quick test_median_even;
+    Alcotest.test_case "percentile endpoints" `Quick test_percentile_endpoints;
+    Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
+    Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "normalize constant" `Quick test_normalize_constant;
+    Alcotest.test_case "rescale" `Quick test_rescale;
+    Alcotest.test_case "histogram counts" `Quick test_histogram_counts;
+    Alcotest.test_case "histogram clamps" `Quick test_histogram_clamps;
+    Alcotest.test_case "histogram fractions" `Quick test_histogram_fractions;
+    Alcotest.test_case "histogram invalid" `Quick test_histogram_invalid;
+    Alcotest.test_case "pearson perfect" `Quick test_pearson_perfect;
+    Alcotest.test_case "pearson constant" `Quick test_pearson_constant;
+    Alcotest.test_case "distances" `Quick test_distances;
+    Alcotest.test_case "distance mismatch" `Quick test_distance_mismatch;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_mean_bounded; prop_normalize_range; prop_histogram_total; prop_variance_nonneg ]

@@ -1,0 +1,73 @@
+open Harmony_objective
+module Space = Harmony_param.Space
+
+let test_quadratic_minimum () =
+  let obj = Testbed.quadratic_bowl ~dims:2 () in
+  Alcotest.(check (float 1e-9)) "zero at target" 0.0 (obj.Objective.eval [| 50.0; 50.0 |]);
+  Alcotest.(check bool) "positive elsewhere" true (obj.Objective.eval [| 0.0; 0.0 |] > 0.0)
+
+let test_quadratic_custom_target () =
+  let obj = Testbed.quadratic_bowl ~dims:2 ~target:[| 10.0; 20.0 |] () in
+  Alcotest.(check (float 1e-9)) "zero at custom" 0.0 (obj.Objective.eval [| 10.0; 20.0 |])
+
+let test_quadratic_bad_target () =
+  Alcotest.check_raises "arity" (Invalid_argument "Testbed.quadratic_bowl: target arity")
+    (fun () -> ignore (Testbed.quadratic_bowl ~dims:2 ~target:[| 1.0 |] ()))
+
+let test_rosenbrock_minimum () =
+  let obj = Testbed.rosenbrock ~dims:2 () in
+  Alcotest.(check (float 1e-9)) "zero at (1,1)" 0.0 (obj.Objective.eval [| 1.0; 1.0 |]);
+  Alcotest.(check bool) "grid contains optimum" true
+    (Space.is_valid obj.Objective.space (Space.snap obj.Objective.space [| 1.0; 1.0 |]))
+
+let test_rastrigin_minimum () =
+  let obj = Testbed.rastrigin ~dims:3 () in
+  Alcotest.(check (float 1e-9)) "zero at origin" 0.0 (obj.Objective.eval [| 0.0; 0.0; 0.0 |]);
+  Alcotest.(check bool) "multimodal" true (obj.Objective.eval [| 0.08; 0.0; 0.0 |] > 0.0)
+
+let test_interior_peak () =
+  let obj = Testbed.interior_peak ~dims:2 () in
+  Alcotest.(check (float 1e-9)) "peak value" 100.0 (obj.Objective.eval [| 60.0; 60.0 |]);
+  Alcotest.(check bool) "boundary lower" true
+    (obj.Objective.eval [| 0.0; 0.0 |] < 60.0);
+  Alcotest.(check bool) "higher is better" true
+    (obj.Objective.direction = Objective.Higher_is_better)
+
+let test_step_plateau_levels () =
+  let obj = Testbed.step_plateau ~dims:1 () in
+  Alcotest.(check (float 1e-9)) "same plateau" (obj.Objective.eval [| 41.0 |])
+    (obj.Objective.eval [| 59.0 |]);
+  Alcotest.(check bool) "middle beats edge" true
+    (obj.Objective.eval [| 50.0 |] > obj.Objective.eval [| 5.0 |])
+
+let test_with_irrelevant () =
+  let obj = Testbed.quadratic_bowl ~dims:3 () in
+  let masked = Testbed.with_irrelevant obj [ 1 ] in
+  (* Coordinate 1 no longer matters... *)
+  Alcotest.(check (float 1e-9))
+    "irrelevant ignored"
+    (masked.Objective.eval [| 50.0; 0.0; 50.0 |])
+    (masked.Objective.eval [| 50.0; 99.0; 50.0 |]);
+  (* ...but the others still do. *)
+  Alcotest.(check bool) "others matter" true
+    (masked.Objective.eval [| 0.0; 0.0; 50.0 |]
+    <> masked.Objective.eval [| 50.0; 0.0; 50.0 |])
+
+let test_with_irrelevant_bad_index () =
+  let obj = Testbed.quadratic_bowl ~dims:2 () in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Testbed.with_irrelevant: index out of range") (fun () ->
+      ignore (Testbed.with_irrelevant obj [ 5 ]))
+
+let suite =
+  [
+    Alcotest.test_case "quadratic minimum" `Quick test_quadratic_minimum;
+    Alcotest.test_case "quadratic custom target" `Quick test_quadratic_custom_target;
+    Alcotest.test_case "quadratic bad target" `Quick test_quadratic_bad_target;
+    Alcotest.test_case "rosenbrock minimum" `Quick test_rosenbrock_minimum;
+    Alcotest.test_case "rastrigin minimum" `Quick test_rastrigin_minimum;
+    Alcotest.test_case "interior peak" `Quick test_interior_peak;
+    Alcotest.test_case "step plateau" `Quick test_step_plateau_levels;
+    Alcotest.test_case "with irrelevant" `Quick test_with_irrelevant;
+    Alcotest.test_case "with irrelevant bad index" `Quick test_with_irrelevant_bad_index;
+  ]

@@ -1,0 +1,175 @@
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+
+let peak = Testbed.interior_peak ~dims:3 ()
+
+let test_tune_finds_peak () =
+  let o = Tuner.tune peak in
+  Alcotest.(check bool) "near 100" true (o.Tuner.best_performance > 99.0);
+  Alcotest.(check bool) "trace non-empty" true (o.Tuner.trace <> []);
+  Alcotest.(check int) "trace length = evaluations" o.Tuner.evaluations
+    (List.length o.Tuner.trace)
+
+let test_best_is_best_of_trace () =
+  let o = Tuner.tune peak in
+  let best_measured =
+    List.fold_left
+      (fun acc e -> Float.max acc e.Recorder.performance)
+      neg_infinity o.Tuner.trace
+  in
+  Alcotest.(check (float 1e-9)) "reports the best measurement" best_measured
+    o.Tuner.best_performance
+
+let test_best_config_matches_performance () =
+  let o = Tuner.tune peak in
+  Alcotest.(check (float 1e-9))
+    "config re-evaluates to the reported value" o.Tuner.best_performance
+    (peak.Objective.eval o.Tuner.best_config)
+
+let test_original_options_use_extremes () =
+  Alcotest.(check bool) "extremes" true
+    (Tuner.original_options.Tuner.init = Simplex.Init.Extremes);
+  Alcotest.(check bool) "spread by default" true
+    (Tuner.default_options.Tuner.init = Simplex.Init.Spread)
+
+let test_improved_init_starts_better () =
+  (* The whole point of Section 4.1: the first measurements of the
+     spread init are far better than the extreme corners. *)
+  let first_k o k =
+    List.filteri (fun i _ -> i < k) o.Tuner.trace
+    |> List.map (fun e -> e.Recorder.performance)
+  in
+  let orig = Tuner.tune ~options:Tuner.original_options peak in
+  let impr = Tuner.tune peak in
+  let mean l = List.fold_left ( +. ) 0.0 l /. float_of_int (List.length l) in
+  Alcotest.(check bool) "spread init starts higher" true
+    (mean (first_k impr 4) > mean (first_k orig 4))
+
+let test_trace_csv () =
+  let o = Tuner.tune ~options:{ Tuner.default_options with Tuner.max_evaluations = 20 } peak in
+  let csv = Tuner.trace_csv peak.Objective.space o in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check string) "header" "iteration,p0,p1,p2,performance" header;
+      Alcotest.(check int) "one row per measurement" (List.length o.Tuner.trace)
+        (List.length rows);
+      List.iter
+        (fun row ->
+          Alcotest.(check int) "five fields" 5
+            (List.length (String.split_on_char ',' row)))
+        rows
+  | [] -> Alcotest.fail "empty csv");
+  (* First measurement round-trips. *)
+  match (lines, o.Tuner.trace) with
+  | _ :: first_row :: _, first_entry :: _ ->
+      let fields = String.split_on_char ',' first_row in
+      Alcotest.(check (float 0.01)) "performance field"
+        first_entry.Recorder.performance
+        (float_of_string (List.nth fields 4))
+  | _ -> Alcotest.fail "missing rows"
+
+(* --------------------------------------------------------------- *)
+(* Metrics                                                          *)
+
+let space1 = Space.create [ Param.int_range ~name:"x" ~lo:0 ~hi:10 ~default:0 () ]
+let obj_up = Objective.create ~space:space1 ~direction:Objective.Higher_is_better (fun c -> c.(0))
+
+let outcome_of_performances perfs =
+  let trace =
+    List.mapi
+      (fun i p -> { Recorder.index = i; config = [| 0.0 |]; performance = p })
+      perfs
+  in
+  let best = List.fold_left Float.max neg_infinity perfs in
+  {
+    Tuner.best_config = [| 0.0 |];
+    best_performance = best;
+    trace;
+    evaluations = List.length perfs;
+    converged = true;
+  }
+
+let test_metrics_convergence () =
+  let o = outcome_of_performances [ 10.0; 50.0; 96.0; 80.0; 100.0 ] in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  (* Best-so-far: 10, 50, 96, 96, 100; within 5% of 100 from index 2. *)
+  Alcotest.(check int) "convergence at 3rd measurement" 3
+    m.Tuner.Metrics.convergence_iteration;
+  Alcotest.(check (float 1e-9)) "performance" 100.0 m.Tuner.Metrics.performance
+
+let test_metrics_with_reference () =
+  let o = outcome_of_performances [ 10.0; 50.0; 96.0; 80.0; 100.0 ] in
+  let m = Tuner.Metrics.of_outcome ~reference:50.0 obj_up o in
+  Alcotest.(check int) "reaches 95% of 50 at 2nd" 2 m.Tuner.Metrics.convergence_iteration
+
+let test_metrics_worst_in_window () =
+  let o = outcome_of_performances [ 30.0; 5.0; 96.0; 1.0; 100.0 ] in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  (* Window is the pre-convergence prefix [30; 5; 96]: worst is 5, not
+     the later 1. *)
+  Alcotest.(check (float 1e-9)) "worst in oscillation stage" 5.0
+    m.Tuner.Metrics.worst_performance
+
+let test_metrics_bad_iterations () =
+  let o = outcome_of_performances [ 10.0; 90.0; 70.0; 100.0 ] in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  (* Threshold 0.8 * 100: 10 and 70 are bad. *)
+  Alcotest.(check int) "bad count" 2 m.Tuner.Metrics.bad_iterations
+
+let test_metrics_settling () =
+  let o = outcome_of_performances [ 10.0; 90.0; 85.0; 90.2; 89.0 ] in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  (* Last >0.5% improvement of the incumbent is 10 -> 90 at index 1;
+     90 -> 90.2 is only 0.2%. *)
+  Alcotest.(check int) "settles at 2" 2 m.Tuner.Metrics.settling_iteration
+
+let test_metrics_initial_window_stats () =
+  let o = outcome_of_performances [ 10.0; 30.0; 100.0 ] in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  Alcotest.(check int) "converges at 3" 3 m.Tuner.Metrics.convergence_iteration;
+  Alcotest.(check (float 1e-9)) "window mean" (140.0 /. 3.0) m.Tuner.Metrics.initial_mean;
+  Alcotest.(check bool) "window stddev positive" true (m.Tuner.Metrics.initial_stddev > 0.0)
+
+let test_metrics_lower_is_better () =
+  let obj_down =
+    Objective.create ~space:space1 ~direction:Objective.Lower_is_better (fun c -> c.(0))
+  in
+  let trace = [ 100.0; 20.0; 10.0 ] in
+  let o =
+    { (outcome_of_performances trace) with Tuner.best_performance = 10.0 }
+  in
+  let m = Tuner.Metrics.of_outcome obj_down o in
+  Alcotest.(check (float 1e-9)) "worst is the largest" 100.0
+    m.Tuner.Metrics.worst_performance;
+  (* 100 > 10/0.8 = 12.5 and 20 > 12.5: both bad. *)
+  Alcotest.(check int) "bad iterations" 2 m.Tuner.Metrics.bad_iterations
+
+let test_metrics_empty_trace () =
+  let o =
+    { Tuner.best_config = [| 0.0 |]; best_performance = 5.0; trace = [];
+      evaluations = 0; converged = false }
+  in
+  let m = Tuner.Metrics.of_outcome obj_up o in
+  Alcotest.(check int) "zero convergence" 0 m.Tuner.Metrics.convergence_iteration;
+  Alcotest.(check int) "zero bad" 0 m.Tuner.Metrics.bad_iterations
+
+let suite =
+  [
+    Alcotest.test_case "tune finds peak" `Quick test_tune_finds_peak;
+    Alcotest.test_case "best is best of trace" `Quick test_best_is_best_of_trace;
+    Alcotest.test_case "best config consistent" `Quick test_best_config_matches_performance;
+    Alcotest.test_case "option presets" `Quick test_original_options_use_extremes;
+    Alcotest.test_case "improved init starts better" `Quick test_improved_init_starts_better;
+    Alcotest.test_case "trace csv" `Quick test_trace_csv;
+    Alcotest.test_case "metrics convergence" `Quick test_metrics_convergence;
+    Alcotest.test_case "metrics reference" `Quick test_metrics_with_reference;
+    Alcotest.test_case "metrics worst in window" `Quick test_metrics_worst_in_window;
+    Alcotest.test_case "metrics bad iterations" `Quick test_metrics_bad_iterations;
+    Alcotest.test_case "metrics settling" `Quick test_metrics_settling;
+    Alcotest.test_case "metrics initial window" `Quick test_metrics_initial_window_stats;
+    Alcotest.test_case "metrics lower is better" `Quick test_metrics_lower_is_better;
+    Alcotest.test_case "metrics empty trace" `Quick test_metrics_empty_trace;
+  ]
