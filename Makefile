@@ -1,17 +1,23 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench experiments examples clean
+.PHONY: all build test bench bench-quick experiments examples clean
 
 all: build
 
 build:
 	dune build @all
 
+# Includes the parallel-engine determinism test (registry tables at 1
+# vs 4 domains must be byte-identical).
 test:
 	dune runtest
 
 bench:
 	dune exec bench/main.exe
+
+# Reproduction + ablations only; skips the Bechamel micro-benchmarks.
+bench-quick:
+	BENCH_QUICK=1 dune exec bench/main.exe
 
 experiments:
 	dune exec bin/harmony_cli.exe -- experiment all

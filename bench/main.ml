@@ -9,7 +9,9 @@
       (how long regenerating each costs) plus the hot kernels.
 
    Run with: dune exec bench/main.exe
-   Skip the micro-benchmarks (fast CI mode): BENCH_QUICK=1 dune exec bench/main.exe *)
+   Skip the micro-benchmarks (fast CI mode): BENCH_QUICK=1 dune exec bench/main.exe
+   Evaluation domains (parallel parts): HARMONY_JOBS=N (default: the
+   runtime's recommended domain count) *)
 
 open Bechamel
 open Toolkit
@@ -21,43 +23,56 @@ module Rng = Harmony_numerics.Rng
 module Space = Harmony_param.Space
 module Rsl = Harmony_param.Rsl
 module Report = Harmony_experiments.Report
+module Pool = Harmony_parallel.Pool
+
+let jobs =
+  match Sys.getenv_opt "HARMONY_JOBS" with
+  | Some s -> (try max 1 (int_of_string s) with _ -> Pool.default_domains ())
+  | None -> Pool.default_domains ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures                              *)
 
-let reproduction () =
+let reproduction pool =
   Format.printf "@.############ Reproduction: every table and figure ############@.@.";
-  Harmony_experiments.Registry.run_all Format.std_formatter
+  Harmony_experiments.Registry.run_all ~pool Format.std_formatter
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: ablations                                                   *)
 
-(* 2a. Initial-simplex strategies on the web-service model. *)
-let ablation_init () =
-  let rows =
+(* 2a. Initial-simplex strategies on the web-service model.  Each
+   (workload, init) arm builds its own objective and tuner, so the
+   arms fan out across the pool without changing any number. *)
+let ablation_init pool =
+  let arms =
     List.concat_map
-      (fun (mix_label, mix) ->
+      (fun mix ->
         List.map
-          (fun (init_label, init) ->
-            let obj = Ws.Model.objective ~mix () in
-            let options =
-              { Tuner.default_options with Tuner.init; max_evaluations = 150 }
-            in
-            let o = Tuner.tune ~options obj in
-            let m = Tuner.Metrics.of_outcome ~convergence_fraction:0.02 obj o in
-            [
-              mix_label; init_label;
-              Report.f1 m.Tuner.Metrics.performance;
-              string_of_int m.Tuner.Metrics.convergence_iteration;
-              Report.f1 m.Tuner.Metrics.worst_performance;
-              string_of_int m.Tuner.Metrics.bad_iterations;
-            ])
+          (fun init -> (mix, init))
           [
             ("extremes", Simplex.Init.Extremes);
             ("spread", Simplex.Init.Spread);
             ("around-default", Simplex.Init.Around_default 0.25);
           ])
       [ ("shopping", Ws.Tpcw.shopping); ("ordering", Ws.Tpcw.ordering) ]
+  in
+  let rows =
+    Pool.map pool
+      (fun ((mix_label, mix), (init_label, init)) ->
+        let obj = Ws.Model.objective ~mix () in
+        let options =
+          { Tuner.default_options with Tuner.init; max_evaluations = 150 }
+        in
+        let o = Tuner.tune ~options obj in
+        let m = Tuner.Metrics.of_outcome ~convergence_fraction:0.02 obj o in
+        [
+          mix_label; init_label;
+          Report.f1 m.Tuner.Metrics.performance;
+          string_of_int m.Tuner.Metrics.convergence_iteration;
+          Report.f1 m.Tuner.Metrics.worst_performance;
+          string_of_int m.Tuner.Metrics.bad_iterations;
+        ])
+      arms
   in
   Report.make ~id:"ablation-init" ~title:"Initial-simplex strategy (150-eval budget)"
     ~columns:[ "workload"; "init"; "WIPS"; "convergence"; "worst WIPS"; "bad iters" ]
@@ -165,8 +180,9 @@ let ablation_classifier () =
     rows
 
 (* 2d. Sensitivity repeats under measurement noise: how well the
-   noisy rankings recover the noise-free top-5. *)
-let ablation_sensitivity_repeats () =
+   noisy rankings recover the noise-free top-5.  Every seed arm
+   creates its own noise RNG, so the arms are pool-safe. *)
+let ablation_sensitivity_repeats pool =
   let g = Generator.synthetic_webservice () in
   let clean = Generator.objective g ~workload:Generator.shopping_mix in
   let truth = Sensitivity.analyze clean in
@@ -192,7 +208,7 @@ let ablation_sensitivity_repeats () =
       in
       List.length (List.filter (fun i -> List.mem i top_true) top)
     in
-    let total = List.fold_left (fun acc seed -> acc + one seed) 0 seeds in
+    let total = List.fold_left ( + ) 0 (Pool.map pool one seeds) in
     float_of_int total /. float_of_int (List.length seeds)
   in
   let rows =
@@ -218,13 +234,52 @@ ranking loss under heavy noise is dominated by max-min selection bias";
       ]
     rows
 
-let ablations () =
+(* 2e. The parallel evaluation engine itself: wall clock of the full
+   experiment registry at increasing domain counts.  Output is
+   byte-identical at every width (the determinism test in test/
+   asserts it); only the wall clock moves. *)
+let ablation_parallel () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    ignore (f ());
+    Unix.gettimeofday () -. t0
+  in
+  let baseline = ref 1.0 in
+  let rows =
+    List.map
+      (fun domains ->
+        let dt =
+          time (fun () ->
+              Pool.with_pool ~domains (fun pool ->
+                  Harmony_experiments.Registry.tables ~pool ()))
+        in
+        if domains = 1 then baseline := dt;
+        [
+          string_of_int domains;
+          Printf.sprintf "%.2f" dt;
+          Printf.sprintf "%.2fx" (!baseline /. dt);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Report.make ~id:"ablation-parallel"
+    ~title:"Registry wall clock vs evaluation domains (experiment all)"
+    ~columns:[ "domains"; "wall clock (s)"; "speedup" ]
+    ~notes:
+      [
+        Printf.sprintf "host parallelism: Domain.recommended_domain_count = %d"
+          (Pool.default_domains ());
+        "speedup saturates at min(domains, cores, 11 experiments); the longest \
+single experiment bounds the critical path";
+      ]
+    rows
+
+let ablations pool =
   Format.printf "@.############ Ablations ############@.@.";
   List.iter
     (fun t -> Report.print Format.std_formatter t)
     [
-      ablation_init (); ablation_estimator (); ablation_classifier ();
-      ablation_sensitivity_repeats ();
+      ablation_init pool; ablation_estimator (); ablation_classifier ();
+      ablation_sensitivity_repeats pool; ablation_parallel ();
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -386,7 +441,8 @@ let microbenchmarks () =
   run_benchmarks kernel_tests
 
 let () =
-  reproduction ();
-  ablations ();
+  Pool.with_pool ~domains:jobs (fun pool ->
+      reproduction pool;
+      ablations pool);
   if Sys.getenv_opt "BENCH_QUICK" = None then microbenchmarks ()
   else Format.printf "@.(BENCH_QUICK set: micro-benchmarks skipped)@."

@@ -13,6 +13,7 @@ open Harmony_objective
 module Rng = Harmony_numerics.Rng
 module Ws = Harmony_webservice
 module Generator = Harmony_datagen.Generator
+module Pool = Harmony_parallel.Pool
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -40,7 +41,27 @@ let noise_arg =
   let doc = "Uniform measurement perturbation level (e.g. 0.05 for 5%)." in
   Arg.(value & opt float 0.0 & info [ "noise" ] ~docv:"LEVEL" ~doc)
 
-let objective_of ~system ~mix ~seed ~noise =
+let jobs_arg =
+  let doc =
+    "Evaluation domains for parallelizable work (1 = today's sequential \
+     path).  Defaults to the runtime's recommended domain count.  Output is \
+     byte-identical at every job count."
+  in
+  Arg.(
+    value
+    & opt int (Pool.default_domains ())
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let memo_arg =
+  let doc =
+    "Memoize measurements per configuration: a revisited grid point returns \
+     its recorded value instead of re-measuring.  The memo table sits under \
+     the noise layer, so noise (if any) stays live; hit/miss counters are \
+     printed afterwards."
+  in
+  Arg.(value & flag & info [ "memo" ] ~doc)
+
+let objective_of ~system ~mix ~seed ~noise ?(memo = false) () =
   let base =
     match system with
     | "model" -> Ws.Model.objective ~mix:(Ws.Tpcw.mix_of_label mix) ()
@@ -56,8 +77,18 @@ let objective_of ~system ~mix ~seed ~noise =
         Generator.objective g ~workload
     | other -> invalid_arg ("unknown system: " ^ other)
   in
+  (* Cache below, noise on top: the ordering Objective.cached enforces
+     for live noise. *)
+  let base = if memo then Objective.cached base else base in
   if noise > 0.0 then Objective.with_noise (Rng.create seed) ~level:noise base
   else base
+
+let print_memo_stats objective =
+  match Objective.stats objective with
+  | None -> ()
+  | Some s ->
+      Format.printf "memo:              %d hits / %d misses (%d requests)@."
+        s.Objective.hits s.Objective.misses s.Objective.evals
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -67,15 +98,19 @@ let experiment_cmd =
     let doc = "Experiment id (fig4..fig10, table1, table2, headline) or 'all'." in
     Arg.(value & pos 0 string "all" & info [] ~docv:"ID" ~doc)
   in
-  let run id =
-    if id = "all" then begin
-      Harmony_experiments.Registry.run_all Format.std_formatter;
+  let run id jobs =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else if id = "all" then begin
+      Pool.with_pool ~domains:jobs (fun pool ->
+          Harmony_experiments.Registry.run_all ~pool Format.std_formatter);
       `Ok ()
     end
     else
       match Harmony_experiments.Registry.find id with
       | Some f ->
-          Harmony_experiments.Report.print Format.std_formatter (f ());
+          Pool.with_pool ~domains:jobs (fun pool ->
+              Harmony_experiments.Report.print Format.std_formatter
+                (f (Some pool)));
           `Ok ()
       | None ->
           `Error
@@ -84,7 +119,7 @@ let experiment_cmd =
                 (String.concat ", " Harmony_experiments.Registry.ids) )
   in
   let doc = "Regenerate the paper's tables and figures." in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id_arg))
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(ret (const run $ id_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* tune                                                                *)
@@ -102,8 +137,8 @@ let tune_cmd =
     let doc = "Write the tuning trace (one measurement per line) to FILE." in
     Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
   in
-  let run system mix budget seed noise init top_n trace_csv =
-    match objective_of ~system ~mix ~seed ~noise with
+  let run system mix budget seed noise memo init top_n trace_csv =
+    match objective_of ~system ~mix ~seed ~noise ~memo () with
     | exception Invalid_argument msg -> `Error (false, msg)
     | objective ->
         let init =
@@ -137,6 +172,7 @@ let tune_cmd =
                 Out_channel.output_string oc
                   (Tuner.trace_csv tuned_space r.Session.outcome));
             Format.printf "trace written to   %s@." file);
+        print_memo_stats objective;
         `Ok ()
   in
   let doc = "Tune a built-in system with Active Harmony." in
@@ -144,7 +180,7 @@ let tune_cmd =
     Term.(
       ret
         (const run $ system_arg $ mix_arg $ budget_arg $ seed_arg $ noise_arg
-       $ init_arg $ top_n_arg $ trace_csv_arg))
+       $ memo_arg $ init_arg $ top_n_arg $ trace_csv_arg))
 
 (* ------------------------------------------------------------------ *)
 (* prioritize                                                          *)
@@ -154,18 +190,27 @@ let prioritize_cmd =
     let doc = "Measurements per sweep point (averaged)." in
     Arg.(value & opt int 1 & info [ "repeats" ] ~docv:"K" ~doc)
   in
-  let run system mix seed noise repeats =
-    match objective_of ~system ~mix ~seed ~noise with
-    | exception Invalid_argument msg -> `Error (false, msg)
-    | objective ->
-        let report = Sensitivity.analyze ~repeats objective in
-        Format.printf "%a" Sensitivity.pp report;
-        Format.printf "total evaluations: %d@." (Sensitivity.evaluations report);
-        `Ok ()
+  let run system mix seed noise memo repeats jobs =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else
+      match objective_of ~system ~mix ~seed ~noise ~memo () with
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | objective ->
+          let report =
+            Pool.with_pool ~domains:jobs (fun pool ->
+                Sensitivity.analyze ~pool ~repeats objective)
+          in
+          Format.printf "%a" Sensitivity.pp report;
+          Format.printf "total evaluations: %d@." (Sensitivity.evaluations report);
+          print_memo_stats objective;
+          `Ok ()
   in
   let doc = "Rank parameters by performance sensitivity (the prioritizing tool)." in
   Cmd.v (Cmd.info "prioritize" ~doc)
-    Term.(ret (const run $ system_arg $ mix_arg $ seed_arg $ noise_arg $ repeats_arg))
+    Term.(
+      ret
+        (const run $ system_arg $ mix_arg $ seed_arg $ noise_arg $ memo_arg
+       $ repeats_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* rsl                                                                 *)
@@ -220,7 +265,7 @@ let factorial_cmd =
     Arg.(value & opt string "pb" & info [ "design" ] ~docv:"DESIGN" ~doc)
   in
   let run system mix seed noise design =
-    match objective_of ~system ~mix ~seed ~noise with
+    match objective_of ~system ~mix ~seed ~noise () with
     | exception Invalid_argument msg -> `Error (false, msg)
     | objective -> (
         let effects =

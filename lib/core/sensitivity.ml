@@ -13,15 +13,18 @@ type score = {
 type report = { scores : score array }
 
 (* Evenly subsample [count] indices out of [0 .. n-1], endpoints
-   included. *)
+   included.  [count <= 1] degenerates to the first index alone (a
+   one-point "sweep"); anything else would divide by [count - 1]. *)
 let subsample n count =
-  if count >= n then Array.init n Fun.id
+  if n <= 0 then [||]
+  else if count >= n then Array.init n Fun.id
+  else if count <= 1 then [| 0 |]
   else
     Array.init count (fun i ->
         let f = float_of_int i /. float_of_int (count - 1) in
         int_of_float (Float.round (f *. float_of_int (n - 1))))
 
-let analyze ?(max_points = 16) ?(repeats = 1) obj =
+let analyze ?pool ?(max_points = 16) ?(repeats = 1) obj =
   if max_points < 2 then invalid_arg "Sensitivity.analyze: max_points < 2";
   if repeats < 1 then invalid_arg "Sensitivity.analyze: repeats < 1";
   let space = obj.Objective.space in
@@ -62,7 +65,21 @@ let analyze ?(max_points = 16) ?(repeats = 1) obj =
       evaluations = Array.length values * repeats;
     }
   in
-  { scores = Array.init (Space.dims space) score_param }
+  let indices = Array.init (Space.dims space) Fun.id in
+  let scores =
+    (* One task per parameter: the one-at-a-time sweeps touch disjoint
+       configurations and share no mutable state, so fanning them
+       across domains preserves the sequential result exactly —
+       provided the objective itself is deterministic.  A noisy
+       objective draws from one shared stream, and the draw order then
+       depends on scheduling: keep such analyses on the sequential
+       path (or freeze the noise with [Objective.cached]). *)
+    match pool with
+    | Some pool when not (Objective.noisy obj) ->
+        Harmony_parallel.Pool.map_array pool score_param indices
+    | _ -> Array.map score_param indices
+  in
+  { scores }
 
 let ranked report =
   let scores = Array.copy report.scores in

@@ -27,13 +27,30 @@ type score = {
 
 type report = { scores : score array (** in parameter order *) }
 
-val analyze : ?max_points:int -> ?repeats:int -> Objective.t -> report
+val subsample : int -> int -> int array
+(** [subsample n count] picks [count] evenly spaced indices out of
+    [0 .. n-1], endpoints included ([count >= n] returns them all;
+    [count <= 1] returns index 0 alone — a one-point sweep, never a
+    division by zero). *)
+
+val analyze :
+  ?pool:Harmony_parallel.Pool.t ->
+  ?max_points:int ->
+  ?repeats:int ->
+  Objective.t ->
+  report
 (** One-at-a-time sweep of every parameter.  Parameters with more
     than [max_points] (default 16) grid values are subsampled evenly
     (endpoints always included).  [repeats] (default 1) measures each
     sweep point several times and averages — an extension beyond the
     paper that damps the max-min estimator's noise amplification on
-    noisy systems (ablated in the benches). *)
+    noisy systems (ablated in the benches).
+
+    [pool] fans the per-parameter sweeps out across domains — they
+    are independent by construction, so the report is identical to
+    the sequential one.  Objectives marked {!Objective.noisy} ignore
+    [pool] and stay sequential: their shared noise stream would make
+    the draw order (and hence the scores) depend on scheduling. *)
 
 val ranked : report -> score array
 (** Scores sorted by decreasing sensitivity (ties by parameter

@@ -25,7 +25,7 @@ let workload_at base drift d =
 
 let euclidean = Harmony_numerics.Stats.euclidean_distance
 
-let run ?(seed = 42) ?(distances = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]) () =
+let run ?pool ?(seed = 42) ?(distances = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]) () =
   let g = Generator.synthetic_webservice ~seed () in
   let current = Generator.shopping_mix in
   let objective_for w = Generator.objective g ~workload:w in
@@ -51,10 +51,25 @@ let run ?(seed = 42) ?(distances = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]) () =
       m.Tuner.Metrics.convergence_iteration,
       m.Tuner.Metrics.performance )
   in
-  let point d =
-    let arms = Array.map (fun drift -> arm drift d) drifts in
-    let k = float_of_int (Array.length arms) in
-    let sum f = Array.fold_left (fun acc a -> acc +. f a) 0.0 arms in
+  (* Every (drift, distance) arm records and replays its own history
+     against its own objectives, so the 35 arms are independent: the
+     longest experiment of the registry fans out across the pool
+     (nested submission — the registry may already be running this
+     whole experiment as a pool task). *)
+  let tasks =
+    List.concat_map
+      (fun d -> Array.to_list (Array.map (fun drift -> (drift, d)) drifts))
+      distances
+  in
+  let run_arm (drift, d) = arm drift d in
+  let arms =
+    match pool with
+    | Some pool -> Harmony_parallel.Pool.map pool run_arm tasks
+    | None -> List.map run_arm tasks
+  in
+  let point _d arms =
+    let k = float_of_int (List.length arms) in
+    let sum f = List.fold_left (fun acc a -> acc +. f a) 0.0 arms in
     {
       distance = sum (fun (dist, _, _) -> dist) /. k;
       tuning_time =
@@ -63,14 +78,28 @@ let run ?(seed = 42) ?(distances = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]) () =
       performance = sum (fun (_, _, p) -> p) /. k;
     }
   in
+  (* [arms] preserves task order: one chunk of [Array.length drifts]
+     consecutive results per distance. *)
+  let rec chunks n = function
+    | [] -> []
+    | arms ->
+        let rec take k acc rest =
+          if k = 0 then (List.rev acc, rest)
+          else match rest with
+            | [] -> (List.rev acc, [])
+            | x :: tl -> take (k - 1) (x :: acc) tl
+        in
+        let mine, theirs = take n [] arms in
+        mine :: chunks n theirs
+  in
   {
-    points = List.map point distances;
+    points = List.map2 point distances (chunks (Array.length drifts) arms);
     cold_time = cold_m.Tuner.Metrics.convergence_iteration;
     cold_performance = cold_m.Tuner.Metrics.performance;
   }
 
-let table ?seed () =
-  let r = run ?seed () in
+let table ?pool ?seed () =
+  let r = run ?pool ?seed () in
   let rows =
     List.map
       (fun p ->

@@ -20,8 +20,15 @@ type result = {
   cold_performance : float;
 }
 
-val run : ?seed:int -> ?distances:float list -> unit -> result
+val run :
+  ?pool:Harmony_parallel.Pool.t ->
+  ?seed:int ->
+  ?distances:float list ->
+  unit ->
+  result
 (** Distances default to 0.0, 0.1 ... 0.6 in normalized
-    characteristic space (the paper's x-axis 0..6 rescaled). *)
+    characteristic space (the paper's x-axis 0..6 rescaled).  [pool]
+    fans the independent (drift, distance) arms out across domains;
+    the result is identical to the sequential one. *)
 
-val table : ?seed:int -> unit -> Report.table
+val table : ?pool:Harmony_parallel.Pool.t -> ?seed:int -> unit -> Report.table

@@ -1,36 +1,40 @@
+(* Runners take the pool (or [None] for the sequential path): most
+   experiments are single tasks, but long ones (fig7) fan their own
+   independent arms out through it — nested submission, which the pool
+   supports — so the critical path is not one monolithic experiment. *)
 let all =
   [
     ( "fig4",
       "performance distribution: web service vs synthetic data",
-      fun () -> Fig4.table () );
+      fun _pool -> Fig4.table () );
     ( "fig5",
       "synthetic-data parameter sensitivity under perturbation",
-      fun () -> Fig5.table () );
+      fun _pool -> Fig5.table () );
     ( "fig6",
       "tuning the n most sensitive synthetic parameters",
-      fun () -> Fig6.table () );
+      fun _pool -> Fig6.table () );
     ( "fig7",
       "tuning with experiences at increasing workload distance",
-      fun () -> Fig7.table () );
-    ("fig8", "web-service parameter sensitivity", fun () -> Fig8.table ());
+      fun pool -> Fig7.table ?pool () );
+    ("fig8", "web-service parameter sensitivity", fun _pool -> Fig8.table ());
     ( "fig9",
       "tuning the n most sensitive web-service parameters",
-      fun () -> Fig9.table () );
+      fun _pool -> Fig9.table () );
     ( "table1",
       "improved search refinement (original vs improved init)",
-      fun () -> Table1.table () );
+      fun _pool -> Table1.table () );
     ( "table2",
       "tuning with and without prior histories",
-      fun () -> Table2.table () );
+      fun _pool -> Table2.table () );
     ( "fig10",
       "search-space reduction by parameter restriction",
-      fun () -> Fig10.table () );
+      fun _pool -> Fig10.table () );
     ( "restriction",
       "tuning with vs without parameter restriction",
-      fun () -> Restriction.table () );
+      fun _pool -> Restriction.table () );
     ( "headline",
       "35-50% reduction of the initial unstable stage",
-      fun () -> Headline.table () );
+      fun _pool -> Headline.table () );
   ]
 
 let ids = List.map (fun (id, _, _) -> id) all
@@ -38,5 +42,16 @@ let ids = List.map (fun (id, _, _) -> id) all
 let find id =
   List.find_map (fun (id', _, f) -> if id = id' then Some f else None) all
 
-let run_all ppf =
-  List.iter (fun (_, _, f) -> Report.print ppf (f ())) all
+(* Each experiment constructs its own objectives and RNGs from fixed
+   seeds, so the runners share no mutable state and can execute on any
+   domain: the tables are identical however they are scheduled.  Only
+   the printing is ordered — always in paper order. *)
+let tables ?pool () =
+  let run (id, _, f) = (id, f pool) in
+  match pool with
+  | Some pool when Harmony_parallel.Pool.size pool > 1 ->
+      Harmony_parallel.Pool.map pool run all
+  | _ -> List.map run all
+
+let run_all ?pool ppf =
+  List.iter (fun (_, table) -> Report.print ppf table) (tables ?pool ())

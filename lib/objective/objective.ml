@@ -3,13 +3,18 @@ module Rng = Harmony_numerics.Rng
 
 type direction = Higher_is_better | Lower_is_better
 
+type stats = { hits : int; misses : int; evals : int }
+
 type t = {
   space : Space.t;
   direction : direction;
   eval : Space.config -> float;
+  noisy : bool;
+  stats : (unit -> stats) option;
 }
 
-let create ~space ~direction eval = { space; direction; eval }
+let create ~space ~direction eval =
+  { space; direction; eval; noisy = false; stats = None }
 
 let better t a b =
   match t.direction with
@@ -30,27 +35,59 @@ let worst_of t values =
 
 let eval_default t = t.eval (Space.defaults t.space)
 
+let noisy t = t.noisy
+let stats t = match t.stats with None -> None | Some get -> Some (get ())
+
 let with_noise rng ~level t =
   if level < 0.0 then invalid_arg "Objective.with_noise: negative level";
-  { t with eval = (fun c -> Rng.perturb rng level (t.eval c)) }
+  { t with eval = (fun c -> Rng.perturb rng level (t.eval c)); noisy = true }
 
 let with_snap t = { t with eval = (fun c -> t.eval (Space.snap t.space c)) }
 
-let with_cache t =
+(* The counters are mutable internals; [stats] hands out immutable
+   snapshots. *)
+type counters = { mutable c_hits : int; mutable c_misses : int }
+
+let cached ?(freeze_noise = false) t =
+  if t.noisy && not freeze_noise then
+    invalid_arg
+      "Objective.cached: objective carries measurement noise; memoizing would \
+       silently freeze the first draw of every configuration.  Either cache \
+       the deterministic objective and apply with_noise on top, or pass \
+       ~freeze_noise:true to freeze draws on purpose (cache-after-noise)";
   let table = Hashtbl.create 256 in
-  let key c =
-    String.concat "," (Array.to_list (Array.map (Printf.sprintf "%.17g") c))
-  in
+  let counters = { c_hits = 0; c_misses = 0 } in
+  (* One lock guards both the table and the counters, and stays held
+     across the underlying measurement: two domains racing on the same
+     un-measured configuration must not both measure it (under frozen
+     noise they would record different draws and break determinism).
+     The cost is that concurrent evaluations of a cached objective
+     serialize — parallelize across objectives, not inside one. *)
+  let lock = Mutex.create () in
   let eval c =
-    let k = key c in
-    match Hashtbl.find_opt table k with
-    | Some v -> v
-    | None ->
-        let v = t.eval c in
-        Hashtbl.add table k v;
-        v
+    Mutex.protect lock (fun () ->
+        let k = Space.config_key c in
+        match Hashtbl.find_opt table k with
+        | Some v ->
+            counters.c_hits <- counters.c_hits + 1;
+            v
+        | None ->
+            counters.c_misses <- counters.c_misses + 1;
+            let v = t.eval c in
+            Hashtbl.add table k v;
+            v)
   in
-  { t with eval }
+  let get () =
+    Mutex.protect lock (fun () ->
+        {
+          hits = counters.c_hits;
+          misses = counters.c_misses;
+          evals = counters.c_hits + counters.c_misses;
+        })
+  in
+  { t with eval; stats = Some get }
+
+let with_cache t = cached ~freeze_noise:true t
 
 let negate t =
   let direction =

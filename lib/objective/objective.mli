@@ -11,10 +11,19 @@ open Harmony_param
 
 type direction = Higher_is_better | Lower_is_better
 
+type stats = {
+  hits : int;    (** evaluations answered from the memo table *)
+  misses : int;  (** evaluations that reached the underlying objective *)
+  evals : int;   (** total evaluation requests, [hits + misses] *)
+}
+(** Counters of a [cached] objective (immutable snapshot). *)
+
 type t = {
   space : Space.t;
   direction : direction;
   eval : Space.config -> float;
+  noisy : bool;  (** [with_noise] was applied somewhere in the stack *)
+  stats : (unit -> stats) option;  (** set by [cached]; use {!stats} *)
 }
 
 val create : space:Space.t -> direction:direction -> (Space.config -> float) -> t
@@ -31,22 +40,45 @@ val worst_of : t -> float array -> float
 val eval_default : t -> float
 (** Evaluate the all-defaults configuration. *)
 
+val noisy : t -> bool
+(** Whether [with_noise] was applied at any layer. *)
+
+val stats : t -> stats option
+(** Memo counters when the objective (or an objective it was derived
+    from with [with_*] combinators) is [cached]; [None] otherwise. *)
+
 val with_noise : Harmony_numerics.Rng.t -> level:float -> t -> t
 (** [with_noise rng ~level t] multiplies every measurement by a factor
     uniform in [1-level, 1+level] — the paper's run-to-run
-    perturbation (Section 5.2, 0% to +/-25%). *)
+    perturbation (Section 5.2, 0% to +/-25%).  Marks the objective
+    {!noisy}. *)
 
 val with_snap : t -> t
 (** Snap configurations onto the grid before evaluating; makes an
     objective total over continuous proposals. *)
 
-val with_cache : t -> t
-(** Memoize measurements per configuration: a repeated configuration
-    returns its recorded value instead of re-measuring.  This is the
-    paper's "save time by not retrying all those configurations again"
-    within one execution; it also freezes noise, so noisy objectives
-    become repeatable.  Unbounded cache — intended for tuning-scale
+val cached : ?freeze_noise:bool -> t -> t
+(** Memoize measurements per configuration (key: {!Space.config_key},
+    so bit-identical configurations — which grid-snapped proposals
+    are — share an entry).  Repeated configurations return their
+    recorded value instead of re-measuring: the paper's "save time by
+    not retrying all those configurations again" within one execution.
+    Counters are exposed through {!stats}.  Thread-safe: concurrent
+    evaluations from pool domains serialize on the memo table so the
+    same configuration is never measured twice.
+
+    Ordering with respect to noise is explicit, never silent:
+    memoizing a {!noisy} objective freezes the first random draw of
+    every configuration, so [cached] raises [Invalid_argument] on a
+    noisy objective unless [~freeze_noise:true] acknowledges the
+    freeze (cache-after-noise).  To keep noise live, cache the
+    deterministic objective first and apply [with_noise] on top
+    (noise-after-cache).  Unbounded table — intended for tuning-scale
     evaluation counts. *)
+
+val with_cache : t -> t
+(** [cached ~freeze_noise:true] — the historical name.  Prefer
+    {!cached}, which refuses to freeze noise silently. *)
 
 val negate : t -> t
 (** Flip the direction by negating measurements (useful for reusing

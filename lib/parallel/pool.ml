@@ -1,0 +1,107 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;  (* new tasks queued, or the pool is closing *)
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let default_domains () = Domain.recommended_domain_count ()
+
+(* Worker domains block on [work] until a task (or shutdown) arrives.
+   Tasks never raise: submission wraps them in per-task capture. *)
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.mutex;
+    while Queue.is_empty t.queue && not t.closed do
+      Condition.wait t.work t.mutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some task ->
+        Mutex.unlock t.mutex;
+        task ();
+        loop ()
+    | None ->
+        (* closed and drained *)
+        Mutex.unlock t.mutex
+  in
+  loop ()
+
+let create ~domains =
+  if domains < 1 then invalid_arg "Pool.create: domains < 1";
+  let t =
+    {
+      size = domains;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let size t = t.size
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  let workers = t.workers in
+  t.workers <- [];
+  Mutex.unlock t.mutex;
+  List.iter Domain.join workers
+
+let with_pool ~domains f =
+  let t = create ~domains in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let sequential_try f a = Array.map (fun x -> try Ok (f x) with e -> Error e) a
+
+let try_map_array t f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else if t.size = 1 || n = 1 then sequential_try f a
+  else begin
+    (* Results land by input index, so ordering is independent of
+       scheduling.  [pending] and [results] are only touched under the
+       pool mutex; the submitting domain helps drain the queue (which
+       also makes nested submissions from inside tasks deadlock-free)
+       and sleeps on [finished] only when all its tasks are already
+       running elsewhere. *)
+    let results = Array.make n None in
+    let pending = ref n in
+    let finished = Condition.create () in
+    let task i () =
+      let r = try Ok (f a.(i)) with e -> Error e in
+      Mutex.lock t.mutex;
+      results.(i) <- Some r;
+      decr pending;
+      if !pending = 0 then Condition.broadcast finished;
+      Mutex.unlock t.mutex
+    in
+    Mutex.lock t.mutex;
+    for i = 0 to n - 1 do
+      Queue.push (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    while !pending > 0 do
+      match Queue.take_opt t.queue with
+      | Some job ->
+          Mutex.unlock t.mutex;
+          job ();
+          Mutex.lock t.mutex
+      | None -> Condition.wait finished t.mutex
+    done;
+    Mutex.unlock t.mutex;
+    Array.map (function Some r -> r | None -> assert false) results
+  end
+
+let map_array t f a =
+  let results = try_map_array t f a in
+  Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+  Array.map (function Ok v -> v | Error _ -> assert false) results
+
+let map t f xs = Array.to_list (map_array t f (Array.of_list xs))

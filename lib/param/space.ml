@@ -113,6 +113,11 @@ let enumerate t =
 let distance t a b =
   Harmony_numerics.Stats.euclidean_distance (normalize t a) (normalize t b)
 
+let config_key c =
+  let b = Bytes.create (8 * Array.length c) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (8 * i) (Int64.bits_of_float v)) c;
+  Bytes.unsafe_to_string b
+
 let config_equal a b =
   Array.length a = Array.length b
   && begin

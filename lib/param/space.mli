@@ -54,6 +54,12 @@ val enumerate : t -> config Seq.t
 val distance : t -> config -> config -> float
 (** Euclidean distance in normalized coordinates. *)
 
+val config_key : config -> string
+(** Compact hashable key: the exact bit pattern of every coordinate.
+    Two configurations share a key iff they are bit-identical, which
+    grid-snapped configurations produced by the same [Param] always
+    are — the memo key for [Objective.cached]. *)
+
 val config_equal : config -> config -> bool
 (** Coordinate-wise equality within 1e-9. *)
 

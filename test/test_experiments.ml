@@ -196,7 +196,7 @@ let test_headline_band () =
 
 let test_all_tables_render () =
   List.iter
-    (fun (_, _, f) -> check_table (f ()))
+    (fun (_, _, f) -> check_table (f None))
     Registry.all
 
 let suite =

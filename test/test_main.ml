@@ -10,6 +10,7 @@ let () =
       ("rsl", Test_rsl.suite);
       ("enum", Test_enum.suite);
       ("objective", Test_objective.suite);
+      ("parallel", Test_parallel.suite);
       ("recorder", Test_recorder.suite);
       ("testbed", Test_testbed.suite);
       ("rules", Test_rules.suite);

@@ -63,6 +63,74 @@ let test_with_cache_freezes_noise () =
     (cached.Objective.eval [| 8.0 |])
     (cached.Objective.eval [| 8.0 |])
 
+let counted_objective () =
+  let count = ref 0 in
+  let obj =
+    Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+        incr count;
+        c.(0))
+  in
+  (count, obj)
+
+let check_stats label obj ~hits ~misses =
+  match Objective.stats obj with
+  | None -> Alcotest.fail (label ^ ": expected stats on a cached objective")
+  | Some s ->
+      Alcotest.(check int) (label ^ " hits") hits s.Objective.hits;
+      Alcotest.(check int) (label ^ " misses") misses s.Objective.misses;
+      Alcotest.(check int) (label ^ " evals") (hits + misses) s.Objective.evals
+
+let test_cached_counters () =
+  let count, counted = counted_objective () in
+  let cached = Objective.cached counted in
+  check_stats "fresh" cached ~hits:0 ~misses:0;
+  Alcotest.(check (float 1e-12)) "first" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check (float 1e-12)) "repeat" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check (float 1e-12)) "other" 5.0 (cached.Objective.eval [| 5.0 |]);
+  Alcotest.(check (float 1e-12)) "repeat other" 5.0 (cached.Objective.eval [| 5.0 |]);
+  Alcotest.(check int) "two real measurements" 2 !count;
+  check_stats "after four evals" cached ~hits:2 ~misses:2
+
+let test_cached_rejects_noisy () =
+  let noisy = Objective.with_noise (Rng.create 1) ~level:0.25 higher in
+  Alcotest.(check bool) "marked noisy" true (Objective.noisy noisy);
+  Alcotest.(check bool) "raises" true
+    (match Objective.cached noisy with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_cached_freeze_noise_explicit () =
+  let noisy = Objective.with_noise (Rng.create 1) ~level:0.25 higher in
+  let cached = Objective.cached ~freeze_noise:true noisy in
+  Alcotest.(check (float 1e-12)) "frozen draw repeats"
+    (cached.Objective.eval [| 8.0 |])
+    (cached.Objective.eval [| 8.0 |]);
+  check_stats "one miss one hit" cached ~hits:1 ~misses:1
+
+let test_noise_after_cache_stays_live () =
+  (* The enforced ordering for live noise: memoize the deterministic
+     base, perturb on top.  Draws differ but the base is measured
+     once. *)
+  let count, counted = counted_objective () in
+  let cached = Objective.cached counted in
+  let noisy = Objective.with_noise (Rng.create 7) ~level:0.25 cached in
+  let a = noisy.Objective.eval [| 8.0 |] in
+  let b = noisy.Objective.eval [| 8.0 |] in
+  Alcotest.(check bool) "noise still live" true (a <> b);
+  Alcotest.(check int) "base measured once" 1 !count;
+  check_stats "cache hit under live noise" noisy ~hits:1 ~misses:1
+
+let test_cached_under_snap () =
+  (* Snap-then-cache: off-grid proposals that land on the same grid
+     point share one memo entry.  (Cache-then-snap would key on the
+     raw proposal and re-measure each variant.) *)
+  let count, counted = counted_objective () in
+  let snapped = Objective.with_snap (Objective.cached counted) in
+  Alcotest.(check (float 1e-12)) "snapped eval" 7.0 (snapped.Objective.eval [| 7.4 |]);
+  Alcotest.(check (float 1e-12)) "same grid point" 7.0 (snapped.Objective.eval [| 6.8 |]);
+  Alcotest.(check int) "one real measurement" 1 !count;
+  check_stats "off-grid variants share the entry" snapped ~hits:1 ~misses:1
+
 let test_negate () =
   let neg = Objective.negate higher in
   Alcotest.(check bool) "direction flipped" true
@@ -84,5 +152,10 @@ let suite =
     Alcotest.test_case "with snap" `Quick test_with_snap;
     Alcotest.test_case "with cache" `Quick test_with_cache;
     Alcotest.test_case "cache freezes noise" `Quick test_with_cache_freezes_noise;
+    Alcotest.test_case "cached counters" `Quick test_cached_counters;
+    Alcotest.test_case "cached rejects noisy" `Quick test_cached_rejects_noisy;
+    Alcotest.test_case "freeze noise explicit" `Quick test_cached_freeze_noise_explicit;
+    Alcotest.test_case "noise after cache live" `Quick test_noise_after_cache_stays_live;
+    Alcotest.test_case "cached under snap" `Quick test_cached_under_snap;
     Alcotest.test_case "negate" `Quick test_negate;
   ]

@@ -96,6 +96,48 @@ let test_invalid_args () =
   Alcotest.check_raises "repeats" (Invalid_argument "Sensitivity.analyze: repeats < 1")
     (fun () -> ignore (Sensitivity.analyze ~repeats:0 linear))
 
+let test_subsample () =
+  Alcotest.(check (array int)) "all when count >= n" [| 0; 1; 2 |]
+    (Sensitivity.subsample 3 5);
+  Alcotest.(check (array int)) "endpoints included" [| 0; 5; 10 |]
+    (Sensitivity.subsample 11 3);
+  (* The former division-by-zero cases. *)
+  Alcotest.(check (array int)) "count = 1" [| 0 |] (Sensitivity.subsample 11 1);
+  Alcotest.(check (array int)) "count = 0" [| 0 |] (Sensitivity.subsample 11 0);
+  Alcotest.(check (array int)) "n = 0" [||] (Sensitivity.subsample 0 4)
+
+let test_pool_matches_sequential () =
+  let sequential = Sensitivity.analyze linear in
+  let parallel =
+    Harmony_parallel.Pool.with_pool ~domains:4 (fun pool ->
+        Sensitivity.analyze ~pool linear)
+  in
+  Array.iteri
+    (fun i s ->
+      let p = parallel.Sensitivity.scores.(i) in
+      Alcotest.(check string) "name" s.Sensitivity.name p.Sensitivity.name;
+      Alcotest.(check (float 0.0)) "sensitivity identical"
+        s.Sensitivity.sensitivity p.Sensitivity.sensitivity;
+      Alcotest.(check (float 0.0)) "best identical"
+        s.Sensitivity.best_value p.Sensitivity.best_value)
+    sequential.Sensitivity.scores
+
+let test_pool_noisy_stays_sequential () =
+  (* A noisy objective draws from one shared stream: analyze must
+     ignore the pool and reproduce the sequential draw order. *)
+  let noisy () = Objective.with_noise (Rng.create 11) ~level:0.25 linear in
+  let sequential = Sensitivity.analyze (noisy ()) in
+  let parallel =
+    Harmony_parallel.Pool.with_pool ~domains:4 (fun pool ->
+        Sensitivity.analyze ~pool (noisy ()))
+  in
+  Array.iteri
+    (fun i s ->
+      Alcotest.(check (float 0.0)) "same draws"
+        s.Sensitivity.sensitivity
+        parallel.Sensitivity.scores.(i).Sensitivity.sensitivity)
+    sequential.Sensitivity.scores
+
 let test_datagen_irrelevant_zero () =
   (* End-to-end: the paper's Section 5.2 check — the tool gives the
      generated irrelevant parameters exactly zero sensitivity. *)
@@ -129,5 +171,8 @@ let suite =
     Alcotest.test_case "repeats average noise" `Quick test_repeats_average_noise;
     Alcotest.test_case "normalization comparable" `Quick test_normalization_comparable;
     Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "subsample" `Quick test_subsample;
+    Alcotest.test_case "pool matches sequential" `Quick test_pool_matches_sequential;
+    Alcotest.test_case "pool noisy stays sequential" `Quick test_pool_noisy_stays_sequential;
     Alcotest.test_case "datagen irrelevant zero" `Quick test_datagen_irrelevant_zero;
   ]
