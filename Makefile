@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test bench bench-quick experiments examples clean
+.PHONY: all build test test-fast bench bench-quick experiments examples clean
 
 all: build
 
@@ -10,6 +10,11 @@ build:
 # Includes the parallel-engine determinism test (registry tables at 1
 # vs 4 domains must be byte-identical).
 test:
+	dune runtest
+
+# What CI runs: a full build plus the unit/property suite.
+test-fast:
+	dune build @all
 	dune runtest
 
 bench:

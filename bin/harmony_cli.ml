@@ -52,6 +52,34 @@ let jobs_arg =
     & opt int (Pool.default_domains ())
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let faults_arg =
+  let doc =
+    "Inject measurement faults at RATE with an optional injection SEED \
+     (default 1): transients at RATE, outliers at RATE/2, timeouts at \
+     RATE/4, persistently broken configurations at RATE/8.  Enables the \
+     fault-tolerant measurement policy (retry with capped backoff, \
+     median-of-k re-measurement, MAD outlier rejection, worst-case \
+     penalties for measurements that stay broken)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"RATE[,SEED]" ~doc)
+
+let parse_faults = function
+  | None -> Ok None
+  | Some text -> (
+      let rate, seed =
+        match String.split_on_char ',' text with
+        | [ rate ] -> (rate, Some "1")
+        | [ rate; seed ] -> (rate, Some seed)
+        | _ -> (text, None)
+      in
+      match (float_of_string_opt rate, Option.map int_of_string_opt seed) with
+      | Some rate, Some (Some seed) when rate >= 0.0 && rate <= 1.0 ->
+          Ok (Some (rate, seed))
+      | _ -> Error ("cannot parse --faults " ^ text ^ " (want RATE[,SEED])"))
+
 let memo_arg =
   let doc =
     "Memoize measurements per configuration: a revisited grid point returns \
@@ -137,16 +165,29 @@ let tune_cmd =
     let doc = "Write the tuning trace (one measurement per line) to FILE." in
     Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
   in
-  let run system mix budget seed noise memo init top_n trace_csv =
-    match objective_of ~system ~mix ~seed ~noise ~memo () with
+  let run system mix budget seed noise memo faults init top_n trace_csv =
+    match (objective_of ~system ~mix ~seed ~noise ~memo (), parse_faults faults) with
     | exception Invalid_argument msg -> `Error (false, msg)
-    | objective ->
+    | _, Error msg -> `Error (false, msg)
+    | objective, Ok faults ->
+        let objective, measure =
+          match faults with
+          | None -> (objective, None)
+          | Some (rate, fault_seed) ->
+              ( Objective.with_faults
+                  ~rates:(Objective.fault_profile rate)
+                  ~seed:fault_seed objective,
+                Some Measure.default_policy )
+        in
         let init =
           match init with
           | "extremes" -> Simplex.Init.Extremes
           | _ -> Simplex.Init.Spread
         in
-        let options = { Tuner.default_options with Tuner.init; max_evaluations = budget } in
+        let options =
+          { Tuner.default_options with Tuner.init; max_evaluations = budget;
+            measure }
+        in
         let session = Session.create ~objective ~options () in
         let r = Session.tune ?top_n session in
         let space = objective.Objective.space in
@@ -172,6 +213,11 @@ let tune_cmd =
                 Out_channel.output_string oc
                   (Tuner.trace_csv tuned_space r.Session.outcome));
             Format.printf "trace written to   %s@." file);
+        (match r.Session.outcome.Tuner.measurement with
+        | None -> ()
+        | Some s ->
+            Format.printf "measurement:       %a@." Measure.pp_summary s;
+            Format.printf "degraded:          %b@." r.Session.degraded);
         print_memo_stats objective;
         `Ok ()
   in
@@ -180,7 +226,7 @@ let tune_cmd =
     Term.(
       ret
         (const run $ system_arg $ mix_arg $ budget_arg $ seed_arg $ noise_arg
-       $ memo_arg $ init_arg $ top_n_arg $ trace_csv_arg))
+       $ memo_arg $ faults_arg $ init_arg $ top_n_arg $ trace_csv_arg))
 
 (* ------------------------------------------------------------------ *)
 (* prioritize                                                          *)
@@ -342,7 +388,7 @@ let serve_cmd =
     in
     Format.printf
       "harmony tuning server: 'register min|max' + RSL lines + blank line, then \
-       'query' / 'report <perf>' / 'quit'@.";
+       'query' / 'report <perf>' / 'report failed' / 'quit'@.";
     loop ();
     `Ok ()
   in

@@ -7,6 +7,7 @@ type message =
   | Register of { spec : string; direction : direction }
   | Query
   | Report of float
+  | Report_failed
 
 type reply =
   | Assign of (string * int) list
@@ -17,15 +18,37 @@ type session = {
   rsl : Rsl.t;
   names : string list;
   controller : Controller.t;
+  direction : Objective.direction;
   mutable outstanding : (string * int) list option;
       (* assignment awaiting its performance report *)
+  mutable outstanding_failures : int;
+      (* consecutive [report failed] for the outstanding assignment *)
+  mutable failed_reports : int;
+  mutable penalized : int;
 }
 
-type t = { options : Simplex.options; mutable session : session option }
+type t = {
+  options : Simplex.options;
+  max_report_failures : int;
+  mutable session : session option;
+}
 
-let create ?(options = Simplex.default_options) () = { options; session = None }
+let create ?(options = Simplex.default_options) ?(max_report_failures = 3) () =
+  if max_report_failures < 1 then
+    invalid_arg "Server.create: max_report_failures < 1";
+  { options; max_report_failures; session = None }
 
 let spec t = Option.map (fun s -> s.rsl) t.session
+
+let fault_counters t =
+  match t.session with
+  | None -> (0, 0)
+  | Some s -> (s.failed_reports, s.penalized)
+
+let better direction a b =
+  match direction with
+  | Objective.Higher_is_better -> a > b
+  | Objective.Lower_is_better -> a < b
 
 let assignment_of_config session config =
   (* Proposals come from the box space; project into the restricted
@@ -43,16 +66,27 @@ let next_reply session =
   | `Measure config ->
       let assignment = assignment_of_config session config in
       session.outstanding <- Some assignment;
+      session.outstanding_failures <- 0;
       Assign assignment
   | `Done outcome ->
       session.outstanding <- None;
-      Done
-        {
-          best = assignment_of_config session outcome.Simplex.best_config;
-          performance = outcome.Simplex.best_performance;
-        }
+      session.outstanding_failures <- 0;
+      (* Graceful degradation: if the budget ran out while later
+         vertices kept failing (their penalized measurements drag the
+         simplex's notion of "best" down), fall back to the best
+         configuration a client actually measured. *)
+      let best_config, performance =
+        match Controller.best_so_far session.controller with
+        | Some (config, perf)
+          when better session.direction perf outcome.Simplex.best_performance
+          ->
+            (config, perf)
+        | Some _ | None ->
+            (outcome.Simplex.best_config, outcome.Simplex.best_performance)
+      in
+      Done { best = assignment_of_config session best_config; performance }
 
-let handle t message =
+let handle_message t message =
   match (message, t.session) with
   | Register { spec; direction }, _ -> (
       match Rsl.parse spec with
@@ -66,11 +100,26 @@ let handle t message =
                 | Minimize -> Objective.Lower_is_better
                 | Maximize -> Objective.Higher_is_better
               in
-              let controller =
-                Controller.create ~options:t.options ~space ~direction ()
-              in
+              (* A structurally valid spec can still be untunable —
+                 e.g. a single feasible point gives the search kernel a
+                 degenerate initial simplex.  [handle] is total: such
+                 specs are rejected, never raised (the fuzz suite
+                 drives this with arbitrary generated specs). *)
+              match Controller.create ~options:t.options ~space ~direction () with
+              | exception Invalid_argument msg ->
+                  Rejected ("untunable specification: " ^ msg)
+              | controller ->
               let session =
-                { rsl; names = Rsl.names rsl; controller; outstanding = None }
+                {
+                  rsl;
+                  names = Rsl.names rsl;
+                  controller;
+                  direction;
+                  outstanding = None;
+                  outstanding_failures = 0;
+                  failed_reports = 0;
+                  penalized = 0;
+                }
               in
               t.session <- Some session;
               next_reply session))
@@ -80,16 +129,58 @@ let handle t message =
       match session.outstanding with
       | Some assignment -> Assign assignment
       | None -> next_reply session)
-  | Report _, None -> Rejected "no specification registered"
+  | Report _, None | Report_failed, None ->
+      Rejected "no specification registered"
   | Report performance, Some session -> (
       match session.outstanding with
       | None -> Rejected "no assignment outstanding"
       | Some _ ->
           session.outstanding <- None;
+          session.outstanding_failures <- 0;
           (match Controller.pending session.controller with
           | `Measure _ -> Controller.report session.controller performance
           | `Done _ -> ());
           next_reply session)
+  | Report_failed, Some session -> (
+      match session.outstanding with
+      | None -> Rejected "no assignment outstanding"
+      | Some assignment ->
+          session.failed_reports <- session.failed_reports + 1;
+          session.outstanding_failures <- session.outstanding_failures + 1;
+          if session.outstanding_failures < t.max_report_failures then
+            (* Re-assign: the client retries the same configuration
+               (transient failures clear; the client applies its own
+               backoff between attempts). *)
+            Assign assignment
+          else begin
+            (* The configuration stays broken: feed the controller a
+               worst-case penalty so the search moves away from it, and
+               hand out the next proposal. *)
+            session.penalized <- session.penalized + 1;
+            session.outstanding <- None;
+            session.outstanding_failures <- 0;
+            (match Controller.pending session.controller with
+            | `Measure _ ->
+                Controller.report session.controller
+                  (Measure.penalty_for session.direction)
+            | `Done _ -> ());
+            next_reply session
+          end)
+
+(* [handle] is total.  A registered spec can defeat the search kernel
+   only after tuning has started — a space degenerate in one dimension
+   snaps every initial vertex onto the same hyperplane, which
+   Simplex.optimize detects after the initial vertices are measured,
+   i.e. inside [Controller.report].  The kernel is unusable from that
+   point, so the session is aborted: the client gets [Rejected] and
+   must re-register (the fuzz suite drives this with arbitrary
+   generated specs). *)
+let handle t message =
+  match handle_message t message with
+  | reply -> reply
+  | exception Invalid_argument msg ->
+      t.session <- None;
+      Rejected ("session aborted: " ^ msg)
 
 (* ------------------------------------------------------------------ *)
 (* Line codec                                                          *)
@@ -107,6 +198,7 @@ let parse_message text =
   | None -> (
       match String.split_on_char ' ' text with
       | [ "query" ] -> Ok Query
+      | [ "report"; "failed" ] -> Ok Report_failed
       | [ "report"; value ] -> (
           match float_of_string_opt value with
           | Some v -> Ok (Report v)

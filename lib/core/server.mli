@@ -15,9 +15,19 @@
       { harmonyBundle B ... }
       query                     assign B=3 C=4
       report 42.5               assign B=4 C=2
+      report failed             assign B=4 C=2   (re-assigned: retry it)
       report 57.0               ... eventually:
       query                     done B=4 C=2 perf=57.0
-    v} *)
+    v}
+
+    Fault tolerance: a client whose trial run failed sends
+    [report failed].  The server re-assigns the same configuration up
+    to [max_report_failures - 1] times (the client retries with its
+    own backoff); a configuration that stays broken is fed to the
+    controller as a worst-case penalty so the search moves away from
+    it, and when the budget runs out mid-faults the final [Done]
+    degrades gracefully to the best configuration a client actually
+    measured. *)
 
 open Harmony_param
 
@@ -28,6 +38,9 @@ type message =
       (** RSL text; restarts the server's session *)
   | Query  (** what configuration should I run? *)
   | Report of float  (** performance of the last assigned configuration *)
+  | Report_failed
+      (** the last assigned configuration could not be measured (crash,
+          timeout, invalid configuration) *)
 
 type reply =
   | Assign of (string * int) list  (** bundle name, value — in spec order *)
@@ -36,22 +49,40 @@ type reply =
 
 type t
 
-val create : ?options:Simplex.options -> unit -> t
+val create :
+  ?options:Simplex.options -> ?max_report_failures:int -> unit -> t
 (** A server with no registered client yet.  [options] bounds each
-    session's search (budget, tolerance, initial simplex). *)
+    session's search (budget, tolerance, initial simplex).
+    [max_report_failures] (default 3, must be >= 1) is how many
+    consecutive [Report_failed] a configuration gets before it is
+    penalized as worst-case and the search moves on.
+    @raise Invalid_argument when [max_report_failures < 1]. *)
 
 val handle : t -> message -> reply
-(** Process one message.  [Query] before [Register], or [Report]
-    without an outstanding assignment, yields [Rejected].  Every
-    assignment is feasible under the registered restrictions
-    (box proposals are projected with {!Rsl.repair}). *)
+(** Process one message.  [Query] before [Register], or
+    [Report]/[Report_failed] without an outstanding assignment, yields
+    [Rejected]; so does registering a spec that parses but cannot be
+    tuned (e.g. a single feasible configuration — a degenerate initial
+    simplex).  [handle] never raises: if the search kernel fails
+    mid-session (a spec degenerate in one dimension is only detected
+    once the initial vertices are measured), the session is aborted,
+    the message is [Rejected], and the client must re-register.  Every
+    assignment is feasible under the registered restrictions (box
+    proposals are projected with {!Rsl.repair}). *)
 
 val spec : t -> Rsl.t option
 (** The currently registered specification, if any. *)
 
+val fault_counters : t -> int * int
+(** [(failed_reports, penalized)] for the current session:
+    [Report_failed] messages received, and configurations written off
+    as worst-case after exhausting their re-assignments.  [(0, 0)]
+    when nothing is registered. *)
+
 val parse_message : string -> (message, string) result
 (** Parse the text form: ["register min|max\n<rsl...>"], ["query"],
-    ["report <float>"]. *)
+    ["report <float>"], ["report failed"].  Total: never raises, even
+    on arbitrary bytes (fuzzed in the property suite). *)
 
 val reply_to_string : reply -> string
 (** ["assign B=3 C=4"], ["done B=4 C=2 perf=57"], ["error <msg>"]. *)

@@ -9,13 +9,19 @@ type t = {
   mutable report : Sensitivity.report option;
 }
 
-let create ~objective ?db ?db_path ?(options = Tuner.default_options) () =
+let create ~objective ?db ?db_path ?(options = Tuner.default_options) ?measure
+    () =
   let db =
     match (db, db_path) with
     | Some _, Some _ -> invalid_arg "Session.create: both db and db_path given"
     | Some db, None -> db
     | None, Some path -> History.load_or_create path
     | None, None -> History.create ()
+  in
+  let options =
+    match measure with
+    | None -> options
+    | Some _ -> { options with Tuner.measure }
   in
   { objective; db; db_path; options; report = None }
 
@@ -40,6 +46,9 @@ type tune_result = {
   tuned_indices : int list;
   used_experience : bool;
   full_best_config : Space.config;
+  degraded : bool;
+  faults : int;
+  retries : int;
 }
 
 let tune ?top_n ?characteristics ?label ?options t =
@@ -79,4 +88,16 @@ let tune ?top_n ?characteristics ?label ?options t =
     | None -> outcome.Tuner.best_config
     | Some sub -> Subspace.embed sub outcome.Tuner.best_config
   in
-  { outcome; tuned_indices; used_experience; full_best_config }
+  let degraded, faults, retries =
+    match outcome.Tuner.measurement with
+    | None -> (false, 0, 0)
+    | Some s ->
+        (* Degraded: some vertex kept failing and was penalized, or the
+           budget ran out while the pipeline was still fighting faults. *)
+        ( s.Measure.give_ups > 0
+          || (s.Measure.faults > 0 && not outcome.Tuner.converged),
+          s.Measure.faults,
+          s.Measure.retries )
+  in
+  { outcome; tuned_indices; used_experience; full_best_config; degraded;
+    faults; retries }

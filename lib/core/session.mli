@@ -23,13 +23,14 @@ type t
 
 val create :
   objective:Objective.t -> ?db:History.t -> ?db_path:string ->
-  ?options:Tuner.options -> unit -> t
+  ?options:Tuner.options -> ?measure:Measure.policy -> unit -> t
 (** A session around an objective.  [db] defaults to a fresh empty
     database; with [db_path] instead, the database is loaded from that
     file when it exists ({!History.load_or_create}) and {!save_database}
     writes it back — experience then persists across executions.
     [options] defaults to {!Tuner.default_options} (improved spread
-    init).
+    init); [measure], when given, overrides [options.measure] and runs
+    every tune through the fault-tolerant measurement pipeline.
     @raise Invalid_argument when both [db] and [db_path] are given. *)
 
 val save_database : t -> unit
@@ -50,6 +51,13 @@ type tune_result = {
   tuned_indices : int list;       (** parameters actually tuned *)
   used_experience : bool;         (** true when history seeded the simplex *)
   full_best_config : Space.config; (** best configuration in the full space *)
+  degraded : bool;  (** measurements kept failing: a vertex was
+                        penalized after exhausting the retry policy, or
+                        the budget ran out mid-faults — the result is
+                        the best-known configuration, not a clean
+                        convergence *)
+  faults : int;     (** faulty readings the measurement pipeline saw *)
+  retries : int;    (** physical re-measurements it spent on them *)
 }
 
 val tune :

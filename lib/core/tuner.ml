@@ -5,10 +5,16 @@ type options = {
   init : Simplex.Init.t;
   max_evaluations : int;
   tolerance : float;
+  measure : Measure.policy option;
 }
 
 let default_options =
-  { init = Simplex.Init.Spread; max_evaluations = 400; tolerance = 1e-3 }
+  {
+    init = Simplex.Init.Spread;
+    max_evaluations = 400;
+    tolerance = 1e-3;
+    measure = None;
+  }
 
 let original_options = { default_options with init = Simplex.Init.Extremes }
 
@@ -18,10 +24,23 @@ type outcome = {
   trace : Recorder.entry list;
   evaluations : int;
   converged : bool;
+  measurement : Measure.summary option;
 }
 
 let tune ?(options = default_options) obj =
-  let recorder, recorded = Recorder.wrap obj in
+  (* With a measurement policy, every evaluation the kernel requests
+     goes through the fault-tolerant pipeline; a measurement that
+     exhausts the policy evaluates to the worst-case penalty, so the
+     simplex walks away from the failed vertex instead of being
+     poisoned by it. *)
+  let measured, handle =
+    match options.measure with
+    | None -> (obj, None)
+    | Some policy ->
+        let robust, handle = Measure.robust ~policy obj in
+        (robust, Some handle)
+  in
+  let recorder, recorded = Recorder.wrap measured in
   let simplex_options =
     {
       Simplex.init = options.init;
@@ -48,6 +67,7 @@ let tune ?(options = default_options) obj =
     trace;
     evaluations = result.Simplex.evaluations;
     converged = result.Simplex.converged;
+    measurement = Option.map Measure.summary handle;
   }
 
 let trace_csv space outcome =

@@ -14,11 +14,16 @@ type options = {
   init : Simplex.Init.t;
   max_evaluations : int;
   tolerance : float;
+  measure : Measure.policy option;
+      (** when set, every evaluation goes through the fault-tolerant
+          measurement pipeline ({!Measure.robust}): retries with
+          capped backoff, median-of-k vetting, and worst-case
+          penalties for measurements that stay broken *)
 }
 
 val default_options : options
-(** [Spread] init, 400 evaluations, tolerance 1e-3 — mirror of
-    {!Simplex.default_options}. *)
+(** [Spread] init, 400 evaluations, tolerance 1e-3, no measurement
+    policy — mirror of {!Simplex.default_options}. *)
 
 val original_options : options
 (** The pre-improvement Active Harmony behaviour: [Extremes]
@@ -27,9 +32,13 @@ val original_options : options
 type outcome = {
   best_config : Space.config;
   best_performance : float;
-  trace : Recorder.entry list;  (** every measurement, in order *)
+  trace : Recorder.entry list;  (** every vetted measurement, in order;
+                                    a given-up vertex appears with its
+                                    penalty value *)
   evaluations : int;
   converged : bool;
+  measurement : Measure.summary option;
+      (** fault/retry accounting when [options.measure] was set *)
 }
 
 val tune : ?options:options -> Objective.t -> outcome

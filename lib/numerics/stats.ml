@@ -42,6 +42,11 @@ let percentile a p =
 
 let median a = percentile a 50.0
 
+let mad a =
+  require_non_empty "Stats.mad" a;
+  let m = median a in
+  median (Array.map (fun x -> Float.abs (x -. m)) a)
+
 let rescale ~lo ~hi a =
   require_non_empty "Stats.rescale" a;
   let amin = min a and amax = max a in

@@ -24,6 +24,12 @@ val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0, 100], linear interpolation
     between order statistics. Requires a non-empty array. *)
 
+val mad : float array -> float
+(** Median absolute deviation, [median |x_i - median a|]: the robust
+    dispersion estimate behind the measurement pipeline's outlier
+    rejection (a reading is suspect when its distance to the median
+    exceeds a multiple of the MAD).  Requires a non-empty array. *)
+
 val normalize : float array -> float array
 (** Affine rescaling onto [0, 1]; constant arrays map to all zeros. *)
 

@@ -1,0 +1,260 @@
+module Stats = Harmony_numerics.Stats
+
+module Clock = struct
+  type t = { mutable now : float }
+
+  let create ?(now = 0.0) () = { now }
+  let now t = t.now
+  let sleep t d = if d > 0.0 then t.now <- t.now +. d
+end
+
+type policy = {
+  max_attempts : int;
+  backoff_ms : float;
+  backoff_factor : float;
+  backoff_cap_ms : float;
+  samples : int;
+  mad_threshold : float;
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    backoff_ms = 10.0;
+    backoff_factor = 2.0;
+    backoff_cap_ms = 80.0;
+    samples = 3;
+    mad_threshold = 6.0;
+  }
+
+let validate_policy p =
+  if p.max_attempts < 1 then invalid_arg "Measure: max_attempts < 1";
+  if p.samples < 1 then invalid_arg "Measure: samples < 1";
+  if p.backoff_ms < 0.0 then invalid_arg "Measure: negative backoff_ms";
+  if p.backoff_factor < 1.0 then invalid_arg "Measure: backoff_factor < 1";
+  if p.backoff_cap_ms < 0.0 then invalid_arg "Measure: negative backoff_cap_ms";
+  if p.mad_threshold <= 0.0 then invalid_arg "Measure: mad_threshold <= 0"
+
+type failure = {
+  attempts : int;
+  faults : int;
+  last_fault : Objective.fault;
+}
+
+let pp_failure ppf f =
+  Format.fprintf ppf "gave up after %d attempts (%d faults, last: %s)"
+    f.attempts f.faults
+    (Objective.fault_to_string f.last_fault)
+
+type summary = {
+  measurements : int;
+  attempts : int;
+  retries : int;
+  faults : int;
+  give_ups : int;
+  backoff_ms : float;
+}
+
+let no_summary =
+  {
+    measurements = 0;
+    attempts = 0;
+    retries = 0;
+    faults = 0;
+    give_ups = 0;
+    backoff_ms = 0.0;
+  }
+
+let penalty_for = function
+  | Objective.Higher_is_better -> -1e9
+  | Objective.Lower_is_better -> 1e9
+
+(* One logical measurement.  Returns the vetted result plus the
+   (attempts, retries, faults) it cost, so callers can merge the
+   counts into shared counters under their own lock. *)
+let measure_one ~policy ~clock (obj : Objective.t) c =
+  (* A deterministic objective needs one good reading; a noisy one
+     (measurement noise, fault injection) gets the median-of-k
+     treatment so a corrupted reading cannot pass as the truth. *)
+  let wanted = if Objective.noisy obj then policy.samples else 1 in
+  let readings = ref [] in
+  let attempts = ref 0 in
+  let retries = ref 0 in
+  let faults = ref 0 in
+  let last_fault = ref Objective.Transient in
+  let delay = ref policy.backoff_ms in
+  let backoff () =
+    Clock.sleep clock !delay;
+    delay := Float.min policy.backoff_cap_ms (!delay *. policy.backoff_factor)
+  in
+  let aborted = ref false in
+  (* Each of the [wanted] readings has its own retry budget; backoff
+     grows across the whole logical measurement and is capped. *)
+  let rec take_reading budget ~retrying =
+    if budget <= 0 || !aborted then ()
+    else begin
+      incr attempts;
+      if retrying then incr retries;
+      match obj.Objective.eval c with
+      | v when Float.is_finite v -> readings := v :: !readings
+      | _ ->
+          (* The timeout sentinel (or any non-finite reading). *)
+          incr faults;
+          last_fault := Objective.Timeout;
+          if budget > 1 then backoff ();
+          take_reading (budget - 1) ~retrying:true
+      | exception Objective.Measurement_failed Objective.Persistent ->
+          (* Retrying a persistently broken configuration is wasted
+             budget: abort the whole measurement. *)
+          incr faults;
+          last_fault := Objective.Persistent;
+          aborted := true
+      | exception Objective.Measurement_failed kind ->
+          incr faults;
+          last_fault := kind;
+          if budget > 1 then backoff ();
+          take_reading (budget - 1) ~retrying:true
+    end
+  in
+  let take_round () =
+    for _ = 1 to wanted do
+      if not !aborted then take_reading policy.max_attempts ~retrying:false
+    done
+  in
+  (* MAD-based rejection: a reading farther from the median than
+     [mad_threshold] * MAD is an outlier.  When the MAD collapses to
+     zero (a majority of identical readings) any deviating reading is
+     rejected; the epsilon keeps honest float jitter alive.  Returns
+     the kept readings and how many were rejected — rejection counts
+     are charged once, by the caller. *)
+  let vet all =
+    if Array.length all < 3 then (all, 0)
+    else begin
+      let med = Stats.median all in
+      let mad = Stats.mad all in
+      let scale = Float.max mad (1e-9 *. Float.max 1.0 (Float.abs med)) in
+      let kept =
+        Array.of_list
+          (List.filter
+             (fun x -> Float.abs (x -. med) <= policy.mad_threshold *. scale)
+             (Array.to_list all))
+      in
+      let rejected = Array.length all - Array.length kept in
+      ((if Array.length kept = 0 then [| med |] else kept), rejected)
+    end
+  in
+  take_round ();
+  (* A median can be fooled when corrupted readings outnumber honest
+     ones within one round ([v; 8v; 8v]).  Any rejection marks the
+     whole measurement suspect: take one confirmation round and re-vet
+     over everything, so the corrupted minority of the larger sample
+     is voted out. *)
+  let vetted, rejected =
+    let _, first_rejected = vet (Array.of_list !readings) in
+    if first_rejected > 0 && wanted > 1 && not !aborted then take_round ();
+    vet (Array.of_list !readings)
+  in
+  if rejected > 0 then begin
+    faults := !faults + rejected;
+    last_fault := Objective.Outlier
+  end;
+  let result =
+    match !readings with
+    | [] ->
+        Error { attempts = !attempts; faults = !faults; last_fault = !last_fault }
+    | _ -> Ok (Stats.median vetted)
+  in
+  (result, !attempts, !retries, !faults)
+
+let measure ?(policy = default_policy) ?(clock = Clock.create ()) obj c =
+  validate_policy policy;
+  let result, _, _, _ = measure_one ~policy ~clock obj c in
+  result
+
+type counters = {
+  mutable m_measurements : int;
+  mutable m_attempts : int;
+  mutable m_retries : int;
+  mutable m_faults : int;
+  mutable m_give_ups : int;
+}
+
+type handle = {
+  counters : counters;
+  handle_lock : Mutex.t;
+  clock : Clock.t;
+  clock_start : float;
+}
+
+let summary h =
+  Mutex.protect h.handle_lock (fun () ->
+      {
+        measurements = h.counters.m_measurements;
+        attempts = h.counters.m_attempts;
+        retries = h.counters.m_retries;
+        faults = h.counters.m_faults;
+        give_ups = h.counters.m_give_ups;
+        backoff_ms = Clock.now h.clock -. h.clock_start;
+      })
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "%d measurements, %d attempts (%d retries, %d faults, %d give-ups), %.0f ms backoff"
+    s.measurements s.attempts s.retries s.faults s.give_ups s.backoff_ms
+
+let robust ?(policy = default_policy) ?(clock = Clock.create ()) ?penalty
+    (obj : Objective.t) =
+  validate_policy policy;
+  let penalty =
+    Option.value penalty ~default:(penalty_for obj.Objective.direction)
+  in
+  let counters =
+    {
+      m_measurements = 0;
+      m_attempts = 0;
+      m_retries = 0;
+      m_faults = 0;
+      m_give_ups = 0;
+    }
+  in
+  let lock = Mutex.create () in
+  let handle =
+    { counters; handle_lock = lock; clock; clock_start = Clock.now clock }
+  in
+  let eval c =
+    let result, attempts, retries, faults = measure_one ~policy ~clock obj c in
+    Mutex.protect lock (fun () ->
+        counters.m_measurements <- counters.m_measurements + 1;
+        counters.m_attempts <- counters.m_attempts + attempts;
+        counters.m_retries <- counters.m_retries + retries;
+        counters.m_faults <- counters.m_faults + faults;
+        match result with
+        | Ok _ -> ()
+        | Error _ -> counters.m_give_ups <- counters.m_give_ups + 1);
+    match result with Ok v -> v | Error _ -> penalty
+  in
+  let get () =
+    Mutex.protect lock (fun () ->
+        let u =
+          match obj.Objective.stats with
+          | None -> Objective.empty_stats
+          | Some get -> get ()
+        in
+        (* Misses are *physical* measurements: the memo layer below (if
+           any) already reports them; otherwise every attempt this
+           layer made reached the real system. *)
+        let misses =
+          match obj.Objective.stats with
+          | None -> counters.m_attempts
+          | Some _ -> u.Objective.misses
+        in
+        let hits = u.Objective.hits in
+        {
+          Objective.hits;
+          misses;
+          evals = hits + misses;
+          faults = counters.m_faults + u.Objective.faults;
+          retries = counters.m_retries + u.Objective.retries;
+        })
+  in
+  ({ obj with Objective.eval; stats = Some get }, handle)

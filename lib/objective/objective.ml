@@ -3,7 +3,27 @@ module Rng = Harmony_numerics.Rng
 
 type direction = Higher_is_better | Lower_is_better
 
-type stats = { hits : int; misses : int; evals : int }
+type fault = Transient | Persistent | Timeout | Outlier
+
+exception Measurement_failed of fault
+
+let timed_out = Float.nan
+
+let fault_to_string = function
+  | Transient -> "transient"
+  | Persistent -> "persistent"
+  | Timeout -> "timeout"
+  | Outlier -> "outlier"
+
+type stats = {
+  hits : int;
+  misses : int;
+  evals : int;
+  faults : int;
+  retries : int;
+}
+
+let empty_stats = { hits = 0; misses = 0; evals = 0; faults = 0; retries = 0 }
 
 type t = {
   space : Space.t;
@@ -44,6 +64,90 @@ let with_noise rng ~level t =
 
 let with_snap t = { t with eval = (fun c -> t.eval (Space.snap t.space c)) }
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+
+type fault_rates = {
+  transient : float;
+  persistent : float;
+  timeout : float;
+  outlier : float;
+  outlier_magnitude : float;
+}
+
+let no_faults =
+  {
+    transient = 0.0;
+    persistent = 0.0;
+    timeout = 0.0;
+    outlier = 0.0;
+    outlier_magnitude = 8.0;
+  }
+
+let fault_profile rate =
+  if rate < 0.0 || rate > 1.0 then
+    invalid_arg "Objective.fault_profile: rate outside [0, 1]";
+  {
+    transient = rate;
+    persistent = rate /. 8.0;
+    timeout = rate /. 4.0;
+    outlier = rate /. 2.0;
+    outlier_magnitude = 8.0;
+  }
+
+let with_faults ?(rates = fault_profile 0.1) ~seed t =
+  let check name r =
+    if r < 0.0 || r > 1.0 then
+      invalid_arg ("Objective.with_faults: " ^ name ^ " rate outside [0, 1]")
+  in
+  check "transient" rates.transient;
+  check "persistent" rates.persistent;
+  check "timeout" rates.timeout;
+  check "outlier" rates.outlier;
+  if rates.outlier_magnitude <= 0.0 then
+    invalid_arg "Objective.with_faults: outlier_magnitude must be positive";
+  (* Fault decisions are pure functions of (seed, configuration,
+     per-configuration attempt index): re-running the same tuning
+     session replays the same faults bit-for-bit, and independent
+     pool arms with their own [with_faults] objectives stay
+     byte-identical at any domain count.  (Evaluating one faulty
+     objective for the *same* configuration from several domains at
+     once interleaves the attempt counter — give each parallel arm
+     its own objective, the discipline the parallel engine already
+     uses.) *)
+  let attempts : (string, int) Hashtbl.t = Hashtbl.create 256 in
+  let lock = Mutex.create () in
+  let draw key attempt tag =
+    let st = Rng.create (Hashtbl.hash (seed, key, attempt, tag)) in
+    Rng.float st 1.0
+  in
+  let eval c =
+    let key = Space.config_key c in
+    let attempt =
+      Mutex.protect lock (fun () ->
+          let n = Option.value (Hashtbl.find_opt attempts key) ~default:0 in
+          Hashtbl.replace attempts key (n + 1);
+          n)
+    in
+    if draw key (-1) "persistent" < rates.persistent then
+      raise (Measurement_failed Persistent);
+    if draw key attempt "transient" < rates.transient then
+      raise (Measurement_failed Transient);
+    if draw key attempt "timeout" < rates.timeout then timed_out
+    else
+      let v = t.eval c in
+      if draw key attempt "outlier" < rates.outlier then
+        if draw key attempt "outlier-direction" < 0.5 then
+          v *. rates.outlier_magnitude
+        else v /. rates.outlier_magnitude
+      else v
+  in
+  (* A faulty objective is not a deterministic function of the
+     configuration (transients clear on retry), so mark it noisy:
+     [cached] then refuses to freeze a possibly-corrupt first draw
+     unless told to, exactly as for measurement noise. *)
+  { t with eval; noisy = true }
+
 (* The counters are mutable internals; [stats] hands out immutable
    snapshots. *)
 type counters = { mutable c_hits : int; mutable c_misses : int }
@@ -79,10 +183,24 @@ let cached ?(freeze_noise = false) t =
   in
   let get () =
     Mutex.protect lock (fun () ->
+        (* When a measurement layer below also keeps counters (the
+           retrying [Measure.robust] does), its miss count is the
+           number of *physical* measurements — a memo miss that took
+           three attempts really cost three, so the merged record
+           reports the physical count, not the logical one. *)
+        let under =
+          match t.stats with None -> empty_stats | Some get -> get ()
+        in
+        let misses =
+          match t.stats with None -> counters.c_misses | Some _ -> under.misses
+        in
+        let hits = counters.c_hits + under.hits in
         {
-          hits = counters.c_hits;
-          misses = counters.c_misses;
-          evals = counters.c_hits + counters.c_misses;
+          hits;
+          misses;
+          evals = hits + misses;
+          faults = under.faults;
+          retries = under.retries;
         })
   in
   { t with eval; stats = Some get }

@@ -11,12 +11,43 @@ open Harmony_param
 
 type direction = Higher_is_better | Lower_is_better
 
+type fault = Transient | Persistent | Timeout | Outlier
+(** What can go wrong with one physical measurement of a live system:
+    a transient failure (clears on retry), a persistently broken
+    configuration (every attempt fails — BestConfig's "invalid
+    configuration" case), a timed-out run (signalled by the
+    {!timed_out} sentinel value rather than an exception), or a
+    silently corrupted reading (an {!Outlier}, only detectable
+    statistically). *)
+
+exception Measurement_failed of fault
+(** Raised by faulty objectives ({!with_faults}, or any real
+    measurement backend) when an evaluation fails outright.  The
+    {!Measure} policy layer catches it; nothing else should. *)
+
+val timed_out : float
+(** The timeout sentinel ([nan]).  A measurement backend that gives up
+    waiting returns this instead of raising; [Measure] treats any
+    non-finite reading as a {!Timeout} fault. *)
+
+val fault_to_string : fault -> string
+
 type stats = {
   hits : int;    (** evaluations answered from the memo table *)
-  misses : int;  (** evaluations that reached the underlying objective *)
-  evals : int;   (** total evaluation requests, [hits + misses] *)
+  misses : int;  (** {e physical} measurements of the underlying
+                     objective — with a retrying measurement layer,
+                     every re-measurement counts *)
+  evals : int;   (** [hits + misses] *)
+  faults : int;  (** faulty readings observed by the measurement
+                     policy: caught failures, timeouts, rejected
+                     outliers *)
+  retries : int; (** physical attempts beyond the first of each
+                     logical measurement *)
 }
-(** Counters of a [cached] objective (immutable snapshot). *)
+(** Counters of a [cached] and/or [Measure.robust] objective
+    (immutable snapshot). *)
+
+val empty_stats : stats
 
 type t = {
   space : Space.t;
@@ -56,6 +87,45 @@ val with_noise : Harmony_numerics.Rng.t -> level:float -> t -> t
 val with_snap : t -> t
 (** Snap configurations onto the grid before evaluating; makes an
     objective total over continuous proposals. *)
+
+type fault_rates = {
+  transient : float;         (** per-attempt probability of a transient
+                                 failure *)
+  persistent : float;        (** per-configuration probability that every
+                                 attempt fails *)
+  timeout : float;           (** per-attempt probability of a timed-out
+                                 measurement ({!timed_out}) *)
+  outlier : float;           (** per-attempt probability of multiplicative
+                                 corruption of the reading *)
+  outlier_magnitude : float; (** corruption factor: a corrupted reading is
+                                 multiplied or divided by this (> 0) *)
+}
+
+val no_faults : fault_rates
+
+val fault_profile : float -> fault_rates
+(** [fault_profile rate] is the standard injection mix the CLI's
+    [--faults RATE] uses: transients at [rate], outliers at [rate/2],
+    timeouts at [rate/4], persistently broken configurations at
+    [rate/8], magnitude 8.
+    @raise Invalid_argument when [rate] is outside [0, 1]. *)
+
+val with_faults : ?rates:fault_rates -> seed:int -> t -> t
+(** Seeded, deterministic fault injection over the whole measurement
+    path — the test harness for everything in {!Measure}.  Each fault
+    decision is a pure function of [(seed, configuration, attempt
+    index)], where the attempt index counts physical evaluations of
+    that configuration: replaying a run replays its faults exactly,
+    independent of what other configurations were measured in
+    between.  Transient and persistent faults raise
+    {!Measurement_failed}; timeouts return {!timed_out}; outliers
+    multiply or divide the true reading by [outlier_magnitude].
+    Marks the objective {!noisy} (a transient objective is not a
+    function of the configuration), so [cached] refuses to sit
+    directly on top of it — vet measurements with [Measure.robust]
+    first.
+    @raise Invalid_argument on rates outside [0, 1] or a non-positive
+    magnitude. *)
 
 val cached : ?freeze_noise:bool -> t -> t
 (** Memoize measurements per configuration (key: {!Space.config_key},

@@ -21,6 +21,8 @@ let () =
       ("ml", Test_ml.suite);
       ("simplex", Test_simplex.suite);
       ("tuner", Test_tuner.suite);
+      ("measure", Test_measure.suite);
+      ("properties", Test_properties.suite);
       ("sensitivity", Test_sensitivity.suite);
       ("subspace", Test_subspace.suite);
       ("estimator", Test_estimator.suite);

@@ -72,13 +72,15 @@ let counted_objective () =
   in
   (count, obj)
 
-let check_stats label obj ~hits ~misses =
+let check_stats ?(faults = 0) ?(retries = 0) label obj ~hits ~misses =
   match Objective.stats obj with
   | None -> Alcotest.fail (label ^ ": expected stats on a cached objective")
   | Some s ->
       Alcotest.(check int) (label ^ " hits") hits s.Objective.hits;
       Alcotest.(check int) (label ^ " misses") misses s.Objective.misses;
-      Alcotest.(check int) (label ^ " evals") (hits + misses) s.Objective.evals
+      Alcotest.(check int) (label ^ " evals") (hits + misses) s.Objective.evals;
+      Alcotest.(check int) (label ^ " faults") faults s.Objective.faults;
+      Alcotest.(check int) (label ^ " retries") retries s.Objective.retries
 
 let test_cached_counters () =
   let count, counted = counted_objective () in
@@ -131,6 +133,58 @@ let test_cached_under_snap () =
   Alcotest.(check int) "one real measurement" 1 !count;
   check_stats "off-grid variants share the entry" snapped ~hits:1 ~misses:1
 
+let test_fault_profile_invalid () =
+  Alcotest.(check bool) "rate > 1 rejected" true
+    (match Objective.fault_profile 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "negative rate rejected" true
+    (match Objective.fault_profile (-0.1) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_with_faults_marks_noisy () =
+  let faulty = Objective.with_faults ~seed:1 higher in
+  Alcotest.(check bool) "noisy" true (Objective.noisy faulty);
+  (* The memo layer refuses to freeze a possibly-corrupt draw. *)
+  Alcotest.(check bool) "cached refuses" true
+    (match Objective.cached faulty with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_with_faults_pure_passthrough () =
+  (* All rates zero: the wrapper is the identity on values. *)
+  let faulty = Objective.with_faults ~rates:Objective.no_faults ~seed:1 higher in
+  Alcotest.(check (float 1e-12)) "value unchanged" 4.0
+    (faulty.Objective.eval [| 4.0 |])
+
+(* The satellite fix: each physical re-measurement counts as a miss,
+   and the faults/retries counters surface through the memo layer. *)
+let test_stats_faults_and_retries () =
+  let count, counted = counted_objective () in
+  let tries : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let flaky =
+    {
+      counted with
+      Objective.eval =
+        (fun c ->
+          let key = Space.config_key c in
+          let n = Option.value (Hashtbl.find_opt tries key) ~default:0 in
+          Hashtbl.replace tries key (n + 1);
+          if n = 0 then
+            raise (Objective.Measurement_failed Objective.Transient);
+          counted.Objective.eval c);
+    }
+  in
+  let robust, _ = Measure.robust flaky in
+  let cached = Objective.cached ~freeze_noise:true robust in
+  Alcotest.(check (float 1e-12)) "first" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check (float 1e-12)) "repeat" 3.0 (cached.Objective.eval [| 3.0 |]);
+  Alcotest.(check int) "base measured once" 1 !count;
+  (* One memo hit; the single memo miss physically cost two attempts
+     (one faulted, one retried). *)
+  check_stats "retry accounting" cached ~hits:1 ~misses:2 ~faults:1 ~retries:1
+
 let test_negate () =
   let neg = Objective.negate higher in
   Alcotest.(check bool) "direction flipped" true
@@ -157,5 +211,9 @@ let suite =
     Alcotest.test_case "freeze noise explicit" `Quick test_cached_freeze_noise_explicit;
     Alcotest.test_case "noise after cache live" `Quick test_noise_after_cache_stays_live;
     Alcotest.test_case "cached under snap" `Quick test_cached_under_snap;
+    Alcotest.test_case "fault profile invalid" `Quick test_fault_profile_invalid;
+    Alcotest.test_case "with_faults marks noisy" `Quick test_with_faults_marks_noisy;
+    Alcotest.test_case "with_faults passthrough" `Quick test_with_faults_pure_passthrough;
+    Alcotest.test_case "stats faults and retries" `Quick test_stats_faults_and_retries;
     Alcotest.test_case "negate" `Quick test_negate;
   ]

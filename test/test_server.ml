@@ -27,6 +27,33 @@ let test_register_bad_spec () =
   | Server.Rejected _ -> ()
   | _ -> Alcotest.fail "expected rejection"
 
+let test_register_untunable_spec () =
+  (* Parses fine, but the space is a single point: the search kernel
+     cannot build a non-degenerate initial simplex.  The degeneracy
+     only surfaces once the initial vertices are measured; the server
+     must then abort the session with a rejection, never raise.  Found
+     by the fuzz suite. *)
+  let server = Server.create () in
+  let rec drive reply steps =
+    if steps > 10 then Alcotest.fail "degenerate session never aborted"
+    else
+      match reply with
+      | Server.Assign _ ->
+          drive (Server.handle server (Server.Report 1.0)) (steps + 1)
+      | Server.Rejected _ -> ()
+      | Server.Done _ -> Alcotest.fail "degenerate spec reported success"
+  in
+  drive
+    (Server.handle server
+       (Server.Register
+          { spec = "{ harmonyBundle B { int {3 3 1} }}";
+            direction = Server.Maximize }))
+    0;
+  (* The aborted session is gone: the next query needs a re-register. *)
+  match Server.handle server Server.Query with
+  | Server.Rejected _ -> ()
+  | _ -> Alcotest.fail "aborted session still live"
+
 let test_query_before_register () =
   let server = Server.create () in
   match Server.handle server Server.Query with
@@ -82,6 +109,90 @@ let test_reregister_resets () =
       | None -> Alcotest.fail "spec missing")
   | _ -> Alcotest.fail "expected an assignment"
 
+(* Fault tolerance: the [report failed] path *)
+
+let test_report_failed_reassigns () =
+  let server = Server.create () in
+  let first = register server in
+  (match first with
+  | Server.Assign a ->
+      (* Two consecutive failures: the same configuration is re-assigned
+         for the client to retry. *)
+      Alcotest.(check bool) "first retry same config" true
+        (Server.handle server Server.Report_failed = Server.Assign a);
+      Alcotest.(check bool) "second retry same config" true
+        (Server.handle server Server.Report_failed = Server.Assign a);
+      (* Third failure exhausts max_report_failures = 3: the config is
+         penalized and the search moves on. *)
+      (match Server.handle server Server.Report_failed with
+      | Server.Assign _ | Server.Done _ -> ()
+      | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg))
+  | _ -> Alcotest.fail "expected an assignment");
+  Alcotest.(check (pair int int)) "fault counters" (3, 1)
+    (Server.fault_counters server)
+
+let test_report_failed_without_registration () =
+  let server = Server.create () in
+  match Server.handle server Server.Report_failed with
+  | Server.Rejected _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+let test_successful_report_resets_failures () =
+  let server = Server.create () in
+  let _ = register server in
+  (* One failure, then a success: the failure streak resets, so the
+     next assignment gets its full retry allowance again. *)
+  let _ = Server.handle server Server.Report_failed in
+  (match Server.handle server (Server.Report 50.0) with
+  | Server.Assign a ->
+      Alcotest.(check bool) "fresh allowance: retry 1" true
+        (Server.handle server Server.Report_failed = Server.Assign a);
+      Alcotest.(check bool) "fresh allowance: retry 2" true
+        (Server.handle server Server.Report_failed = Server.Assign a)
+  | _ -> Alcotest.fail "expected an assignment");
+  Alcotest.(check (pair int int)) "no penalty yet" (3, 0)
+    (Server.fault_counters server)
+
+let test_done_degrades_to_best_measured () =
+  (* Only the very first assignment ever gets measured; everything
+     after fails permanently.  The final Done must report the one
+     configuration a client actually measured, not a penalized one. *)
+  let server =
+    Server.create
+      ~options:{ Simplex.default_options with Simplex.max_evaluations = 15 }
+      ~max_report_failures:1 ()
+  in
+  let measured = ref None in
+  let rec loop reply steps =
+    if steps > 200 then Alcotest.fail "server never finished"
+    else
+      match reply with
+      | Server.Assign assignment ->
+          let next =
+            match !measured with
+            | None ->
+                measured := Some assignment;
+                Server.Report 55.0
+            | Some _ -> Server.Report_failed
+          in
+          loop (Server.handle server next) (steps + 1)
+      | Server.Done { best; performance } ->
+          Alcotest.(check (float 1e-9)) "best actually-measured value" 55.0
+            performance;
+          Alcotest.(check bool) "the measured configuration" true
+            (Some best = !measured)
+      | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+  in
+  loop (register server) 0;
+  let failed, penalized = Server.fault_counters server in
+  Alcotest.(check bool) "failures recorded" true (failed > 0 && penalized > 0)
+
+let test_max_report_failures_invalid () =
+  Alcotest.(check bool) "zero rejected" true
+    (match Server.create ~max_report_failures:0 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 (* Codec *)
 
 let test_parse_query () =
@@ -93,6 +204,15 @@ let test_parse_report () =
   (match Server.parse_message "report abc" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "bad float accepted")
+
+let test_parse_report_failed () =
+  Alcotest.(check bool) "report failed" true
+    (Server.parse_message "report failed" = Ok Server.Report_failed);
+  (* "failed" is not a float: the token must not fall through to the
+     numeric report parser. *)
+  match Server.parse_message "report failed 3.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted"
 
 let test_parse_register () =
   match Server.parse_message ("register max\n" ^ paper_spec) with
@@ -164,11 +284,21 @@ let suite =
   [
     Alcotest.test_case "register assigns" `Quick test_register_assigns;
     Alcotest.test_case "register bad spec" `Quick test_register_bad_spec;
+    Alcotest.test_case "register untunable spec" `Quick test_register_untunable_spec;
     Alcotest.test_case "query before register" `Quick test_query_before_register;
     Alcotest.test_case "report without assignment" `Quick test_report_without_assignment;
     Alcotest.test_case "query idempotent" `Quick test_query_idempotent;
     Alcotest.test_case "assignments feasible" `Quick test_assignments_feasible;
     Alcotest.test_case "reregister resets" `Quick test_reregister_resets;
+    Alcotest.test_case "report failed reassigns" `Quick test_report_failed_reassigns;
+    Alcotest.test_case "report failed unregistered" `Quick
+      test_report_failed_without_registration;
+    Alcotest.test_case "success resets failures" `Quick
+      test_successful_report_resets_failures;
+    Alcotest.test_case "done degrades to measured" `Quick
+      test_done_degrades_to_best_measured;
+    Alcotest.test_case "max_report_failures invalid" `Quick
+      test_max_report_failures_invalid;
     Alcotest.test_case "parse query" `Quick test_parse_query;
     Alcotest.test_case "parse report" `Quick test_parse_report;
     Alcotest.test_case "parse register" `Quick test_parse_register;

@@ -90,6 +90,7 @@ let outcome_of_performances perfs =
     trace;
     evaluations = List.length perfs;
     converged = true;
+    measurement = None;
   }
 
 let test_metrics_convergence () =
@@ -150,7 +151,7 @@ let test_metrics_lower_is_better () =
 let test_metrics_empty_trace () =
   let o =
     { Tuner.best_config = [| 0.0 |]; best_performance = 5.0; trace = [];
-      evaluations = 0; converged = false }
+      evaluations = 0; converged = false; measurement = None }
   in
   let m = Tuner.Metrics.of_outcome obj_up o in
   Alcotest.(check int) "zero convergence" 0 m.Tuner.Metrics.convergence_iteration;
