@@ -1,19 +1,26 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build test test-fast bench bench-quick experiments examples clean
+.PHONY: all build lint test test-fast bench bench-quick experiments examples clean
 
 all: build
 
 build:
 	dune build @all
 
+# Project-specific static analysis (DESIGN.md §8): determinism,
+# NaN-safety and totality invariants over lib/, bin/ and bench/.
+# Exits non-zero on any unwaived finding.
+lint:
+	dune exec tools/lint/harmony_lint.exe -- --allowlist tools/lint/allowlist lib bin bench
+
 # Includes the parallel-engine determinism test (registry tables at 1
 # vs 4 domains must be byte-identical).
 test:
 	dune runtest
 
-# What CI runs: a full build plus the unit/property suite.
-test-fast:
+# What CI runs: lint preflight, then a full build plus the
+# unit/property suite.
+test-fast: lint
 	dune build @all
 	dune runtest
 

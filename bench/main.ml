@@ -245,7 +245,7 @@ let ablation_faults pool =
     let g = Generator.synthetic_webservice ~seed:11 () in
     let clean = Generator.objective g ~workload:Generator.shopping_mix in
     let objective, measure =
-      if rate = 0.0 then (clean, None)
+      if Float.equal rate 0.0 then (clean, None)
       else
         ( Objective.with_faults ~rates:(Objective.fault_profile rate) ~seed:5
             clean,
@@ -486,7 +486,12 @@ let run_benchmarks tests =
               rows := (name, est) :: !rows)
             per_test)
         results;
-      let rows = List.sort compare !rows in
+      let rows =
+        List.sort
+          (fun (a, x) (b, y) ->
+            match String.compare a b with 0 -> Float.compare x y | c -> c)
+          !rows
+      in
       Format.printf "%-40s %16s@." "benchmark" "time/run";
       Format.printf "%s@." (String.make 57 '-');
       List.iter

@@ -119,7 +119,8 @@ let powell ?(max_evaluations = 400) ?(line_points = 9) obj =
           tmax := Float.min !tmax hi
         end)
       dir;
-    if !tmin > !tmax || !tmax = infinity || !tmin = neg_infinity then
+    if !tmin > !tmax || Float.equal !tmax infinity || Float.equal !tmin neg_infinity
+    then
       (current, current_value)
     else begin
       let best_c = ref current and best_v = ref current_value in

@@ -17,7 +17,7 @@ let select ~k ~choice ~space ~points ~target =
           (fun (c, p) -> (Stats.euclidean_distance (Space.normalize space c) tn, (c, p)))
           arr
       in
-      Array.sort (fun (a, _) (b, _) -> compare a b) keyed;
+      Array.sort (fun (a, _) (b, _) -> Float.compare a b) keyed;
       Array.map snd (Array.sub keyed 0 k)
 
 let estimate ?k ?(choice = Nearest) ~space ~points ~target () =

@@ -131,7 +131,7 @@ let plackett_burman obj =
 
 let ranked_main t =
   let keyed = Array.mapi (fun i m -> (t.names.(i), m)) t.main in
-  Array.sort (fun (_, a) (_, b) -> compare (Float.abs b) (Float.abs a)) keyed;
+  Array.sort (fun (_, a) (_, b) -> Float.compare (Float.abs b) (Float.abs a)) keyed;
   Array.to_list keyed
 
 let interaction_ratio t =
@@ -145,5 +145,5 @@ let interaction_ratio t =
         (fun acc (_, _, e) -> Float.max acc (Float.abs e))
         0.0 t.interactions
     in
-    if max_main = 0.0 then 0.0 else max_inter /. max_main
+    if Float.equal max_main 0.0 then 0.0 else max_inter /. max_main
   end

@@ -48,7 +48,7 @@ let find_closest t observed =
   | _ :: _ ->
       let features = Array.of_list (List.map (fun e -> e.characteristics) candidates) in
       let idx = Harmony_ml.Nearest.nearest_index features observed in
-      Some (List.nth candidates idx)
+      List.nth_opt candidates idx
 
 let best_evaluations obj entry ~n =
   if n < 0 then invalid_arg "History.best_evaluations: negative n";
@@ -118,14 +118,14 @@ let compress rng t ~max_entries =
                     (Seq.init n Fun.id)))
           in
           let closest =
-            List.fold_left
-              (fun best j ->
-                let d e =
-                  Harmony_numerics.Stats.euclidean_distance
-                    all.(e).characteristics centroids.(cluster)
-                in
-                if d j < d best then j else best)
-              (List.hd members) members
+            let d e =
+              Harmony_numerics.Stats.euclidean_distance
+                all.(e).characteristics centroids.(cluster)
+            in
+            match members with
+            | [] -> i (* unreachable: [i] is in its own cluster *)
+            | m0 :: rest ->
+                List.fold_left (fun best j -> if d j < d best then j else best) m0 rest
           in
           let evaluations =
             List.concat_map (fun j -> all.(j).evaluations) members

@@ -55,7 +55,7 @@ let analyze ?pool ?(max_points = 16) ?(repeats = 1) obj =
       perfs;
     let dp = Float.abs (perfs.(!a) -. perfs.(!b)) in
     let dv = Float.abs (Param.normalize p values.(!a) -. Param.normalize p values.(!b)) in
-    let sensitivity = if dv = 0.0 then 0.0 else dp /. dv in
+    let sensitivity = if Float.equal dv 0.0 then 0.0 else dp /. dv in
     {
       index;
       name = p.Param.name;
@@ -85,8 +85,8 @@ let ranked report =
   let scores = Array.copy report.scores in
   Array.sort
     (fun a b ->
-      match compare b.sensitivity a.sensitivity with
-      | 0 -> compare a.index b.index
+      match Float.compare b.sensitivity a.sensitivity with
+      | 0 -> Int.compare a.index b.index
       | c -> c)
     scores;
   scores
@@ -94,7 +94,7 @@ let ranked report =
 let top_n report n =
   let scores = ranked report in
   let n = max 0 (min n (Array.length scores)) in
-  List.sort compare (List.init n (fun i -> scores.(i).index))
+  List.sort Int.compare (List.init n (fun i -> scores.(i).index))
 
 let evaluations report =
   Array.fold_left (fun acc s -> acc + s.evaluations) 0 report.scores

@@ -16,7 +16,7 @@ let embed_with ~indices ~base reduced_config =
 let project obj ~indices ?base () =
   let space = obj.Objective.space in
   let n = Space.dims space in
-  let indices = List.sort_uniq compare indices in
+  let indices = List.sort_uniq Int.compare indices in
   if indices = [] then invalid_arg "Subspace.project: empty index list";
   List.iter
     (fun i -> if i < 0 || i >= n then invalid_arg "Subspace.project: index out of range")

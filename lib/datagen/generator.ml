@@ -32,7 +32,7 @@ let raw_response t c w =
   let acc = ref 0.0 in
   for i = 0 to n - 1 do
     let b = t.bumps.(i) in
-    if b.weight <> 0.0 then begin
+    if not (Float.equal b.weight 0.0) then begin
       let modulation = ref 1.0 in
       let mu = ref b.mu in
       for j = 0 to t.workload_dims - 1 do

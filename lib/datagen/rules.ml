@@ -61,7 +61,7 @@ let rule_distance t r input =
       let gap = if v < c.lo then c.lo -. v else if v > c.hi then v -. c.hi else 0.0 in
       let lo, hi = t.ranges.(c.var) in
       let span = hi -. lo in
-      let g = if span = 0.0 then gap else gap /. span in
+      let g = if Float.equal span 0.0 then gap else gap /. span in
       d2 := !d2 +. (g *. g))
     r.conditions;
   sqrt !d2

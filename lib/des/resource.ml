@@ -50,8 +50,10 @@ and finish sim t w =
   t.completed <- t.completed + 1;
   w.on_complete sim;
   (* The freed server picks up the next queued request, if any. *)
-  if (not (Queue.is_empty t.queue)) && t.busy < t.capacity then
-    start sim t (Queue.pop t.queue)
+  if t.busy < t.capacity then
+    match Queue.take_opt t.queue with
+    | Some w -> start sim t w
+    | None -> ()
 
 let submit sim t ~service_time ~on_complete ~on_reject =
   if service_time < 0.0 then invalid_arg "Resource.submit: negative service time";

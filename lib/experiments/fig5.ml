@@ -21,7 +21,7 @@ let run ?(seed = 42) ?(perturbations = default_perturbations) () =
     Array.mapi
       (fun i level ->
         let obj =
-          if level = 0.0 then base
+          if Float.equal level 0.0 then base
           else
             Harmony_objective.Objective.with_noise
               (Rng.create (seed + (31 * i)))

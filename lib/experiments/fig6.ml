@@ -14,7 +14,7 @@ type result = { cells : cell list; full_time : int; full_performance : float }
 
 let tune_top_n ~seed ~clean ~level n =
   let noisy =
-    if level = 0.0 then clean
+    if Float.equal level 0.0 then clean
     else Objective.with_noise (Rng.create (seed + (97 * n))) ~level clean
   in
   (* Prioritize on the noisy objective (the tool sees the same

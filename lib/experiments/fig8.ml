@@ -21,7 +21,7 @@ let run () =
 
 let rank values names =
   let idx = Array.init (Array.length values) Fun.id in
-  Array.sort (fun a b -> compare values.(b) values.(a)) idx;
+  Array.sort (fun a b -> Float.compare values.(b) values.(a)) idx;
   Array.to_list (Array.map (fun i -> names.(i)) idx)
 
 let table () =

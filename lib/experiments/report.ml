@@ -19,7 +19,8 @@ let print ppf t =
   let ncols = List.length t.columns in
   let width j =
     List.fold_left
-      (fun acc row -> max acc (String.length (List.nth row j)))
+      (fun acc row ->
+        max acc (String.length (Option.value ~default:"" (List.nth_opt row j))))
       0 all_rows
   in
   let widths = List.init ncols width in
@@ -28,7 +29,8 @@ let print ppf t =
     List.iteri
       (fun j cell ->
         if j > 0 then Format.fprintf ppf "  ";
-        Format.fprintf ppf "%s" (pad cell (List.nth widths j)))
+        Format.fprintf ppf "%s"
+          (pad cell (Option.value ~default:0 (List.nth_opt widths j))))
       row;
     Format.fprintf ppf "@."
   in

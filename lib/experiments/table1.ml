@@ -41,7 +41,11 @@ let run ?(max_evaluations = 150) () =
   in
   let reduction label =
     let find variant =
-      List.find (fun r -> r.workload = label && r.variant = variant) rows
+      match
+        List.find_opt (fun r -> r.workload = label && r.variant = variant) rows
+      with
+      | Some r -> r
+      | None -> invalid_arg ("Table1: missing row " ^ label ^ "/" ^ variant)
     in
     let orig = find "original" and impr = find "improved" in
     ( label,

@@ -78,7 +78,13 @@ let run ?(max_evaluations = 150) ?(seed = 11) () =
     @ pair ~served:Tpcw.ordering ~trained_on:Tpcw.shopping
   in
   let reduction label =
-    let find h = List.find (fun r -> r.workload = label && r.with_history = h) rows in
+    let find h =
+      match
+        List.find_opt (fun r -> r.workload = label && r.with_history = h) rows
+      with
+      | Some r -> r
+      | None -> invalid_arg ("Table2: missing row for " ^ label)
+    in
     let cold = find false and warm = find true in
     ( label,
       1.0

@@ -38,7 +38,7 @@ let best_split features labels idxs classes =
   let best = ref None in
   for f = 0 to dim - 1 do
     let sorted = Array.copy idxs in
-    Array.sort (fun a b -> compare features.(a).(f) features.(b).(f)) sorted;
+    Array.sort (fun a b -> Float.compare features.(a).(f) features.(b).(f)) sorted;
     for cut = 1 to n - 1 do
       let lo = features.(sorted.(cut - 1)).(f) in
       let hi = features.(sorted.(cut)).(f) in

@@ -38,7 +38,10 @@ let knn ~k training =
   let classify query =
     let n = Array.length features in
     let dist = Array.init n (fun i -> (squared_distance features.(i) query, i)) in
-    Array.sort compare dist;
+    Array.sort
+      (fun (da, ia) (db, ib) ->
+        match Float.compare da db with 0 -> Int.compare ia ib | c -> c)
+      dist;
     let k = min k n in
     let classes = Classifier.num_classes training in
     let votes = Array.make classes 0 in

@@ -54,7 +54,7 @@ let mul a b =
   for i = 0 to a.nrows - 1 do
     for k = 0 to a.ncols - 1 do
       let aik = get a i k in
-      if aik <> 0.0 then
+      if not (Float.equal aik 0.0) then
         for j = 0 to b.ncols - 1 do
           set c i j (get c i j +. (aik *. get b k j))
         done
@@ -96,7 +96,7 @@ let solve a b =
     end;
     for i = k + 1 to n - 1 do
       let factor = get m i k /. get m k k in
-      if factor <> 0.0 then begin
+      if not (Float.equal factor 0.0) then begin
         for j = k to n - 1 do
           set m i j (get m i j -. (factor *. get m k j))
         done;

@@ -26,7 +26,7 @@ let max a =
 
 let sorted_copy a =
   let b = Array.copy a in
-  Array.sort compare b;
+  Array.sort Float.compare b;
   b
 
 let percentile a p =
@@ -51,7 +51,7 @@ let rescale ~lo ~hi a =
   require_non_empty "Stats.rescale" a;
   let amin = min a and amax = max a in
   let span = amax -. amin in
-  if span = 0.0 then Array.map (fun _ -> lo) a
+  if Float.equal span 0.0 then Array.map (fun _ -> lo) a
   else Array.map (fun x -> lo +. ((x -. amin) /. span *. (hi -. lo))) a
 
 let normalize a = rescale ~lo:0.0 ~hi:1.0 a
@@ -71,7 +71,7 @@ let histogram ~buckets ~lo ~hi a =
 let histogram_fractions ~buckets ~lo ~hi a =
   let counts = histogram ~buckets ~lo ~hi a in
   let total = float_of_int (Array.length a) in
-  if total = 0.0 then Array.make buckets 0.0
+  if Float.equal total 0.0 then Array.make buckets 0.0
   else Array.map (fun c -> float_of_int c /. total) counts
 
 let pearson xs ys =
@@ -88,7 +88,7 @@ let pearson xs ys =
         sxx := !sxx +. (dx *. dx);
         syy := !syy +. (dy *. dy))
       xs;
-    if !sxx = 0.0 || !syy = 0.0 then 0.0
+    if Float.equal !sxx 0.0 || Float.equal !syy 0.0 then 0.0
     else !sxy /. sqrt (!sxx *. !syy)
   end
 

@@ -1,6 +1,6 @@
 let check_labels labels =
   if labels = [] then invalid_arg "Enum: empty label list";
-  if List.length (List.sort_uniq compare labels) <> List.length labels then
+  if List.length (List.sort_uniq String.compare labels) <> List.length labels then
     invalid_arg "Enum: duplicate labels"
 
 let param ~name ?default labels =
@@ -22,7 +22,9 @@ let label_of labels v =
   check_labels labels;
   let n = List.length labels in
   let i = max 0 (min (n - 1) (int_of_float (Float.round v))) in
-  List.nth labels i
+  match List.nth_opt labels i with
+  | Some label -> label
+  | None -> invalid_arg "Enum.label_of: index out of range"
 
 let value_of labels label =
   check_labels labels;

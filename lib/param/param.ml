@@ -51,7 +51,7 @@ let is_valid p v =
 
 let normalize p v =
   let span = p.max_value -. p.min_value in
-  if span = 0.0 then 0.0 else (clamp p v -. p.min_value) /. span
+  if Float.equal span 0.0 then 0.0 else (clamp p v -. p.min_value) /. span
 
 let denormalize p x =
   snap p (p.min_value +. (x *. (p.max_value -. p.min_value)))

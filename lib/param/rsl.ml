@@ -111,12 +111,16 @@ let expect st tok what =
 let expect_ident st what =
   match advance st with
   | Ident s -> s
-  | _ -> raise (Parse_error ("expected identifier: " ^ what))
+  | Lbrace | Rbrace | Lparen | Rparen | Plus | Minus | Star | Slash | Int _
+  | Dollar ->
+      raise (Parse_error ("expected identifier: " ^ what))
 
 let expect_keyword st kw =
   match advance st with
   | Ident s when s = kw -> ()
-  | _ -> raise (Parse_error ("expected keyword " ^ kw))
+  | Ident _ | Lbrace | Rbrace | Lparen | Rparen | Plus | Minus | Star | Slash
+  | Int _ | Dollar ->
+      raise (Parse_error ("expected keyword " ^ kw))
 
 let rec parse_expr st =
   let lhs = parse_term st in
@@ -130,7 +134,9 @@ and parse_expr_rest st lhs =
   | Some Minus ->
       ignore (advance st);
       parse_expr_rest st (Sub (lhs, parse_term st))
-  | _ -> lhs
+  | Some (Lbrace | Rbrace | Lparen | Rparen | Star | Slash | Int _ | Ident _ | Dollar)
+  | None ->
+      lhs
 
 and parse_term st =
   let lhs = parse_factor st in
@@ -144,7 +150,9 @@ and parse_term_rest st lhs =
   | Some Slash ->
       ignore (advance st);
       parse_term_rest st (Div (lhs, parse_factor st))
-  | _ -> lhs
+  | Some (Lbrace | Rbrace | Lparen | Rparen | Plus | Minus | Int _ | Ident _ | Dollar)
+  | None ->
+      lhs
 
 and parse_factor st =
   match advance st with
@@ -155,7 +163,8 @@ and parse_factor st =
       let e = parse_expr st in
       expect st Rparen ")";
       e
-  | _ -> raise (Parse_error "expected expression")
+  | Lbrace | Rbrace | Rparen | Plus | Star | Slash | Ident _ ->
+      raise (Parse_error "expected expression")
 
 let parse_bundle st =
   expect st Lbrace "{";
@@ -198,12 +207,12 @@ let rec expr_to_string = function
 and term_to_string e =
   match e with
   | Add _ | Sub _ -> "(" ^ expr_to_string e ^ ")"
-  | _ -> expr_to_string e
+  | Const _ | Ref _ | Neg _ | Mul _ | Div _ -> expr_to_string e
 
 and atom_to_string e =
   match e with
   | Add _ | Sub _ | Mul _ | Div _ -> "(" ^ expr_to_string e ^ ")"
-  | _ -> expr_to_string e
+  | Const _ | Ref _ | Neg _ -> expr_to_string e
 
 (* The three bounds are space-separated, so a field that starts with a
    unary minus would be absorbed into the preceding expression when
@@ -240,7 +249,11 @@ let lookup_in t values name =
   find 0 t
 
 let bounds t values i =
-  let b = List.nth t i in
+  let b =
+    match List.nth_opt t i with
+    | Some b -> b
+    | None -> invalid_arg "Rsl.bounds: index out of range"
+  in
   let lookup = lookup_in t values in
   let lo = eval_expr lookup b.lo in
   let hi = eval_expr lookup b.hi in

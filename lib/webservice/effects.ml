@@ -105,7 +105,11 @@ let app_service_ms t i =
 
 let db_service_ms t i =
   let d = Tpcw.demand i in
-  if d.Tpcw.db_ms = 0.0 && d.Tpcw.db_write_ms = 0.0 && d.Tpcw.db_result_kb = 0.0 then
+  if
+    Float.equal d.Tpcw.db_ms 0.0
+    && Float.equal d.Tpcw.db_write_ms 0.0
+    && Float.equal d.Tpcw.db_result_kb 0.0
+  then
     0.0
   else begin
     let packets =

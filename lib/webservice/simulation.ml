@@ -85,7 +85,7 @@ let run ?(options = default_options) config ~mix =
     Sim.schedule sim ~delay:(Rng.exponential rng options.think_ms) (issue previous)
   and issue previous sim =
     let interaction =
-      if options.session_persistence = 0.0 then Tpcw.sample rng mix
+      if Float.equal options.session_persistence 0.0 then Tpcw.sample rng mix
       else
         Tpcw.sample_next rng mix ~persistence:options.session_persistence ~previous
     in

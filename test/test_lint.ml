@@ -1,0 +1,294 @@
+(* harmony_lint: per-rule fixtures (known-bad triggers, known-good
+   passes), suppression via inline allow-comments and the allowlist
+   file, output shape, and a self-check that the shipped tree is
+   lint-clean. *)
+
+let kept ?allowlist ~path src =
+  (Lint_driver.lint_source ?allowlist ~path src).Lint_driver.kept
+
+let suppressed ?allowlist ~path src =
+  (Lint_driver.lint_source ?allowlist ~path src).Lint_driver.suppressed
+
+let rules_of diags = List.map (fun d -> d.Lint_diag.rule) diags
+
+let check_rules msg expected ?allowlist ~path src =
+  Alcotest.(check (list string)) msg expected (rules_of (kept ?allowlist ~path src))
+
+(* ------------------------------------------------------------------ *)
+(* D1 — ambient nondeterminism *)
+
+let d1_flags_global_random () =
+  check_rules "Random.int flagged" [ "D1" ] ~path:"lib/core/x.ml"
+    "let f () = Random.int 10";
+  check_rules "Random.self_init flagged" [ "D1" ] ~path:"lib/core/x.ml"
+    "let f () = Random.self_init ()";
+  check_rules "Sys.time flagged" [ "D1" ] ~path:"lib/objective/x.ml"
+    "let f () = Sys.time ()";
+  check_rules "Unix.gettimeofday flagged" [ "D1" ] ~path:"lib/des/x.ml"
+    "let f () = Unix.gettimeofday ()"
+
+let d1_allows_seeded_state () =
+  check_rules "Random.State is sanctioned" [] ~path:"lib/numerics/rng.ml"
+    "let f st = Random.State.float st 1.0";
+  check_rules "make_self_init still banned" [ "D1" ]
+    ~path:"lib/numerics/rng.ml" "let f () = Random.State.make_self_init ()"
+
+let d1_scoped_to_lib () =
+  check_rules "bin/ may read the clock" [] ~path:"bin/harmony_cli.ml"
+    "let f () = Sys.time ()"
+
+(* ------------------------------------------------------------------ *)
+(* D2 — module-toplevel mutable state *)
+
+let d2_flags_toplevel_state () =
+  check_rules "toplevel ref flagged" [ "D2" ] ~path:"lib/core/x.ml"
+    "let counter = ref 0";
+  check_rules "toplevel Hashtbl flagged" [ "D2" ] ~path:"lib/core/x.ml"
+    "let cache = Hashtbl.create 16";
+  check_rules "nested module state flagged" [ "D2" ] ~path:"lib/core/x.ml"
+    "module M = struct let cache = ref [] end"
+
+let d2_allows_local_state () =
+  check_rules "function-local ref is fine" [] ~path:"lib/core/x.ml"
+    "let f () = let c = ref 0 in incr c; !c";
+  check_rules "toplevel immutable is fine" [] ~path:"lib/core/x.ml"
+    "let default_budget = 100"
+
+(* ------------------------------------------------------------------ *)
+(* N1 — polymorphic comparison at float type *)
+
+let n1_flags_poly_compare () =
+  check_rules "bare compare flagged" [ "N1" ] ~path:"lib/core/x.ml"
+    "let f xs = List.sort compare xs";
+  check_rules "compare applied to floats flagged" [ "N1" ]
+    ~path:"lib/core/x.ml" "let f a b = compare (a *. 2.0) b";
+  check_rules "float equality flagged" [ "N1" ] ~path:"lib/core/x.ml"
+    "let f a = a = 0.0";
+  check_rules "float <> flagged" [ "N1" ] ~path:"lib/numerics/x.ml"
+    "let f a = a <> 1.5";
+  check_rules "min on float flagged" [ "N1" ] ~path:"lib/core/x.ml"
+    "let f a = min a 1.0";
+  check_rules "max on float expr flagged" [ "N1" ] ~path:"lib/core/x.ml"
+    "let f a b = max a (b /. 2.0)";
+  check_rules "nan equality flagged" [ "N1" ] ~path:"lib/core/x.ml"
+    "let f x = x = nan"
+
+let n1_allows_typed_comparison () =
+  check_rules "Float.compare is the fix" [] ~path:"lib/core/x.ml"
+    "let f xs = List.sort Float.compare xs";
+  check_rules "Int.compare is fine" [] ~path:"lib/core/x.ml"
+    "let f xs = List.sort Int.compare xs";
+  check_rules "int equality untouched" [] ~path:"lib/core/x.ml"
+    "let f a = a = 0";
+  check_rules "string equality untouched" [] ~path:"lib/core/x.ml"
+    {|let f a = a = "label"|};
+  check_rules "Float.min is fine" [] ~path:"lib/core/x.ml"
+    "let f a = Float.min a 1.0";
+  check_rules "IEEE ordering guard left alone" [] ~path:"lib/core/x.ml"
+    "let f a = a <= 0.0"
+
+(* ------------------------------------------------------------------ *)
+(* T1 — raising stdlib partials *)
+
+let t1_flags_partials () =
+  check_rules "List.hd flagged" [ "T1" ] ~path:"lib/core/x.ml"
+    "let f xs = List.hd xs";
+  check_rules "Option.get flagged" [ "T1" ] ~path:"lib/core/x.ml"
+    "let f o = Option.get o";
+  check_rules "Hashtbl.find flagged" [ "T1" ] ~path:"lib/core/x.ml"
+    "let f h k = Hashtbl.find h k";
+  check_rules "List.assoc flagged" [ "T1" ] ~path:"lib/core/x.ml"
+    "let f k xs = List.assoc k xs";
+  check_rules "Queue.pop flagged" [ "T1" ] ~path:"lib/des/x.ml"
+    "let f q = Queue.pop q"
+
+let t1_allows_opt_variants () =
+  check_rules "_opt variants are the fix" [] ~path:"lib/core/x.ml"
+    "let f h k xs o = (Hashtbl.find_opt h k, List.nth_opt xs 0, List.find_opt o xs)"
+
+(* ------------------------------------------------------------------ *)
+(* T2 — totality of message paths *)
+
+let t2_flags_partiality_in_handlers () =
+  check_rules "assert false in server flagged" [ "T2" ]
+    ~path:"lib/core/server.ml" "let f () = assert false";
+  check_rules "failwith in session flagged" [ "T2" ]
+    ~path:"lib/core/session.ml" {|let f () = failwith "boom"|};
+  check_rules "raise Not_found in server flagged" [ "T2" ]
+    ~path:"lib/core/server.ml" "let f () = raise Not_found"
+
+let t2_scoped_to_message_paths () =
+  check_rules "assert false elsewhere is not T2's business" []
+    ~path:"lib/parallel/pool.ml" "let f () = assert false";
+  check_rules "ordinary asserts stay legal" [] ~path:"lib/core/server.ml"
+    "let f x = assert (x > 0)"
+
+(* ------------------------------------------------------------------ *)
+(* P1 — printing in hot paths *)
+
+let p1_flags_printing_in_hot_paths () =
+  check_rules "Printf.printf in objective flagged" [ "P1" ]
+    ~path:"lib/objective/objective.ml" {|let f () = Printf.printf "x"|};
+  check_rules "print_endline in simplex flagged" [ "P1" ]
+    ~path:"lib/core/simplex.ml" {|let f () = print_endline "x"|};
+  check_rules "Format.printf in pool flagged" [ "P1" ]
+    ~path:"lib/parallel/pool.ml" {|let f () = Format.printf "x"|}
+
+let p1_allows_pure_formatting () =
+  check_rules "sprintf is pure" [] ~path:"lib/objective/objective.ml"
+    {|let f i = Printf.sprintf "p%d" i|};
+  check_rules "pp over explicit formatter is fine" []
+    ~path:"lib/objective/objective.ml"
+    {|let pp ppf x = Format.fprintf ppf "%d" x|};
+  check_rules "cold modules may print" [] ~path:"lib/experiments/report.ml"
+    {|let f () = Format.printf "table"|}
+
+(* ------------------------------------------------------------------ *)
+(* Suppression *)
+
+let allow_comment_same_line () =
+  let src = "let f xs = List.hd xs (* lint: allow T1 — head is guarded *)" in
+  Alcotest.(check (list string)) "kept empty" [] (rules_of (kept ~path:"lib/core/x.ml" src));
+  Alcotest.(check (list string))
+    "waiver recorded" [ "T1" ]
+    (rules_of (suppressed ~path:"lib/core/x.ml" src))
+
+let allow_comment_previous_line () =
+  let src = "(* lint: allow T1 *)\nlet f xs = List.hd xs" in
+  check_rules "previous-line comment waives" [] ~path:"lib/core/x.ml" src
+
+let allow_comment_wrong_rule () =
+  let src = "let f xs = List.hd xs (* lint: allow N1 *)" in
+  check_rules "wrong rule id does not waive" [ "T1" ] ~path:"lib/core/x.ml" src
+
+let allow_comment_multiple_rules () =
+  let src = "(* lint: allow T1 N1 *)\nlet f xs = List.hd (List.sort compare xs)" in
+  check_rules "one comment, several rules" [] ~path:"lib/core/x.ml" src
+
+let allowlist_waives_by_path () =
+  let allowlist =
+    match Lint_allow.allowlist_of_string "lib/core/x.ml T1  # legacy" with
+    | Ok a -> a
+    | Error msg -> Alcotest.fail msg
+  in
+  check_rules "allowlisted file passes" [] ~allowlist ~path:"lib/core/x.ml"
+    "let f xs = List.hd xs";
+  check_rules "other files still flagged" [ "T1" ] ~allowlist
+    ~path:"lib/core/y.ml" "let f xs = List.hd xs";
+  check_rules "other rules still flagged" [ "T1"; "N1" ] ~allowlist
+    ~path:"lib/core/y.ml" "let f xs = List.hd (List.sort compare xs)"
+
+let allowlist_rejects_garbage () =
+  match Lint_allow.allowlist_of_string "one two three four" with
+  | Ok _ -> Alcotest.fail "malformed allowlist accepted"
+  | Error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Engine behaviour *)
+
+let diagnostics_carry_positions () =
+  match kept ~path:"lib/core/x.ml" "let a = 1\nlet f xs = List.hd xs" with
+  | [ d ] ->
+      Alcotest.(check string) "file" "lib/core/x.ml" d.Lint_diag.file;
+      Alcotest.(check int) "line" 2 d.Lint_diag.line;
+      Alcotest.(check int) "col" 11 d.Lint_diag.col
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 diag, got %d" (List.length ds))
+
+let diagnostics_are_sorted () =
+  let src = "let f xs = List.hd xs\nlet g a = a = 0.0\nlet h o = Option.get o" in
+  let lines = List.map (fun d -> d.Lint_diag.line) (kept ~path:"lib/core/x.ml" src) in
+  Alcotest.(check (list int)) "report in source order" [ 1; 2; 3 ] lines
+
+let parse_errors_are_findings () =
+  match kept ~path:"lib/core/x.ml" "let f = (" with
+  | [ d ] -> Alcotest.(check string) "parse rule" "parse" d.Lint_diag.rule
+  | _ -> Alcotest.fail "expected exactly one parse finding"
+
+let json_output_shape () =
+  let d =
+    Lint_diag.make ~rule:"N1" ~severity:Lint_diag.Error
+      ~loc:Location.none {|bad "quote"|}
+  in
+  let json = Lint_diag.to_json d in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (List.exists
+             (fun i ->
+               i + String.length needle <= String.length json
+               && String.sub json i (String.length needle) = needle)
+             (List.init (String.length json) Fun.id))
+      then Alcotest.fail (Printf.sprintf "missing %s in %s" needle json))
+    [ {|"rule":"N1"|}; {|"severity":"error"|}; {|\"quote\"|} ]
+
+let failure_semantics () =
+  let result = Lint_driver.lint_source ~path:"lib/core/x.ml" "let f xs = List.hd xs" in
+  Alcotest.(check bool) "errors fail" true (Lint_driver.failed result);
+  let clean = Lint_driver.lint_source ~path:"lib/core/x.ml" "let f x = x + 1" in
+  Alcotest.(check bool) "clean passes" false (Lint_driver.failed clean)
+
+let rule_registry_well_formed () =
+  Alcotest.(check int) "six rules" 6 (List.length Lint_rules.all);
+  let ids = List.map (fun r -> r.Lint_rules.id) Lint_rules.all in
+  Alcotest.(check (list string))
+    "ids unique and stable"
+    [ "D1"; "D2"; "N1"; "T1"; "T2"; "P1" ]
+    ids
+
+(* ------------------------------------------------------------------ *)
+(* Self-check: the shipped tree is lint-clean.  The test runs in the
+   dune sandbox next to the copied sources (declared as deps in
+   test/dune), so the repo root is the parent directory. *)
+
+let tree_is_lint_clean () =
+  let root p = Filename.concat ".." p in
+  let paths = List.filter Sys.file_exists [ root "lib"; root "bin"; root "bench" ] in
+  if paths = [] then Alcotest.skip ();
+  let allowlist =
+    if Sys.file_exists (root "tools/lint/allowlist") then
+      match Lint_allow.load_allowlist (root "tools/lint/allowlist") with
+      | Ok a -> a
+      | Error msg -> Alcotest.fail msg
+    else Lint_allow.empty_allowlist
+  in
+  let result = Lint_driver.lint_paths ~allowlist paths in
+  (match result.Lint_driver.kept with
+  | [] -> ()
+  | ds ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun d -> Buffer.add_string buf (Format.asprintf "%a\n" Lint_diag.pp_text d))
+        ds;
+      Alcotest.fail ("tree has unwaived lint findings:\n" ^ Buffer.contents buf));
+  Alcotest.(check bool) "lint exit would be 0" false (Lint_driver.failed result)
+
+let suite =
+  [
+    ("d1 flags global random/clock", `Quick, d1_flags_global_random);
+    ("d1 allows seeded state", `Quick, d1_allows_seeded_state);
+    ("d1 scoped to lib", `Quick, d1_scoped_to_lib);
+    ("d2 flags toplevel state", `Quick, d2_flags_toplevel_state);
+    ("d2 allows local state", `Quick, d2_allows_local_state);
+    ("n1 flags poly compare", `Quick, n1_flags_poly_compare);
+    ("n1 allows typed comparison", `Quick, n1_allows_typed_comparison);
+    ("t1 flags partials", `Quick, t1_flags_partials);
+    ("t1 allows opt variants", `Quick, t1_allows_opt_variants);
+    ("t2 flags handler partiality", `Quick, t2_flags_partiality_in_handlers);
+    ("t2 scoped to message paths", `Quick, t2_scoped_to_message_paths);
+    ("p1 flags hot-path printing", `Quick, p1_flags_printing_in_hot_paths);
+    ("p1 allows pure formatting", `Quick, p1_allows_pure_formatting);
+    ("allow comment same line", `Quick, allow_comment_same_line);
+    ("allow comment previous line", `Quick, allow_comment_previous_line);
+    ("allow comment wrong rule", `Quick, allow_comment_wrong_rule);
+    ("allow comment multiple rules", `Quick, allow_comment_multiple_rules);
+    ("allowlist waives by path", `Quick, allowlist_waives_by_path);
+    ("allowlist rejects garbage", `Quick, allowlist_rejects_garbage);
+    ("diagnostics carry positions", `Quick, diagnostics_carry_positions);
+    ("diagnostics are sorted", `Quick, diagnostics_are_sorted);
+    ("parse errors are findings", `Quick, parse_errors_are_findings);
+    ("json output shape", `Quick, json_output_shape);
+    ("failure semantics", `Quick, failure_semantics);
+    ("rule registry well-formed", `Quick, rule_registry_well_formed);
+    ("tree is lint-clean", `Quick, tree_is_lint_clean);
+  ]

@@ -1,0 +1,83 @@
+(* harmony_lint — project-specific static analysis for the harmony
+   tree.  See DESIGN.md §8 for the rule catalogue.
+
+     harmony_lint [--format text|json] [--allowlist FILE]
+                  [--rules D1,N1,...] [--strict] [--list-rules] PATH...
+
+   Exit status 0 when every finding is waived (inline allow-comment or
+   allowlist), 1 when any error-severity finding remains, 2 on usage
+   errors. *)
+
+let usage = "harmony_lint [options] PATH...  (default paths: lib bin bench)"
+
+let () =
+  let format = ref "text" in
+  let allowlist_file = ref "" in
+  let rules_filter = ref "" in
+  let strict = ref false in
+  let list_rules = ref false in
+  let paths = ref [] in
+  let spec =
+    [
+      ("--format", Arg.Set_string format, "FMT  output format: text (default) or json");
+      ("--allowlist", Arg.Set_string allowlist_file, "FILE  repo allowlist ('<path> <rule>' per line)");
+      ("--rules", Arg.Set_string rules_filter, "IDS  comma-separated rule ids to run (default: all)");
+      ("--strict", Arg.Set strict, "  treat warnings as failures");
+      ("--list-rules", Arg.Set list_rules, "  print the rule catalogue and exit");
+    ]
+  in
+  Arg.parse spec (fun p -> paths := p :: !paths) usage;
+  if !list_rules then begin
+    List.iter
+      (fun r ->
+        Printf.printf "%-4s %-7s %s\n     %s\n" r.Lint_rules.id
+          (Lint_diag.severity_to_string r.Lint_rules.severity)
+          r.Lint_rules.summary r.Lint_rules.doc)
+      Lint_rules.all;
+    exit 0
+  end;
+  let rules =
+    match !rules_filter with
+    | "" -> Lint_rules.all
+    | spec ->
+        List.map
+          (fun id ->
+            match Lint_rules.find (String.trim id) with
+            | Some r -> r
+            | None ->
+                Printf.eprintf "harmony_lint: unknown rule %s\n" id;
+                exit 2)
+          (String.split_on_char ',' spec)
+  in
+  let allowlist =
+    match !allowlist_file with
+    | "" -> Lint_allow.empty_allowlist
+    | file -> (
+        if not (Sys.file_exists file) then begin
+          Printf.eprintf "harmony_lint: allowlist %s not found\n" file;
+          exit 2
+        end;
+        match Lint_allow.load_allowlist file with
+        | Ok a -> a
+        | Error msg ->
+            Printf.eprintf "harmony_lint: %s\n" msg;
+            exit 2)
+  in
+  let paths =
+    match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+  in
+  List.iter
+    (fun p ->
+      if not (Sys.file_exists p) then begin
+        Printf.eprintf "harmony_lint: no such path %s\n" p;
+        exit 2
+      end)
+    paths;
+  let result = Lint_driver.lint_paths ~rules ~allowlist paths in
+  (match !format with
+  | "json" -> Lint_driver.render_json Format.std_formatter result
+  | "text" -> Lint_driver.render_text Format.std_formatter result
+  | other ->
+      Printf.eprintf "harmony_lint: unknown format %s\n" other;
+      exit 2);
+  exit (if Lint_driver.failed ~strict:!strict result then 1 else 0)

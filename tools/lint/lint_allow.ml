@@ -1,0 +1,123 @@
+(* Suppression machinery: inline [(* lint: allow RULE ... *)] comments
+   and a repo-level allowlist file.
+
+   An inline comment waives findings of the named rule(s) on the line
+   it appears on and on the line directly below it, so both styles
+   work:
+
+     let x = List.hd items (* lint: allow T1 *)
+
+     (* lint: allow T1 — justified because ... *)
+     let x = List.hd items
+
+   The allowlist file holds one waiver per line, [<path> <rule>],
+   matched against the linted path by suffix so it is robust to
+   [./lib/...] vs [lib/...] vs [../lib/...] invocations.  [#] starts a
+   comment. *)
+
+let is_rule_char c =
+  (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')
+
+(* Parse every rule id out of [lint: allow R1 R2 ...] markers on one
+   line.  Ids run until the first non-alphanumeric character; the tail
+   of the comment is free-form justification. *)
+let rules_allowed_on_line line =
+  let marker = "lint: allow" in
+  let n = String.length line and m = String.length marker in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i + m <= n do
+    if String.sub line !i m = marker then begin
+      let j = ref (!i + m) in
+      let stop = ref false in
+      while not !stop do
+        while !j < n && line.[!j] = ' ' do
+          incr j
+        done;
+        let start = !j in
+        while !j < n && is_rule_char line.[!j] do
+          incr j
+        done;
+        if !j > start then out := String.sub line start (!j - start) :: !out
+        else stop := true
+      done;
+      i := !j
+    end
+    else incr i
+  done;
+  !out
+
+type t = {
+  (* line number (1-based) -> rule ids waived on that line *)
+  by_line : (int, string list) Hashtbl.t;
+}
+
+let of_source src =
+  let by_line = Hashtbl.create 8 in
+  List.iteri
+    (fun idx line ->
+      match rules_allowed_on_line line with
+      | [] -> ()
+      | rules -> Hashtbl.replace by_line (idx + 1) rules)
+    (String.split_on_char '\n' src);
+  { by_line }
+
+let suppresses t ~rule ~line =
+  let on l =
+    match Hashtbl.find_opt t.by_line l with
+    | None -> false
+    | Some rules -> List.mem rule rules
+  in
+  on line || on (line - 1)
+
+(* ------------------------------------------------------------------ *)
+(* Allowlist file                                                      *)
+
+type allowlist = { entries : (string * string) list (* path, rule *) }
+
+let empty_allowlist = { entries = [] }
+
+let parse_allowlist_line line =
+  let line =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  with
+  | [] -> Ok None
+  | [ path; rule ] -> Ok (Some (path, rule))
+  | _ -> Error ("malformed allowlist line (want '<path> <rule>'): " ^ line)
+
+let allowlist_of_string src =
+  let entries, errors =
+    List.fold_left
+      (fun (entries, errors) line ->
+        match parse_allowlist_line line with
+        | Ok None -> (entries, errors)
+        | Ok (Some e) -> (e :: entries, errors)
+        | Error msg -> (entries, msg :: errors))
+      ([], [])
+      (String.split_on_char '\n' src)
+  in
+  match errors with
+  | [] -> Ok { entries = List.rev entries }
+  | e :: _ -> Error e
+
+let load_allowlist path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      allowlist_of_string (really_input_string ic n))
+
+let path_matches ~entry ~file =
+  entry = file
+  || String.ends_with ~suffix:("/" ^ entry) file
+
+let allowlist_suppresses t ~rule ~file =
+  List.exists
+    (fun (path, r) -> r = rule && path_matches ~entry:path ~file)
+    t.entries

@@ -1,0 +1,140 @@
+(* File discovery, parsing, rule dispatch, suppression, rendering.
+
+   The engine parses each .ml with the compiler's own parser (the
+   toolchain in the repo image matches the sources by construction),
+   runs every applicable rule, then filters the diagnostics through
+   the inline allow-comments and the repo allowlist. *)
+
+type result = {
+  kept : Lint_diag.t list;  (* findings that count *)
+  suppressed : Lint_diag.t list;  (* waived inline or via allowlist *)
+}
+
+let empty = { kept = []; suppressed = [] }
+
+let merge a b =
+  { kept = a.kept @ b.kept; suppressed = a.suppressed @ b.suppressed }
+
+let normalize_path path =
+  if String.starts_with ~prefix:"./" path then
+    String.sub path 2 (String.length path - 2)
+  else path
+
+(* Parse [src] as an implementation.  A parse failure is itself
+   reported as a finding (rule "parse") rather than aborting the whole
+   run: the build will fail on it anyway, but the lint report should
+   name the file. *)
+let parse ~path src =
+  let lexbuf = Lexing.from_string src in
+  lexbuf.Lexing.lex_curr_p <-
+    { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 };
+  Location.input_name := path;
+  try Ok (Parse.implementation lexbuf)
+  with exn ->
+    let loc =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> e.Location.main.Location.loc
+      | _ ->
+          Location.
+            { loc_start = lexbuf.lex_curr_p; loc_end = lexbuf.lex_curr_p; loc_ghost = false }
+    in
+    Error
+      (Lint_diag.make ~rule:"parse" ~severity:Lint_diag.Error ~loc
+         "syntax error (file does not parse)")
+
+let lint_source ?(rules = Lint_rules.all)
+    ?(allowlist = Lint_allow.empty_allowlist) ~path src =
+  let path = normalize_path path in
+  match parse ~path src with
+  | Error d -> { kept = [ d ]; suppressed = [] }
+  | Ok structure ->
+      let allow = Lint_allow.of_source src in
+      let raw =
+        List.concat_map
+          (fun rule ->
+            if rule.Lint_rules.applies path then rule.Lint_rules.check ~path structure
+            else [])
+          rules
+      in
+      let kept, suppressed =
+        List.partition
+          (fun d ->
+            not
+              (Lint_allow.suppresses allow ~rule:d.Lint_diag.rule
+                 ~line:d.Lint_diag.line
+              || Lint_allow.allowlist_suppresses allowlist
+                   ~rule:d.Lint_diag.rule ~file:d.Lint_diag.file))
+          (List.sort Lint_diag.compare raw)
+      in
+      { kept; suppressed }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?rules ?allowlist path =
+  lint_source ?rules ?allowlist ~path (read_file path)
+
+(* Recursively collect .ml files under each argument (a file is taken
+   as-is).  _build and dot-directories are skipped; .mli interfaces
+   carry no executable code worth linting. *)
+let collect_ml_files paths =
+  let out = ref [] in
+  let skip_dir name =
+    name = "_build" || (String.length name > 0 && name.[0] = '.')
+  in
+  let rec visit path =
+    if Sys.is_directory path then
+      Array.iter
+        (fun entry ->
+          if Sys.is_directory (Filename.concat path entry) then (
+            if not (skip_dir entry) then visit (Filename.concat path entry))
+          else if Filename.check_suffix entry ".ml" then
+            out := Filename.concat path entry :: !out)
+        (Sys.readdir path)
+    else if Filename.check_suffix path ".ml" then out := path :: !out
+  in
+  List.iter visit paths;
+  List.sort String.compare !out
+
+let lint_paths ?rules ?allowlist paths =
+  List.fold_left
+    (fun acc file -> merge acc (lint_file ?rules ?allowlist file))
+    empty
+    (collect_ml_files paths)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let render_text ppf result =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Lint_diag.pp_text d) result.kept;
+  let errors, warnings =
+    List.partition (fun d -> d.Lint_diag.severity = Lint_diag.Error) result.kept
+  in
+  Format.fprintf ppf "%d error%s, %d warning%s, %d waived@."
+    (List.length errors)
+    (if List.length errors = 1 then "" else "s")
+    (List.length warnings)
+    (if List.length warnings = 1 then "" else "s")
+    (List.length result.suppressed)
+
+let render_json ppf result =
+  let fields =
+    List.map Lint_diag.to_json result.kept |> String.concat ",\n  "
+  in
+  Format.fprintf ppf "{@.\"findings\": [@.  %s@.],@." fields;
+  Format.fprintf ppf "\"errors\": %d, \"warnings\": %d, \"waived\": %d@.}@."
+    (List.length
+       (List.filter (fun d -> d.Lint_diag.severity = Lint_diag.Error) result.kept))
+    (List.length
+       (List.filter (fun d -> d.Lint_diag.severity = Lint_diag.Warning) result.kept))
+    (List.length result.suppressed)
+
+(* Exit status: errors always fail; warnings fail only under
+   [--strict]. *)
+let failed ?(strict = false) result =
+  List.exists
+    (fun d -> d.Lint_diag.severity = Lint_diag.Error || strict)
+    result.kept

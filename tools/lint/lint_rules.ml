@@ -1,0 +1,424 @@
+(* The rule registry.  Each rule is an AST walk (compiler-libs
+   [Ast_iterator]) over one parsed implementation, scoped to the part
+   of the tree where its invariant applies, returning located
+   diagnostics.
+
+   The rules encode this repo's two headline guarantees — determinism
+   (byte-identical tuner output at [--jobs 1] vs [--jobs N]) and
+   NaN-tolerant measurement (fault injection emits NaN sentinels that
+   must flow through the search loop without corrupting it) — plus the
+   totality discipline the PR-2 fuzzer imposed on the message paths. *)
+
+open Parsetree
+
+type rule = {
+  id : string;
+  severity : Lint_diag.severity;
+  summary : string;
+  doc : string;
+  applies : string -> bool;
+  check : path:string -> structure -> Lint_diag.t list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Path scoping helpers.  Paths are matched by segment so the same
+   rule set works for [lib/core/x.ml], [./lib/core/x.ml] and the
+   [../lib/core/x.ml] shapes the test sandbox produces. *)
+
+let segments path = List.filter (fun s -> s <> "" && s <> ".") (String.split_on_char '/' path)
+
+let rec has_subpath ~sub segs =
+  let rec prefix sub segs =
+    match (sub, segs) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: sub', y :: segs' -> x = y && prefix sub' segs'
+  in
+  match segs with
+  | [] -> sub = []
+  | _ :: rest -> prefix sub segs || has_subpath ~sub rest
+
+let under dir path = has_subpath ~sub:(segments dir) (segments path)
+let basename path = Filename.basename path
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers *)
+
+let rec flatten_longident = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_longident l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* Treat [Stdlib.compare] and [compare] alike. *)
+let ident_path lid =
+  match flatten_longident lid with
+  | "Stdlib" :: rest -> rest
+  | p -> p
+
+(* ------------------------------------------------------------------ *)
+(* Generic expression walk: run [f] on every expression of the
+   structure, collecting diagnostics. *)
+
+let walk_expressions structure f =
+  let acc = ref [] in
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun self e ->
+          (match f e with [] -> () | ds -> acc := ds @ !acc);
+          Ast_iterator.default_iterator.expr self e);
+    }
+  in
+  iterator.structure iterator structure;
+  List.rev !acc
+
+let diag rule loc fmt =
+  Format.kasprintf
+    (fun message -> Lint_diag.make ~rule:rule.id ~severity:rule.severity ~loc message)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* D1 — ambient nondeterminism                                         *)
+
+let d1_banned path_ =
+  match path_ with
+  | [ "Random"; "State"; "make_self_init" ] ->
+      Some "seed explicitly via Harmony_numerics.Rng"
+  | [ "Random"; _ ] ->
+      (* The whole ambient-state surface of [Random]: int, float, bool,
+         bits, init, self_init, get_state, ...  [Random.State.*] is
+         the sanctioned, explicitly-seeded API. *)
+      Some "use Harmony_numerics.Rng (explicit seeded state)"
+  | [ "Sys"; "time" ]
+  | [ "Unix"; "gettimeofday" ]
+  | [ "Unix"; "time" ]
+  | [ "Unix"; "localtime" ]
+  | [ "Unix"; "gmtime" ] ->
+      Some "use the simulated clock (Harmony_des.Sim / Measure's clock)"
+  | _ -> None
+
+let rec d1 =
+  {
+    id = "D1";
+    severity = Lint_diag.Error;
+    summary = "no ambient nondeterminism (Random.*, Sys.time, Unix.gettimeofday) in lib/";
+    doc =
+      "Tuner output must be byte-identical at --jobs 1 vs --jobs N. Ambient \
+       randomness and wall clocks break that replayability; draw from \
+       Harmony_numerics.Rng and the simulated clock instead.";
+    applies = (fun path -> under "lib" path);
+    check =
+      (fun ~path:_ structure ->
+        walk_expressions structure (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match d1_banned (ident_path txt) with
+                | Some hint ->
+                    [
+                      diag d1 loc "ambient nondeterminism `%s`; %s"
+                        (String.concat "." (ident_path txt))
+                        hint;
+                    ]
+                | None -> [])
+            | _ -> []));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* D2 — module-toplevel mutable state                                  *)
+
+let d2_mutable_alloc path_ =
+  match path_ with
+  | [ "ref" ] -> Some "ref cell"
+  | [ "Hashtbl"; "create" ] -> Some "hash table"
+  | [ "Buffer"; "create" ] -> Some "buffer"
+  | [ "Queue"; "create" ] -> Some "queue"
+  | [ "Stack"; "create" ] -> Some "stack"
+  | [ "Atomic"; "make" ] -> Some "atomic cell"
+  | [ "Mutex"; "create" ] -> Some "mutex"
+  | [ "Array"; "make" ] | [ "Array"; "create_float" ] -> Some "mutable array"
+  | [ "Bytes"; "create" ] | [ "Bytes"; "make" ] -> Some "mutable bytes"
+  | _ -> None
+
+let rec peel_constraints e =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel_constraints e
+  | _ -> e
+
+let rec d2 =
+  {
+    id = "D2";
+    severity = Lint_diag.Error;
+    summary = "no module-toplevel mutable state in lib/";
+    doc =
+      "Pool tasks run on multiple domains; a module-level ref or table is \
+       shared by all of them, and update order then depends on scheduling. \
+       Thread state through values (records owned by a caller) instead.";
+    applies = (fun path -> under "lib" path);
+    check =
+      (fun ~path:_ structure ->
+        (* [Pstr_value] only occurs at module (structure) level —
+           including nested modules — which is exactly the scope where
+           a binding outlives any one task.  Function-local [let]s are
+           expressions and never reach this case. *)
+        let acc = ref [] in
+        let iterator =
+          {
+            Ast_iterator.default_iterator with
+            structure_item =
+              (fun self item ->
+                (match item.pstr_desc with
+                | Pstr_value (_, vbs) ->
+                    List.iter
+                      (fun vb ->
+                        let rhs = peel_constraints vb.pvb_expr in
+                        match rhs.pexp_desc with
+                        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _)
+                          -> (
+                            match d2_mutable_alloc (ident_path txt) with
+                            | Some what ->
+                                acc :=
+                                  diag d2 vb.pvb_loc
+                                    "module-toplevel mutable state (%s via `%s`); \
+                                     shared across Pool domains — pass state \
+                                     explicitly instead"
+                                    what
+                                    (String.concat "." (ident_path txt))
+                                  :: !acc
+                            | None -> ())
+                        | _ -> ())
+                      vbs
+                | _ -> ());
+                Ast_iterator.default_iterator.structure_item self item);
+          }
+        in
+        iterator.structure iterator structure;
+        List.rev !acc);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* N1 — polymorphic comparison at float (or unknown) type              *)
+
+(* Syntactic "this is certainly a float" evidence: literals, float
+   operators, the Float module, and well-known float constants.  The
+   check is conservative — it only fires when one operand is
+   manifestly a float — so it never flags int or string comparisons. *)
+let rec is_syntactically_float e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (e', ty) -> (
+      (match ty.ptyp_desc with
+      | Ptyp_constr ({ txt; _ }, []) -> ident_path txt = [ "float" ]
+      | _ -> false)
+      || is_syntactically_float e')
+  | Pexp_ident { txt; _ } -> (
+      match ident_path txt with
+      | [ "nan" ] | [ "infinity" ] | [ "neg_infinity" ] | [ "epsilon_float" ]
+      | [ "max_float" ] | [ "min_float" ] ->
+          true
+      | _ -> false)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match ident_path txt with
+      | [ ("+." | "-." | "*." | "/." | "**" | "~-." | "~+.") ] -> true
+      | [ ("float_of_int" | "float_of_string" | "abs_float" | "sqrt" | "exp"
+          | "log" | "log10" | "log1p" | "expm1" | "cos" | "sin" | "tan" | "acos"
+          | "asin" | "atan" | "atan2" | "cosh" | "sinh" | "tanh" | "ceil"
+          | "floor" | "mod_float" | "copysign" | "ldexp" | "frexp") ] ->
+          true
+      | "Float" :: _ -> true
+      | _ -> false)
+  | Pexp_ifthenelse (_, t, Some f) ->
+      is_syntactically_float t || is_syntactically_float f
+  | _ -> false
+
+let rec n1 =
+  {
+    id = "N1";
+    severity = Lint_diag.Error;
+    summary = "no polymorphic compare, and no `=`/`min`/`max` on floats";
+    doc =
+      "Fault injection emits NaN sentinels. Polymorphic compare/min/max and \
+       IEEE `=` silently mis-handle NaN (nan = nan is false; min nan x is \
+       order-dependent), corrupting the simplex ordering. Use Float.compare, \
+       Float.equal, Float.min/max, or a typed comparator. Ordering operators \
+       (<, <=) on floats compile to IEEE comparisons and are left to code \
+       review plus the Measure layer's explicit NaN handling.";
+    applies =
+      (fun path -> under "lib" path || under "bin" path || under "bench" path);
+    check =
+      (fun ~path:_ structure ->
+        walk_expressions structure (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } when ident_path txt = [ "compare" ] ->
+                [
+                  diag n1 loc
+                    "polymorphic `compare`; use Float.compare / Int.compare / \
+                     String.compare or an explicit comparator";
+                ]
+            | Pexp_apply
+                ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) -> (
+                match ident_path txt with
+                | [ (("=" | "<>" | "==" | "!=" | "min" | "max") as op) ]
+                  when List.exists
+                         (fun (_, a) -> is_syntactically_float a)
+                         args ->
+                    let hint =
+                      match op with
+                      | "=" | "==" -> "Float.equal (NaN-total)"
+                      | "<>" | "!=" -> "not (Float.equal ...)"
+                      | "min" -> "Float.min"
+                      | _ -> "Float.max"
+                    in
+                    [
+                      diag n1 loc
+                        "polymorphic `%s` on a float operand; use %s" op hint;
+                    ]
+                | _ -> [])
+            | _ -> []));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T1 — raising stdlib partial functions                               *)
+
+let t1_banned path_ =
+  match path_ with
+  | [ "List"; (("hd" | "tl" | "nth" | "find" | "assoc" | "assq") as f) ] ->
+      Some ("List." ^ f, "List." ^ f ^ "_opt")
+  | [ "Option"; "get" ] -> Some ("Option.get", "pattern-match on the option")
+  | [ "Hashtbl"; "find" ] -> Some ("Hashtbl.find", "Hashtbl.find_opt")
+  | [ "Queue"; (("pop" | "take" | "peek" | "top") as f) ] ->
+      Some ("Queue." ^ f, "Queue." ^ f ^ "_opt")
+  | [ "Stack"; (("pop" | "top") as f) ] ->
+      Some ("Stack." ^ f, "Stack." ^ f ^ "_opt")
+  | _ -> None
+
+let rec t1 =
+  {
+    id = "T1";
+    severity = Lint_diag.Error;
+    summary = "no raising stdlib partials (List.hd, Option.get, Hashtbl.find, ...) in lib/";
+    doc =
+      "An online tuner must degrade, not die: a Not_found escaping mid-search \
+       loses the whole session. Use the _opt variants and handle None \
+       explicitly (worst-case penalty, rejection, or invalid_arg at the API \
+       boundary).";
+    applies = (fun path -> under "lib" path);
+    check =
+      (fun ~path:_ structure ->
+        walk_expressions structure (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match t1_banned (ident_path txt) with
+                | Some (name, instead) ->
+                    [
+                      diag t1 loc "raising partial `%s`; use %s" name instead;
+                    ]
+                | None -> [])
+            | _ -> []));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* T2 — totality of the message-handling paths                         *)
+
+let rec t2 =
+  {
+    id = "T2";
+    severity = Lint_diag.Error;
+    summary = "no assert false / failwith / exit in Server and Session message paths";
+    doc =
+      "PR 2's fuzzer crashed the server with degenerate specs; `handle` is \
+       now total and must stay that way. Reply with Rejected (or thread a \
+       result) instead of asserting or raising; exhaustiveness itself is \
+       enforced by warning 8 as an error.";
+    applies =
+      (fun path ->
+        under "lib" path
+        && (basename path = "server.ml" || basename path = "session.ml"));
+    check =
+      (fun ~path:_ structure ->
+        walk_expressions structure (fun e ->
+            match e.pexp_desc with
+            | Pexp_assert
+                { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); pexp_loc; _ }
+              ->
+                [
+                  diag t2 pexp_loc
+                    "`assert false` in a message-handling path; return \
+                     Rejected / an explicit error instead";
+                ]
+            | Pexp_ident { txt; loc } -> (
+                match ident_path txt with
+                | [ "failwith" ] | [ "exit" ] ->
+                    [
+                      diag t2 loc
+                        "`%s` in a message-handling path; make the handler \
+                         total (Rejected or a result type)"
+                        (String.concat "." (ident_path txt));
+                    ]
+                | [ "Obj"; "magic" ] ->
+                    [ diag t2 loc "`Obj.magic` defeats every static guarantee" ]
+                | _ -> [])
+            | Pexp_apply
+                ( { pexp_desc = Pexp_ident { txt = raise_id; _ }; _ },
+                  [ (_, { pexp_desc = Pexp_construct ({ txt = exn; loc }, None); _ }) ] )
+              when ident_path raise_id = [ "raise" ]
+                   && ident_path exn = [ "Not_found" ] ->
+                [
+                  diag t2 loc
+                    "`raise Not_found` in a message-handling path; use an \
+                     option and reply Rejected";
+                ]
+            | _ -> []));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* P1 — printing side effects in hot evaluation paths                  *)
+
+let p1_banned path_ =
+  match path_ with
+  | [ "Printf"; ("printf" | "eprintf") ]
+  | [ "Format"; ("printf" | "eprintf" | "print_string" | "print_newline") ]
+  | [ "Format"; ("std_formatter" | "err_formatter") ]
+  | [ ("print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_int" | "print_float" | "print_bytes") ]
+  | [ ("prerr_string" | "prerr_endline" | "prerr_newline" | "prerr_char"
+      | "prerr_int" | "prerr_float" | "prerr_bytes") ] ->
+      true
+  | _ -> false
+
+let rec p1 =
+  {
+    id = "P1";
+    severity = Lint_diag.Error;
+    summary = "no Printf/Format printing in hot evaluation paths";
+    doc =
+      "The evaluation inner loop (objective, measurement, simplex, \
+       controller, tuner, pool) runs thousands of times per session and \
+       concurrently across domains; stdout/stderr writes there serialize \
+       domains and interleave nondeterministically. Use the logs facade at \
+       the edges; pp functions over an explicit formatter stay fine.";
+    applies =
+      (fun path ->
+        under "lib/objective" path || under "lib/parallel" path
+        || (under "lib/core" path
+           && List.mem (basename path)
+                [ "simplex.ml"; "controller.ml"; "tuner.ml" ]));
+    check =
+      (fun ~path:_ structure ->
+        walk_expressions structure (fun e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } when p1_banned (ident_path txt) ->
+                [
+                  diag p1 loc
+                    "printing side effect `%s` in a hot evaluation path; use \
+                     logs (or return data and print at the edge)"
+                    (String.concat "." (ident_path txt));
+                ]
+            | _ -> []));
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let all = [ d1; d2; n1; t1; t2; p1 ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
