@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint test test-fast bench bench-quick experiments examples clean
+.PHONY: all build lint test test-fast test-crash bench bench-quick experiments examples clean
 
 all: build
 
@@ -19,10 +19,17 @@ test:
 	dune runtest
 
 # What CI runs: lint preflight, then a full build plus the
-# unit/property suite.
+# unit/property suite (which includes the crash suite).
 test-fast: lint
 	dune build @all
 	dune runtest
+
+# Durability only (DESIGN.md §10): the framing/sink/journal unit+property
+# tests and the crash-injection harness (kill-at-every-record-boundary
+# byte-identity, live fault-sink crashes, corrupt-input recovery).
+test-crash:
+	dune exec test/test_main.exe -- test persist
+	dune exec test/test_main.exe -- test crash
 
 bench:
 	dune exec bench/main.exe

@@ -349,51 +349,89 @@ let factorial_cmd =
 (* serve                                                               *)
 
 let serve_cmd =
-  let run budget =
-    let server =
-      Server.create
-        ~options:{ Simplex.default_options with Simplex.max_evaluations = budget }
-        ()
+  let journal_arg =
+    let doc =
+      "Write-ahead journal FILE: every state-changing protocol event is \
+       logged and fsynced before it is applied, so a crashed server can be \
+       restarted with $(b,--recover) without losing the tuning session."
+    in
+    Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+  in
+  let recover_arg =
+    let doc =
+      "Rebuild the server state from the journal (and its snapshot) before \
+       serving, instead of starting fresh.  Requires $(b,--journal).  A \
+       torn or corrupt journal tail degrades to the longest valid prefix."
+    in
+    Arg.(value & flag & info [ "recover" ] ~doc)
+  in
+  let run budget journal recover =
+    let options =
+      { Simplex.default_options with Simplex.max_evaluations = budget }
     in
     (* Line protocol on stdin/stdout.  `register min|max` keeps reading
        specification lines until a blank line or EOF. *)
-    let rec read_spec acc =
-      match In_channel.input_line stdin with
-      | None -> List.rev acc
-      | Some line when String.trim line = "" -> List.rev acc
-      | Some line -> read_spec (line :: acc)
+    let serve server =
+      let rec read_spec acc =
+        match In_channel.input_line stdin with
+        | None -> List.rev acc
+        | Some line when String.trim line = "" -> List.rev acc
+        | Some line -> read_spec (line :: acc)
+      in
+      let respond reply =
+        print_endline (Server.reply_to_string reply);
+        flush stdout
+      in
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line -> (
+            let line = String.trim line in
+            if line = "" then loop ()
+            else if line = "quit" then ()
+            else begin
+              let text =
+                match String.split_on_char ' ' line with
+                | "register" :: _ ->
+                    line ^ "\n" ^ String.concat "\n" (read_spec [])
+                | _ -> line
+              in
+              (match Server.parse_message text with
+              | Ok message -> respond (Server.handle server message)
+              | Error msg -> respond (Server.Rejected msg));
+              loop ()
+            end)
+      in
+      Format.printf
+        "harmony tuning server: 'register min|max' + RSL lines + blank line, \
+         then 'query' / 'report <perf>' / 'report failed' / 'quit'@.";
+      loop ();
+      `Ok ()
     in
-    let respond reply =
-      print_endline (Server.reply_to_string reply);
-      flush stdout
-    in
-    let rec loop () =
-      match In_channel.input_line stdin with
-      | None -> ()
-      | Some line -> (
-          let line = String.trim line in
-          if line = "" then loop ()
-          else if line = "quit" then ()
-          else begin
-            let text =
-              match String.split_on_char ' ' line with
-              | "register" :: _ -> line ^ "\n" ^ String.concat "\n" (read_spec [])
-              | _ -> line
-            in
-            (match Server.parse_message text with
-            | Ok message -> respond (Server.handle server message)
-            | Error msg -> respond (Server.Rejected msg));
-            loop ()
-          end)
-    in
-    Format.printf
-      "harmony tuning server: 'register min|max' + RSL lines + blank line, then \
-       'query' / 'report <perf>' / 'report failed' / 'quit'@.";
-    loop ();
-    `Ok ()
+    match (journal, recover) with
+    | None, true -> `Error (false, "--recover requires --journal")
+    | None, false -> serve (Server.create ~options ())
+    | Some path, false ->
+        let server = Server.create ~options () in
+        Server.attach_journal server ~journal:path ();
+        serve server
+    | Some path, true ->
+        let r = Server.recover ~options ~journal:path () in
+        Format.printf "recovered from %s: %d event(s) replayed, %d dropped@."
+          path r.Server.replayed r.Server.dropped;
+        (match r.Server.last_reply with
+        | None -> ()
+        | Some reply ->
+            Format.printf "last reply before the crash: %s@."
+              (Server.reply_to_string reply));
+        serve r.Server.server
   in
-  let doc = "Run the tuning server on stdin/stdout (line protocol)." in
-  Cmd.v (Cmd.info "serve" ~doc) Term.(ret (const run $ budget_arg))
+  let doc =
+    "Run the tuning server on stdin/stdout (line protocol), optionally \
+     crash-safe via a write-ahead journal."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(ret (const run $ budget_arg $ journal_arg $ recover_arg))
 
 (* ------------------------------------------------------------------ *)
 (* rules                                                               *)
@@ -476,9 +514,13 @@ let db_cmd =
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
   in
   let run file compress out =
-    match History.load file with
-    | exception Failure msg -> `Error (false, msg)
-    | db ->
+    match History.load_salvage file with
+    | db, dropped ->
+        if dropped > 0 then
+          Format.printf
+            "warning: malformed database; kept the valid prefix, dropped %d \
+             line(s)@."
+            dropped;
         Format.printf "%d experience entr%s@." (History.size db)
           (if History.size db = 1 then "y" else "ies");
         List.iter

@@ -169,73 +169,130 @@ let unescape_label s =
   go 0;
   Buffer.contents out
 
-let save t path =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
+let render t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry %d %s\n" e.id
+           (if e.label = "" then "-" else escape_label e.label));
+      Buffer.add_string buf "chars";
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf " %.17g" v))
+        e.characteristics;
+      Buffer.add_char buf '\n';
       List.iter
-        (fun e ->
-          Printf.fprintf oc "entry %d %s\n" e.id
-            (if e.label = "" then "-" else escape_label e.label);
-          Printf.fprintf oc "chars";
-          Array.iter (fun v -> Printf.fprintf oc " %.17g" v) e.characteristics;
-          Printf.fprintf oc "\n";
-          List.iter
-            (fun (c, p) ->
-              Printf.fprintf oc "eval %.17g" p;
-              Array.iter (fun v -> Printf.fprintf oc " %.17g" v) c;
-              Printf.fprintf oc "\n")
-            e.evaluations;
-          Printf.fprintf oc "end\n")
-        (entries t))
+        (fun (c, p) ->
+          Buffer.add_string buf (Printf.sprintf "eval %.17g" p);
+          Array.iter
+            (fun v -> Buffer.add_string buf (Printf.sprintf " %.17g" v))
+            c;
+          Buffer.add_char buf '\n')
+        e.evaluations;
+      Buffer.add_string buf "end\n")
+    (entries t);
+  Buffer.contents buf
 
-let malformed line = failwith ("History.load: malformed line: " ^ line)
+(* A crash mid-save must never leave a truncated database: the file is
+   replaced atomically (tmp + fsync + rename), so readers observe the
+   old experience or the new, never a torn mixture. *)
+let save t path = Harmony_persist.Persist.write_atomic ~path (render t)
+
+(* Parse as far as the data is well-formed.  [t] accumulates the
+   entries before the first malformed line; the malformed line and
+   everything after it are dropped (their count is the warning).  An
+   in-progress entry is only kept when nothing afterwards was
+   malformed — a bad line inside an entry poisons that entry too. *)
+let parse_lines lines =
+  let t = create () in
+  let current_label = ref None in
+  let current_chars = ref [||] in
+  let current_evals = ref [] in
+  let flush_entry () =
+    match !current_label with
+    | None -> ()
+    | Some label ->
+        ignore
+          (add t ~label ~characteristics:!current_chars
+             ~evaluations:(List.rev !current_evals) ());
+        current_label := None;
+        current_chars := [||];
+        current_evals := []
+  in
+  let floats values =
+    List.map
+      (fun v ->
+        match float_of_string_opt v with
+        | Some f -> f
+        | None -> raise Exit)
+      values
+  in
+  let rec go lines remaining =
+    match lines with
+    | [] ->
+        flush_entry ();
+        (t, 0, None)
+    | line :: rest -> (
+        let line = String.trim line in
+        let malformed () =
+          (t, remaining, Some ("History.load: malformed line: " ^ line))
+        in
+        if line = "" then go rest (remaining - 1)
+        else
+          match String.split_on_char ' ' line with
+          | "entry" :: _id :: label :: _ ->
+              flush_entry ();
+              current_label :=
+                Some (if label = "-" then "" else unescape_label label);
+              go rest (remaining - 1)
+          | "chars" :: values -> (
+              match floats values with
+              | vs ->
+                  current_chars := Array.of_list vs;
+                  go rest (remaining - 1)
+              | exception Exit -> malformed ())
+          | "eval" :: perf :: coords -> (
+              match floats (perf :: coords) with
+              | p :: cs ->
+                  current_evals := (Array.of_list cs, p) :: !current_evals;
+                  go rest (remaining - 1)
+              | [] -> malformed ()
+              | exception Exit -> malformed ())
+          | [ "end" ] ->
+              flush_entry ();
+              go rest (remaining - 1)
+          | _ -> malformed ())
+  in
+  go lines (List.length lines)
+
+(* Split into lines without counting the virtual empty line a trailing
+   newline produces — it would inflate the dropped-line count. *)
+let lines_of contents =
+  match List.rev (String.split_on_char '\n' contents) with
+  | "" :: rev -> List.rev rev
+  | [] | _ :: _ -> String.split_on_char '\n' contents
+
+let load_salvage path =
+  match Harmony_persist.Persist.read_file path with
+  | None -> (create (), 0)
+  | Some contents ->
+      let t, dropped, _error = parse_lines (lines_of contents) in
+      (t, dropped)
 
 let load path =
-  let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in ic)
-    (fun () ->
-      let t = create () in
-      let current_label = ref None in
-      let current_chars = ref [||] in
-      let current_evals = ref [] in
-      let flush_entry () =
-        match !current_label with
-        | None -> ()
-        | Some label ->
-            ignore
-              (add t ~label ~characteristics:!current_chars
-                 ~evaluations:(List.rev !current_evals) ());
-            current_label := None;
-            current_chars := [||];
-            current_evals := []
-      in
-      (try
-         while true do
-           let line = input_line ic in
-           let line = String.trim line in
-           if line = "" then ()
-           else
-             match String.split_on_char ' ' line with
-             | "entry" :: _id :: label :: _ ->
-                 flush_entry ();
-                 current_label :=
-                   Some (if label = "-" then "" else unescape_label label)
-             | "chars" :: values ->
-                 current_chars :=
-                   Array.of_list (List.map float_of_string values)
-             | "eval" :: perf :: coords ->
-                 let p = float_of_string perf in
-                 let c = Array.of_list (List.map float_of_string coords) in
-                 current_evals := (c, p) :: !current_evals
-             | [ "end" ] -> flush_entry ()
-             | _ -> malformed line
-         done
-       with
-      | End_of_file -> flush_entry ()
-      | Failure _ -> malformed "(bad number)");
-      t)
+  match Harmony_persist.Persist.read_file path with
+  | None -> raise (Sys_error (path ^ ": cannot read"))
+  | Some contents -> (
+      match parse_lines (lines_of contents) with
+      | t, _, None -> t
+      | _, _, Some msg -> failwith msg)
 
-let load_or_create path = if Sys.file_exists path then load path else create ()
+let load_or_create ?warn path =
+  if Sys.file_exists path then begin
+    let t, dropped = load_salvage path in
+    (match warn with
+    | Some f when dropped > 0 -> f dropped
+    | Some _ | None -> ());
+    t
+  end
+  else create ()

@@ -56,14 +56,25 @@ val compress : Harmony_numerics.Rng.t -> t -> max_entries:int -> t
     arity or [max_entries < 1]. *)
 
 val save : t -> string -> unit
-(** Write to a file (text format, one record per line group).
-    @raise Sys_error on I/O failure. *)
+(** Write to a file (text format, one record per line group).  The
+    write is atomic ({!Harmony_persist.Persist.write_atomic}): a crash
+    mid-save leaves the previous contents intact, never a truncated or
+    corrupt database.
+    @raise Sys_error (or [Unix.Unix_error]) on I/O failure. *)
 
 val load : string -> t
 (** Read a database written by {!save}.
     @raise Failure on a malformed file, [Sys_error] on I/O failure. *)
 
-val load_or_create : string -> t
-(** {!load} if the file exists, a fresh empty database otherwise —
-    the natural open for experience that accumulates across
-    executions. *)
+val load_salvage : string -> t * int
+(** Tolerant read: the entries before the first malformed line, plus
+    the number of lines dropped (0 on a clean file; a missing or
+    unreadable file salvages to an empty database).  An entry cut
+    short by the malformed line is dropped with it.  Never raises. *)
+
+val load_or_create : ?warn:(int -> unit) -> string -> t
+(** {!load_salvage} if the file exists, a fresh empty database
+    otherwise — the natural open for experience that accumulates
+    across executions.  Corrupt input degrades to the salvageable
+    prefix instead of raising; [warn] (if given) receives the dropped
+    line count when it is non-zero. *)

@@ -1,5 +1,8 @@
 open Harmony_param
 open Harmony_objective
+module Frame = Harmony_persist.Frame
+module Persist = Harmony_persist.Persist
+module Journal = Harmony_persist.Journal
 
 type direction = Minimize | Maximize
 
@@ -27,16 +30,34 @@ type session = {
   mutable penalized : int;
 }
 
+(* Durability plumbing.  [seq] numbers the journaled client messages;
+   each message's reply record carries the same seq, so recovery can
+   pair them back up and a stale journal tail (a crash between
+   snapshot rename and journal reset) is detected by seq alone.
+   [session_log] is the replayable essence of the current session —
+   everything since the last accepted [Register] — which is what a
+   snapshot persists. *)
+type event = Recv of message | Reply of string
+
+type persist = {
+  journal : Journal.t;
+  snapshot : string;
+  compact_every : int;
+  mutable seq : int;
+  mutable session_log : (int * event) list;  (* newest first *)
+}
+
 type t = {
   options : Simplex.options;
   max_report_failures : int;
   mutable session : session option;
+  mutable persist : persist option;
 }
 
 let create ?(options = Simplex.default_options) ?(max_report_failures = 3) () =
   if max_report_failures < 1 then
     invalid_arg "Server.create: max_report_failures < 1";
-  { options; max_report_failures; session = None }
+  { options; max_report_failures; session = None; persist = None }
 
 let spec t = Option.map (fun s -> s.rsl) t.session
 
@@ -167,15 +188,15 @@ let handle_message t message =
             next_reply session
           end)
 
-(* [handle] is total.  A registered spec can defeat the search kernel
-   only after tuning has started — a space degenerate in one dimension
-   snaps every initial vertex onto the same hyperplane, which
+(* Message handling is total.  A registered spec can defeat the search
+   kernel only after tuning has started — a space degenerate in one
+   dimension snaps every initial vertex onto the same hyperplane, which
    Simplex.optimize detects after the initial vertices are measured,
    i.e. inside [Controller.report].  The kernel is unusable from that
    point, so the session is aborted: the client gets [Rejected] and
    must re-register (the fuzz suite drives this with arbitrary
    generated specs). *)
-let handle t message =
+let handle_total t message =
   match handle_message t message with
   | reply -> reply
   | exception Invalid_argument msg ->
@@ -203,6 +224,11 @@ let parse_message text =
           match float_of_string_opt value with
           | Some v -> Ok (Report v)
           | None -> Error ("bad performance value: " ^ value))
+      (* A register with no specification lines still parses (the spec
+         is just empty, and registration will reject it) — so every
+         journaled message, however degenerate, decodes on replay. *)
+      | [ "register"; "min" ] -> Ok (Register { spec = ""; direction = Minimize })
+      | [ "register"; "max" ] -> Ok (Register { spec = ""; direction = Maximize })
       | _ -> Error ("unknown command: " ^ text))
 
 let reply_to_string = function
@@ -215,3 +241,305 @@ let reply_to_string = function
         (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) best))
         performance
   | Rejected msg -> "error " ^ msg
+
+let message_to_string = function
+  | Register { spec; direction } ->
+      let dir = match direction with Minimize -> "min" | Maximize -> "max" in
+      "register " ^ dir ^ "\n" ^ spec
+  | Query -> "query"
+  (* %.17g round-trips every float through [parse_message] exactly, so
+     replaying a journaled report feeds the controller the same bits. *)
+  | Report performance -> Printf.sprintf "report %.17g" performance
+  | Report_failed -> "report failed"
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead journal: event codec                                    *)
+
+module Event = struct
+  type t = event = Recv of message | Reply of string
+
+  let encode ~seq = function
+    | Recv m -> Printf.sprintf "%d recv %s" seq (message_to_string m)
+    | Reply text -> Printf.sprintf "%d reply %s" seq text
+
+  let decode record =
+    match String.index_opt record ' ' with
+    | None -> None
+    | Some i -> (
+        match int_of_string_opt (String.sub record 0 i) with
+        | None -> None
+        | Some seq when seq < 1 -> None
+        | Some seq -> (
+            let rest =
+              String.sub record (i + 1) (String.length record - i - 1)
+            in
+            let payload_of tag =
+              if String.starts_with ~prefix:(tag ^ " ") rest then
+                Some
+                  (String.sub rest (String.length tag + 1)
+                     (String.length rest - String.length tag - 1))
+              else None
+            in
+            match payload_of "recv" with
+            | Some text -> (
+                match parse_message text with
+                | Ok m -> Some (seq, Recv m)
+                | Error _ -> None)
+            | None -> (
+                match payload_of "reply" with
+                | Some text -> Some (seq, Reply text)
+                | None -> None)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Journaling, snapshots, recovery                                     *)
+
+let snapshot_path path = path ^ ".snapshot"
+let default_compact_every = 64
+let snapshot_magic = "harmony-snapshot"
+let snapshot_header seq = Printf.sprintf "%s 1 %d" snapshot_magic seq
+
+let parse_snapshot_header record =
+  match String.split_on_char ' ' record with
+  | [ magic; "1"; seq ] when String.equal magic snapshot_magic ->
+      int_of_string_opt seq
+  | _ -> None
+
+(* Only client messages that can change server state are journaled;
+   [Query] is read-only up to idempotent re-issue of the outstanding
+   assignment, which deterministic replay regenerates for free. *)
+let journaled_persist t message =
+  match t.persist with
+  | None -> None
+  | Some p -> (
+      match message with
+      | Register _ | Report _ | Report_failed -> Some p
+      | Query -> None)
+
+(* The session log restarts at an *accepted* register: a rejected
+   re-register leaves the live session untouched, so its events must
+   stay in the replayable essence. *)
+let extend_session_log log ~seq message reply =
+  let recv = (seq, Recv message) in
+  let rep = (seq, Reply (reply_to_string reply)) in
+  let is_register =
+    match message with
+    | Register _ -> true
+    | Query | Report _ | Report_failed -> false
+  in
+  let rejected =
+    match reply with Rejected _ -> true | Assign _ | Done _ -> false
+  in
+  if is_register && not rejected then [ rep; recv ] else rep :: recv :: log
+
+(* Snapshot = atomically-written replayable essence of the current
+   session (original seqs preserved), after which the journal restarts
+   empty.  Crash windows: before the rename we still have old snapshot
+   + full journal; between rename and reset we have new snapshot + a
+   stale journal whose seqs are all <= the header seq (skipped on
+   load); after the reset we are clean. *)
+let compact p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Frame.encode (snapshot_header p.seq));
+  List.iter
+    (fun (seq, ev) -> Buffer.add_string buf (Frame.encode (Event.encode ~seq ev)))
+    (List.rev p.session_log);
+  Persist.write_atomic ~path:p.snapshot (Buffer.contents buf);
+  Journal.reset p.journal
+
+let maybe_compact p =
+  if Journal.records p.journal > p.compact_every then compact p
+
+let handle t message =
+  (match journaled_persist t message with
+  | None -> ()
+  | Some p ->
+      (* WAL discipline: the message is durable before any state
+         changes, so a crash can lose at most the reply, never an
+         applied-but-unlogged mutation. *)
+      p.seq <- p.seq + 1;
+      Journal.append p.journal (Event.encode ~seq:p.seq (Recv message)));
+  let reply = handle_total t message in
+  (match journaled_persist t message with
+  | None -> ()
+  | Some p ->
+      Journal.append p.journal
+        (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
+      p.session_log <- extend_session_log p.session_log ~seq:p.seq message reply;
+      maybe_compact p);
+  reply
+
+let attach_journal ?(compact_every = default_compact_every) ?wrap t ~journal:path
+    () =
+  if compact_every < 1 then invalid_arg "Server.attach_journal: compact_every < 1";
+  (match t.persist with
+  | Some p -> Journal.close p.journal
+  | None -> ());
+  let _scan, journal = Journal.open_file ?wrap path in
+  (* A fresh attachment starts a fresh log: whatever sat at [path]
+     belongs to some other run (use [recover] to resume one). *)
+  Journal.reset journal;
+  Persist.remove_if_exists (snapshot_path path);
+  Persist.remove_if_exists (snapshot_path path ^ ".tmp");
+  t.persist <-
+    Some
+      { journal; snapshot = snapshot_path path; compact_every; seq = 0;
+        session_log = [] }
+
+let detach_journal t =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      Journal.close p.journal;
+      t.persist <- None
+
+(* Decode snapshot + journal into one seq-ordered event list.  Total:
+   torn tails were already dropped by the frame scan; records that do
+   not decode, a snapshot without a valid header, and stale journal
+   records (seq <= snapshot header seq) are counted as dropped. *)
+let load_events path =
+  let dropped = ref 0 in
+  let decode_record record =
+    match Event.decode record with
+    | Some ev -> Some ev
+    | None ->
+        incr dropped;
+        None
+  in
+  let snap = Journal.read (snapshot_path path) in
+  let snap_events, snap_seq =
+    match snap.Frame.records with
+    | [] -> ([], 0)
+    | header :: rest -> (
+        match parse_snapshot_header header with
+        | None ->
+            (* Unusable snapshot: fall back to the journal alone. *)
+            dropped := !dropped + 1 + List.length rest;
+            ([], 0)
+        | Some seq -> (List.filter_map decode_record rest, seq))
+  in
+  let journal_events =
+    List.filter_map
+      (fun record ->
+        match decode_record record with
+        | Some (seq, _) when seq <= snap_seq ->
+            incr dropped;
+            None
+        | Some ev -> Some ev
+        | None -> None)
+      (Journal.read path).Frame.records
+  in
+  (snap_events @ journal_events, !dropped)
+
+(* Re-apply recorded client messages to a fresh server.  Reply records
+   are cross-checks: deterministic replay must regenerate the recorded
+   reply byte-for-byte, and the first divergence (or a non-monotone
+   seq) invalidates everything after it — recovery degrades to the
+   longest self-consistent prefix. *)
+let replay_events server events =
+  let rec go events last_reply applied dropped log seq =
+    match events with
+    | [] -> (last_reply, applied, dropped, log, seq)
+    | (s, Recv m) :: rest ->
+        if s <= seq then (last_reply, applied, dropped + 1 + List.length rest, log, seq)
+        else
+          let reply = handle_total server m in
+          let log = extend_session_log log ~seq:s m reply in
+          go rest (Some reply) (applied + 1) dropped log s
+    | (s, Reply text) :: rest ->
+        let consistent =
+          s = seq
+          &&
+          match last_reply with
+          | Some r -> String.equal (reply_to_string r) text
+          | None -> false
+        in
+        if consistent then go rest last_reply applied dropped log seq
+        else (last_reply, applied, dropped + 1 + List.length rest, log, seq)
+  in
+  go events None 0 0 [] 0
+
+type recovery = {
+  server : t;
+  last_reply : reply option;
+  replayed : int;
+  dropped : int;
+}
+
+let recover ?options ?max_report_failures
+    ?(compact_every = default_compact_every) ~journal:path () =
+  if compact_every < 1 then invalid_arg "Server.recover: compact_every < 1";
+  let server = create ?options ?max_report_failures () in
+  let events, dropped_load = load_events path in
+  let last_reply, replayed, dropped_replay, session_log, seq =
+    replay_events server events
+  in
+  let _scan, journal = Journal.open_file path in
+  let p =
+    { journal; snapshot = snapshot_path path; compact_every; seq; session_log }
+  in
+  server.persist <- Some p;
+  (* Checkpoint on the way up: the recovered state becomes one atomic
+     snapshot and the journal restarts empty, so torn tails, stale
+     records and diverged suffixes are durably gone. *)
+  compact p;
+  { server; last_reply; replayed; dropped = dropped_load + dropped_replay }
+
+(* ------------------------------------------------------------------ *)
+(* Reconstructing the measurement trace from a journal                 *)
+
+let assignment_of_reply_text text =
+  match String.split_on_char ' ' text with
+  | "assign" :: pairs when pairs <> [] ->
+      let parse pair =
+        match String.index_opt pair '=' with
+        | None -> None
+        | Some i -> (
+            match
+              int_of_string_opt
+                (String.sub pair (i + 1) (String.length pair - i - 1))
+            with
+            | Some v -> Some (String.sub pair 0 i, v)
+            | None -> None)
+      in
+      let parsed = List.filter_map parse pairs in
+      if List.length parsed = List.length pairs then Some parsed else None
+  | _ -> None
+
+let journal_evaluations path =
+  let events, _dropped = load_events path in
+  let current = ref [] in
+  let last_assign = ref None in
+  (* A register tentatively restarts the trace; the paired reply at the
+     same seq can veto it (an "error" reply means the old session
+     survived). *)
+  let pending = ref None in
+  List.iter
+    (fun (seq, ev) ->
+      (match !pending with
+      | Some (ps, _, _) when seq > ps -> pending := None
+      | Some _ | None -> ());
+      match ev with
+      | Recv (Register _) ->
+          pending := Some (seq, !current, !last_assign);
+          current := [];
+          last_assign := None
+      | Recv (Report performance) -> (
+          match !last_assign with
+          | Some assignment -> current := (assignment, performance) :: !current
+          | None -> ())
+      | Recv Report_failed | Recv Query -> ()
+      | Reply text -> (
+          if String.starts_with ~prefix:"error" text then (
+            match !pending with
+            | Some (ps, saved, saved_assign) when ps = seq ->
+                current := saved;
+                last_assign := saved_assign;
+                pending := None
+            | Some _ | None -> ())
+          else
+            match assignment_of_reply_text text with
+            | Some assignment -> last_assign := Some assignment
+            | None -> ()))
+    events;
+  List.rev !current

@@ -27,7 +27,17 @@
     controller as a worst-case penalty so the search moves away from
     it, and when the budget runs out mid-faults the final [Done]
     degrades gracefully to the best configuration a client actually
-    measured. *)
+    measured.
+
+    Durability: with {!attach_journal}, every state-changing message
+    is appended to a write-ahead journal (length+CRC framed, fsync'd)
+    {e before} it is applied, its reply right after.  {!recover}
+    rebuilds the exact server state after a crash by replaying the
+    journal over the last snapshot; because the whole search stack is
+    deterministic, replay regenerates every reply byte-for-byte, and
+    the recorded replies double as an integrity cross-check.  A torn
+    or corrupt journal never raises — recovery degrades to the
+    longest self-consistent prefix. *)
 
 open Harmony_param
 
@@ -86,3 +96,94 @@ val parse_message : string -> (message, string) result
 
 val reply_to_string : reply -> string
 (** ["assign B=3 C=4"], ["done B=4 C=2 perf=57"], ["error <msg>"]. *)
+
+val message_to_string : message -> string
+(** Inverse of {!parse_message} (reports render with enough digits to
+    round-trip the float exactly — journal replay depends on it). *)
+
+(** {1 Durability & crash recovery} *)
+
+(** One journal record: a client message as received, or the reply the
+    server produced for it (rendered with {!reply_to_string}).  Both
+    carry the message's sequence number; replies are cross-checks that
+    deterministic replay must regenerate byte-for-byte. *)
+module Event : sig
+  type t = Recv of message | Reply of string
+
+  val encode : seq:int -> t -> string
+  (** The journal-record payload: ["<seq> recv <message>"] or
+      ["<seq> reply <reply>"]. *)
+
+  val decode : string -> (int * t) option
+  (** Total inverse of {!encode}; [None] on anything malformed. *)
+end
+
+val attach_journal :
+  ?compact_every:int ->
+  ?wrap:(Harmony_persist.Persist.sink -> Harmony_persist.Persist.sink) ->
+  t ->
+  journal:string ->
+  unit ->
+  unit
+(** Start write-ahead journaling to [journal] (plus
+    [journal ^ ".snapshot"] for compaction).  Attach to a {e fresh}
+    server: any existing files at those paths are discarded — use
+    {!recover} to resume a previous run.  Every [Register], [Report]
+    and [Report_failed] is made durable (fsync) before it mutates
+    state; [Query] is read-only and not journaled.  Once the journal
+    exceeds [compact_every] records (default 64) it is compacted: the
+    current session's replayable essence is written atomically to the
+    snapshot and the journal restarts empty, so the on-disk footprint
+    stays O(current session).  [wrap] interposes on the journal's file
+    sink (the crash harness injects {!Harmony_persist.Persist.fault_sink}
+    here).  While journaling, {!handle} can raise the sink's I/O
+    exceptions ({!Harmony_persist.Persist.Crashed}, [Sys_error],
+    [Unix.Unix_error]): a server that cannot persist an event must not
+    acknowledge it.
+    @raise Invalid_argument when [compact_every < 1]. *)
+
+val detach_journal : t -> unit
+(** Stop journaling and close the file; the journal and snapshot are
+    left on disk exactly as last written (recoverable). *)
+
+type recovery = {
+  server : t;  (** rebuilt server, already journaling to the same path *)
+  last_reply : reply option;
+      (** reply to the last durable message — [None] when nothing was
+          replayed; a resuming client can simply send [query] *)
+  replayed : int;  (** client messages re-applied *)
+  dropped : int;
+      (** decoded records discarded: stale (superseded by the
+          snapshot), malformed, or past the first replay divergence —
+          torn trailing bytes are dropped by the frame scan before
+          records exist and are not counted *)
+}
+
+val recover :
+  ?options:Simplex.options ->
+  ?max_report_failures:int ->
+  ?compact_every:int ->
+  journal:string ->
+  unit ->
+  recovery
+(** Rebuild a server from [journal] (and its snapshot) after a crash:
+    load the snapshot's events, append the journal's (skipping records
+    the snapshot already covers), and replay the client messages in
+    order through the deterministic search stack, checking each
+    recorded reply.  [options] and [max_report_failures] must match
+    the crashed server's for replay to be faithful.  Never raises on
+    corrupt input: missing files recover to a fresh server, torn or
+    corrupt tails are dropped, and the first inconsistency ends the
+    replay — the longest valid prefix wins.  On the way out the
+    recovered state is compacted into a fresh snapshot, so a crash
+    loop cannot re-accumulate damage.
+    @raise Invalid_argument when [compact_every < 1] (and [Sys_error] /
+    [Unix.Unix_error] if the files cannot be re-opened for writing). *)
+
+val journal_evaluations : string -> ((string * int) list * float) list
+(** The client-measured evaluations of the journal's current session,
+    oldest first: each [Report] paired with the assignment it
+    measured.  This is what flows into the experience database, so a
+    recovered run's entry can be compared byte-for-byte with an
+    uninterrupted one.  Total: corrupt input yields the valid
+    prefix. *)

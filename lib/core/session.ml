@@ -5,17 +5,24 @@ type t = {
   objective : Objective.t;
   db : History.t;
   db_path : string option;
+  checkpoint_every : int option;
   options : Tuner.options;
   mutable report : Sensitivity.report option;
 }
 
-let create ~objective ?db ?db_path ?(options = Tuner.default_options) ?measure
-    () =
+let create ~objective ?db ?db_path ?checkpoint_every ?on_salvage
+    ?(options = Tuner.default_options) ?measure () =
+  (match (checkpoint_every, db_path) with
+  | Some k, (Some _ | None) when k < 1 ->
+      invalid_arg "Session.create: checkpoint_every must be >= 1"
+  | Some _, None ->
+      invalid_arg "Session.create: checkpoint_every requires db_path"
+  | Some _, Some _ | None, (Some _ | None) -> ());
   let db =
     match (db, db_path) with
     | Some _, Some _ -> invalid_arg "Session.create: both db and db_path given"
     | Some db, None -> db
-    | None, Some path -> History.load_or_create path
+    | None, Some path -> History.load_or_create ?warn:on_salvage path
     | None, None -> History.create ()
   in
   let options =
@@ -23,7 +30,7 @@ let create ~objective ?db ?db_path ?(options = Tuner.default_options) ?measure
     | None -> options
     | Some _ -> { options with Tuner.measure }
   in
-  { objective; db; db_path; options; report = None }
+  { objective; db; db_path; checkpoint_every; options; report = None }
 
 let save_database t =
   match t.db_path with None -> () | Some path -> History.save t.db path
@@ -51,8 +58,52 @@ type tune_result = {
   retries : int;
 }
 
+(* A provisional snapshot of the database for a mid-run checkpoint: the
+   committed entries plus one in-progress entry holding the evaluations
+   made so far.  Built on a copy so the live database never contains
+   the provisional entry. *)
+let checkpoint_database t ?label ?characteristics evaluations path =
+  let copy = History.create () in
+  List.iter
+    (fun e ->
+      ignore
+        (History.add copy ~label:e.History.label
+           ~characteristics:e.History.characteristics
+           ~evaluations:e.History.evaluations ()))
+    (History.entries t.db);
+  ignore
+    (History.add copy
+       ~label:(Option.value label ~default:"run" ^ " [in progress]")
+       ~characteristics:(Option.value characteristics ~default:[||])
+       ~evaluations ());
+  History.save copy path
+
 let tune ?top_n ?characteristics ?label ?options t =
   let options = Option.value options ~default:t.options in
+  (* Opt-in incremental durability: every [checkpoint_every] completed
+     evaluations, persist the experience gathered so far, so a mid-run
+     kill loses at most that many measurements. *)
+  let options =
+    match (t.checkpoint_every, t.db_path) with
+    | None, (Some _ | None) | Some _, None -> options
+    | Some every, Some path ->
+        let rev_pending = ref [] in
+        let since_save = ref 0 in
+        let base = options.Tuner.on_evaluation in
+        let hook entry =
+          (match base with None -> () | Some f -> f entry);
+          rev_pending :=
+            (Array.copy entry.Recorder.config, entry.Recorder.performance)
+            :: !rev_pending;
+          incr since_save;
+          if !since_save >= every then begin
+            since_save := 0;
+            checkpoint_database t ?label ?characteristics
+              (List.rev !rev_pending) path
+          end
+        in
+        { options with Tuner.on_evaluation = Some hook }
+  in
   (* Optional projection onto the most sensitive parameters. *)
   let projection =
     match top_n with
@@ -99,5 +150,11 @@ let tune ?top_n ?characteristics ?label ?options t =
           s.Measure.faults,
           s.Measure.retries )
   in
+  (* With checkpointing on, replace the last provisional snapshot with
+     the clean end-of-run state (the recorded entry when characteristics
+     were given, no in-progress residue either way). *)
+  (match (t.checkpoint_every, t.db_path) with
+  | None, (Some _ | None) | Some _, None -> ()
+  | Some _, Some _ -> save_database t);
   { outcome; tuned_indices; used_experience; full_best_config; degraded;
     faults; retries }

@@ -23,15 +23,28 @@ type t
 
 val create :
   objective:Objective.t -> ?db:History.t -> ?db_path:string ->
+  ?checkpoint_every:int -> ?on_salvage:(int -> unit) ->
   ?options:Tuner.options -> ?measure:Measure.policy -> unit -> t
 (** A session around an objective.  [db] defaults to a fresh empty
     database; with [db_path] instead, the database is loaded from that
     file when it exists ({!History.load_or_create}) and {!save_database}
-    writes it back — experience then persists across executions.
+    writes it back — experience then persists across executions.  A
+    corrupt database file degrades to its salvageable prefix;
+    [on_salvage] (if given) receives the dropped line count.
+
+    [checkpoint_every] (requires [db_path]) turns on incremental
+    durability: during {!tune}, every K completed evaluations the
+    database is atomically re-saved with the evaluations made so far as
+    a provisional "[in progress]" entry, so a mid-run kill loses at
+    most K measurements.  A run that completes normally replaces the
+    provisional snapshot with the clean final state.
+
     [options] defaults to {!Tuner.default_options} (improved spread
     init); [measure], when given, overrides [options.measure] and runs
     every tune through the fault-tolerant measurement pipeline.
-    @raise Invalid_argument when both [db] and [db_path] are given. *)
+    @raise Invalid_argument when both [db] and [db_path] are given,
+    when [checkpoint_every < 1], or when [checkpoint_every] is given
+    without [db_path]. *)
 
 val save_database : t -> unit
 (** Persist the experience database to the session's [db_path]; a

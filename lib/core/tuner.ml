@@ -6,6 +6,7 @@ type options = {
   max_evaluations : int;
   tolerance : float;
   measure : Measure.policy option;
+  on_evaluation : (Recorder.entry -> unit) option;
 }
 
 let default_options =
@@ -14,6 +15,7 @@ let default_options =
     max_evaluations = 400;
     tolerance = 1e-3;
     measure = None;
+    on_evaluation = None;
   }
 
 let original_options = { default_options with init = Simplex.Init.Extremes }
@@ -40,7 +42,7 @@ let tune ?(options = default_options) obj =
         let robust, handle = Measure.robust ~policy obj in
         (robust, Some handle)
   in
-  let recorder, recorded = Recorder.wrap measured in
+  let recorder, recorded = Recorder.wrap ?on_record:options.on_evaluation measured in
   let simplex_options =
     {
       Simplex.init = options.init;

@@ -19,11 +19,15 @@ type options = {
           measurement pipeline ({!Measure.robust}): retries with
           capped backoff, median-of-k vetting, and worst-case
           penalties for measurements that stay broken *)
+  on_evaluation : (Recorder.entry -> unit) option;
+      (** called after each recorded evaluation — the hook
+          {!Session}'s incremental experience checkpointing uses *)
 }
 
 val default_options : options
 (** [Spread] init, 400 evaluations, tolerance 1e-3, no measurement
-    policy — mirror of {!Simplex.default_options}. *)
+    policy, no evaluation hook — mirror of
+    {!Simplex.default_options}. *)
 
 val original_options : options
 (** The pre-improvement Active Harmony behaviour: [Extremes]

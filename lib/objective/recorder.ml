@@ -3,13 +3,14 @@ open Harmony_param
 type entry = { index : int; config : Space.config; performance : float }
 type t = { mutable rev_entries : entry list; mutable next : int }
 
-let wrap obj =
+let wrap ?on_record obj =
   let r = { rev_entries = []; next = 0 } in
   let eval c =
     let performance = obj.Objective.eval c in
-    r.rev_entries <-
-      { index = r.next; config = Array.copy c; performance } :: r.rev_entries;
+    let entry = { index = r.next; config = Array.copy c; performance } in
+    r.rev_entries <- entry :: r.rev_entries;
     r.next <- r.next + 1;
+    (match on_record with None -> () | Some f -> f entry);
     performance
   in
   (r, { obj with Objective.eval })

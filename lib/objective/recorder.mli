@@ -12,9 +12,12 @@ type entry = { index : int; config : Space.config; performance : float }
 
 type t
 
-val wrap : Objective.t -> t * Objective.t
+val wrap : ?on_record:(entry -> unit) -> Objective.t -> t * Objective.t
 (** [wrap obj] returns a recorder and an objective that behaves like
-    [obj] but logs every evaluation (in order) into the recorder. *)
+    [obj] but logs every evaluation (in order) into the recorder.
+    [on_record] is called with each entry right after it is logged —
+    the hook incremental checkpointing hangs off (exceptions it raises
+    propagate out of the evaluation). *)
 
 val entries : t -> entry list
 (** All evaluations, oldest first. *)

@@ -133,6 +133,93 @@ let test_load_malformed () =
       | exception Failure _ -> ()
       | _ -> Alcotest.fail "expected Failure on malformed input")
 
+let write_file path text =
+  let oc = open_out_bin path in
+  output_string oc text;
+  close_out oc
+
+let test_load_salvage_truncated () =
+  let full =
+    "entry 0 shopping\nchars 1\neval 10 1\nend\n\
+     entry 1 ordering\nchars 2\neval 20 2\nend\n"
+  in
+  (* Cut mid-way through the second entry's eval line, leaving the
+     malformed fragment "ev": the first entry survives, the
+     half-written one is dropped and counted. *)
+  let rec find i =
+    if String.sub full i 7 = "eval 20" then i else find (i + 1)
+  in
+  let path = Filename.temp_file "harmony_history" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path (String.sub full 0 (find 0 + 2));
+      let salvaged, dropped = History.load_salvage path in
+      Alcotest.(check int) "first entry survives" 1 (History.size salvaged);
+      Alcotest.(check string) "and is intact" "shopping"
+        (List.hd (History.entries salvaged)).History.label;
+      Alcotest.(check int) "drop reported" 1 dropped;
+      (* The strict loader still refuses. *)
+      match History.load path with
+      | exception Failure _ -> ()
+      | _ -> Alcotest.fail "strict load accepted a truncated file")
+
+let test_load_salvage_garbage () =
+  let path = Filename.temp_file "harmony_history" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "\x00\xff total garbage\nnot a db\n";
+      let salvaged, dropped = History.load_salvage path in
+      Alcotest.(check int) "nothing salvaged" 0 (History.size salvaged);
+      Alcotest.(check int) "both lines dropped" 2 dropped)
+
+let test_load_salvage_mid_entry_poisons_entry () =
+  let path = Filename.temp_file "harmony_history" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path
+        "entry 0 ok\nchars 1\neval 10 1\nend\nentry 1 bad\nchars 2\nbogus\nend\n";
+      let salvaged, dropped = History.load_salvage path in
+      Alcotest.(check int) "clean entry kept" 1 (History.size salvaged);
+      Alcotest.(check string) "the right one" "ok"
+        (List.hd (History.entries salvaged)).History.label;
+      (* The in-progress entry goes down with its malformed line. *)
+      Alcotest.(check int) "poisoned tail counted" 2 dropped)
+
+let test_load_salvage_missing_file () =
+  let salvaged, dropped = History.load_salvage "/nonexistent/harmony/history" in
+  Alcotest.(check int) "empty" 0 (History.size salvaged);
+  Alcotest.(check int) "nothing dropped" 0 dropped
+
+let test_load_or_create_salvages_with_warning () =
+  let path = Filename.temp_file "harmony_history" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      write_file path "entry 0 ok\nchars 1\neval 10 1\nend\ngarbage tail\n";
+      let warned = ref (-1) in
+      let db = History.load_or_create ~warn:(fun n -> warned := n) path in
+      Alcotest.(check int) "salvaged prefix" 1 (History.size db);
+      Alcotest.(check int) "warning delivered" 1 !warned;
+      (* A clean file stays silent. *)
+      History.save db path;
+      let silent = ref true in
+      let _ = History.load_or_create ~warn:(fun _ -> silent := false) path in
+      Alcotest.(check bool) "no warning on clean input" true !silent)
+
+let test_save_is_atomic_leaves_no_tmp () =
+  let db = sample_db () in
+  let path = Filename.temp_file "harmony_history" ".db" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      History.save db path;
+      Alcotest.(check bool) "no tmp residue" false
+        (Sys.file_exists (path ^ ".tmp"));
+      Alcotest.(check int) "readable" 2 (History.size (History.load path)))
+
 let test_compress_noop_when_small () =
   let db = sample_db () in
   let out = History.compress (Harmony_numerics.Rng.create 1) db ~max_entries:5 in
@@ -215,6 +302,15 @@ let suite =
     Alcotest.test_case "save load roundtrip" `Quick test_save_load_roundtrip;
     Alcotest.test_case "label with spaces" `Quick test_save_load_label_with_spaces;
     Alcotest.test_case "load malformed" `Quick test_load_malformed;
+    Alcotest.test_case "salvage truncated" `Quick test_load_salvage_truncated;
+    Alcotest.test_case "salvage garbage" `Quick test_load_salvage_garbage;
+    Alcotest.test_case "salvage poisoned entry" `Quick
+      test_load_salvage_mid_entry_poisons_entry;
+    Alcotest.test_case "salvage missing file" `Quick
+      test_load_salvage_missing_file;
+    Alcotest.test_case "load_or_create warns" `Quick
+      test_load_or_create_salvages_with_warning;
+    Alcotest.test_case "save atomic" `Quick test_save_is_atomic_leaves_no_tmp;
     Alcotest.test_case "compress noop" `Quick test_compress_noop_when_small;
     Alcotest.test_case "compress merges clusters" `Quick test_compress_merges_clusters;
     Alcotest.test_case "compress invalid" `Quick test_compress_invalid;

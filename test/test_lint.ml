@@ -100,7 +100,11 @@ let t1_flags_partials () =
   check_rules "List.assoc flagged" [ "T1" ] ~path:"lib/core/x.ml"
     "let f k xs = List.assoc k xs";
   check_rules "Queue.pop flagged" [ "T1" ] ~path:"lib/des/x.ml"
-    "let f q = Queue.pop q"
+    "let f q = Queue.pop q";
+  (* The durability layer is inside T1's scope: a raising partial on the
+     recovery path would defeat "corrupt input never raises". *)
+  check_rules "lib/persist is covered" [ "T1" ] ~path:"lib/persist/x.ml"
+    "let f xs = List.hd xs"
 
 let t1_allows_opt_variants () =
   check_rules "_opt variants are the fix" [] ~path:"lib/core/x.ml"

@@ -96,6 +96,100 @@ let test_save_without_path_is_noop () =
   let s = Session.create ~objective:obj () in
   Session.save_database s
 
+let with_db_path f =
+  let path = Filename.temp_file "harmony_session" ".db" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* An objective that "crashes the process" (raises) after [n]
+   successful evaluations — the mid-run kill of the checkpoint tests. *)
+let crashing_after n =
+  let count = ref 0 in
+  {
+    obj with
+    Objective.eval =
+      (fun c ->
+        incr count;
+        if !count > n then raise Exit else obj.Objective.eval c);
+  }
+
+let test_checkpoint_validation () =
+  Alcotest.check_raises "k < 1"
+    (Invalid_argument "Session.create: checkpoint_every must be >= 1")
+    (fun () ->
+      ignore
+        (Session.create ~objective:obj ~db_path:"/tmp/x" ~checkpoint_every:0 ()));
+  Alcotest.check_raises "no db_path"
+    (Invalid_argument "Session.create: checkpoint_every requires db_path")
+    (fun () -> ignore (Session.create ~objective:obj ~checkpoint_every:4 ()))
+
+let test_checkpoint_bounds_loss () =
+  with_db_path (fun path ->
+      let completed = 10 and k = 3 in
+      let session =
+        Session.create ~objective:(crashing_after completed) ~db_path:path
+          ~checkpoint_every:k ()
+      in
+      (match Session.tune ~label:"w" ~characteristics:[| 0.5 |] session with
+      | exception Exit -> ()
+      | _ -> Alcotest.fail "expected the mid-run crash to propagate");
+      (* The checkpoint file is a complete, clean database... *)
+      let db, dropped = History.load_salvage path in
+      Alcotest.(check int) "checkpoint file is clean" 0 dropped;
+      Alcotest.(check int) "one provisional entry" 1 (History.size db);
+      let e = List.hd (History.entries db) in
+      Alcotest.(check bool) "marked in progress" true
+        (String.ends_with ~suffix:"[in progress]" e.History.label);
+      (* ...holding every evaluation up to the last checkpoint: a kill
+         loses at most K measurements. *)
+      let persisted = List.length e.History.evaluations in
+      Alcotest.(check int) "persisted at the last multiple of K"
+        (completed / k * k) persisted;
+      Alcotest.(check bool) "lost at most K" true (completed - persisted < k))
+
+let test_checkpoint_clean_completion_replaces_provisional () =
+  with_db_path (fun path ->
+      let session =
+        Session.create ~objective:obj ~db_path:path ~checkpoint_every:2
+          ~options:{ Tuner.default_options with Tuner.max_evaluations = 9 }
+          ()
+      in
+      let _ = Session.tune ~label:"w1" ~characteristics:[| 0.5 |] session in
+      (* Strict load: the final state is clean, with the committed entry
+         and no in-progress residue. *)
+      let db = History.load path in
+      Alcotest.(check int) "single committed entry" 1 (History.size db);
+      Alcotest.(check string) "clean label" "w1"
+        (List.hd (History.entries db)).History.label)
+
+let test_checkpoint_without_characteristics_clears () =
+  with_db_path (fun path ->
+      let session =
+        Session.create ~objective:obj ~db_path:path ~checkpoint_every:2
+          ~options:{ Tuner.default_options with Tuner.max_evaluations = 9 }
+          ()
+      in
+      let _ = Session.tune session in
+      (* Provisional checkpoints were written during the run, but an
+         unrecorded run's clean final state is an empty database. *)
+      Alcotest.(check int) "no residue" 0 (History.size (History.load path)))
+
+let test_create_surfaces_salvage_warning () =
+  with_db_path (fun path ->
+      let oc = open_out_bin path in
+      output_string oc "entry 0 ok\nchars 1\neval 10 1\nend\ngarbage\n";
+      close_out oc;
+      let warned = ref 0 in
+      let s =
+        Session.create ~objective:obj ~db_path:path
+          ~on_salvage:(fun n -> warned := n)
+          ()
+      in
+      Alcotest.(check int) "salvage warning surfaced" 1 !warned;
+      Alcotest.(check int) "prefix loaded" 1 (History.size (Session.database s)))
+
 let suite =
   [
     Alcotest.test_case "prioritize cached" `Quick test_prioritize_cached;
@@ -107,4 +201,12 @@ let suite =
     Alcotest.test_case "db_path persists" `Quick test_db_path_persists;
     Alcotest.test_case "db and db_path conflict" `Quick test_db_and_path_conflict;
     Alcotest.test_case "save without path" `Quick test_save_without_path_is_noop;
+    Alcotest.test_case "checkpoint validation" `Quick test_checkpoint_validation;
+    Alcotest.test_case "checkpoint bounds loss" `Quick test_checkpoint_bounds_loss;
+    Alcotest.test_case "checkpoint clean completion" `Quick
+      test_checkpoint_clean_completion_replaces_provisional;
+    Alcotest.test_case "checkpoint clears unrecorded run" `Quick
+      test_checkpoint_without_characteristics_clears;
+    Alcotest.test_case "create surfaces salvage warning" `Quick
+      test_create_surfaces_salvage_warning;
   ]
