@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint test test-fast test-crash bench bench-quick experiments examples clean
+.PHONY: all build lint test test-fast test-crash trace-smoke bench bench-quick experiments examples clean
 
 all: build
 
@@ -30,6 +30,17 @@ test-fast: lint
 test-crash:
 	dune exec test/test_main.exe -- test persist
 	dune exec test/test_main.exe -- test crash
+
+# Telemetry end-to-end (DESIGN.md §11): a seeded tune records a JSONL
+# trace, `stats` summarizes it back, and the same run exports a Chrome
+# trace.  The artifacts land in trace-smoke/ (CI uploads them).
+trace-smoke:
+	mkdir -p trace-smoke
+	dune exec bin/harmony_cli.exe -- tune --budget 60 --seed 7 --top-n 4 \
+	  --telemetry trace-smoke/tune.jsonl --trace-csv trace-smoke/tune.csv
+	dune exec bin/harmony_cli.exe -- stats trace-smoke/tune.jsonl
+	dune exec bin/harmony_cli.exe -- tune --budget 60 --seed 7 --top-n 4 \
+	  --telemetry trace-smoke/tune.json,chrome > /dev/null
 
 bench:
 	dune exec bench/main.exe

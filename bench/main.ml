@@ -24,6 +24,27 @@ module Space = Harmony_param.Space
 module Rsl = Harmony_param.Rsl
 module Report = Harmony_experiments.Report
 module Pool = Harmony_parallel.Pool
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
+
+(* Each bench part runs under its own telemetry handle with a wall
+   clock (milliseconds since the part started — bin/-side clocks are
+   allowed, lib/ never reads one) and leaves a Chrome trace next to
+   the working directory as BENCH_<id>.json.  The handle is the same
+   registry the tuning stack reports into, so a part that threads it
+   down (see ablation_estimator) records real simplex/measure spans. *)
+let bench_part id f =
+  let start = Unix.gettimeofday () in
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> (Unix.gettimeofday () -. start) *. 1e3) ()
+  in
+  let result = Telemetry.span telemetry ("bench." ^ id) (fun () -> f telemetry) in
+  Telemetry.gauge telemetry "bench.wall_ms"
+    ((Unix.gettimeofday () -. start) *. 1e3);
+  let file = "BENCH_" ^ id ^ ".json" in
+  Out_channel.with_open_text file (fun oc ->
+      Out_channel.output_string oc (Export.chrome telemetry));
+  result
 
 let jobs =
   match Sys.getenv_opt "HARMONY_JOBS" with
@@ -81,10 +102,16 @@ let ablation_init pool =
 
 (* 2b. Estimator vertex choice: prediction error on held-out points of
    a tuning trace, in a static and a drifting environment. *)
-let ablation_estimator () =
+let ablation_estimator telemetry =
   let obj = Ws.Model.objective ~mix:Ws.Tpcw.shopping () in
   let space = obj.Objective.space in
-  let outcome = Tuner.tune ~options:{ Tuner.default_options with Tuner.max_evaluations = 120 } obj in
+  (* This tune is sequential, so the bench part's handle can record
+     its simplex/measure spans directly. *)
+  let outcome =
+    Tuner.tune ~telemetry
+      ~options:{ Tuner.default_options with Tuner.max_evaluations = 120 }
+      obj
+  in
   let points =
     List.map (fun e -> (e.Recorder.config, e.Recorder.performance)) outcome.Tuner.trace
   in
@@ -343,10 +370,14 @@ let ablations pool =
   List.iter
     (fun t -> Report.print Format.std_formatter t)
     [
-      ablation_init pool; ablation_estimator (); ablation_classifier ();
-      ablation_sensitivity_repeats pool; ablation_faults pool;
-      ablation_parallel ();
-    ]
+      bench_part "ablation-init" (fun _ -> ablation_init pool);
+      bench_part "ablation-estimator" ablation_estimator;
+      bench_part "ablation-classifier" (fun _ -> ablation_classifier ());
+      bench_part "ablation-repeats" (fun _ -> ablation_sensitivity_repeats pool);
+      bench_part "ablation-faults" (fun _ -> ablation_faults pool);
+      bench_part "ablation-parallel" (fun _ -> ablation_parallel ());
+    ];
+  Format.printf "@.telemetry: BENCH_<id>.json (Chrome traces, one per ablation)@."
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                   *)

@@ -14,6 +14,9 @@ module Rng = Harmony_numerics.Rng
 module Ws = Harmony_webservice
 module Generator = Harmony_datagen.Generator
 module Pool = Harmony_parallel.Pool
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
+module Summary = Harmony_telemetry.Summary
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -89,7 +92,8 @@ let memo_arg =
   in
   Arg.(value & flag & info [ "memo" ] ~doc)
 
-let objective_of ~system ~mix ~seed ~noise ?(memo = false) () =
+let objective_of ~system ~mix ~seed ~noise ?(memo = false)
+    ?(telemetry = Telemetry.off) () =
   let base =
     match system with
     | "model" -> Ws.Model.objective ~mix:(Ws.Tpcw.mix_of_label mix) ()
@@ -107,7 +111,7 @@ let objective_of ~system ~mix ~seed ~noise ?(memo = false) () =
   in
   (* Cache below, noise on top: the ordering Objective.cached enforces
      for live noise. *)
-  let base = if memo then Objective.cached base else base in
+  let base = if memo then Objective.cached ~telemetry base else base in
   if noise > 0.0 then Objective.with_noise (Rng.create seed) ~level:noise base
   else base
 
@@ -165,8 +169,49 @@ let tune_cmd =
     let doc = "Write the tuning trace (one measurement per line) to FILE." in
     Arg.(value & opt (some string) None & info [ "trace-csv" ] ~docv:"FILE" ~doc)
   in
-  let run system mix budget seed noise memo faults init top_n trace_csv =
-    match (objective_of ~system ~mix ~seed ~noise ~memo (), parse_faults faults) with
+  let telemetry_arg =
+    let doc =
+      "Record a telemetry trace of the run (phase spans, per-evaluation \
+       events, metrics) to FILE.  FORMAT is 'jsonl' (default; readable back \
+       with $(b,harmony_cli stats)), 'chrome' (load into about:tracing / \
+       Perfetto) or 'prometheus' (metrics only); without it the format is \
+       inferred from the file extension.  The trace uses a logical clock \
+       (event sequence numbers), so a seeded run's trace is reproducible, \
+       and recording never changes the tuning result."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "telemetry" ] ~docv:"FILE[,FORMAT]" ~doc)
+  in
+  let parse_telemetry = function
+    | None -> Ok None
+    | Some text -> (
+        match String.rindex_opt text ',' with
+        | None -> Ok (Some (text, Export.format_of_filename text))
+        | Some i -> (
+            let file = String.sub text 0 i in
+            let fmt = String.sub text (i + 1) (String.length text - i - 1) in
+            match Export.format_of_string fmt with
+            | Some format when file <> "" -> Ok (Some (file, format))
+            | _ ->
+                Error
+                  ("cannot parse --telemetry " ^ text ^ " (want FILE[,FORMAT])")))
+  in
+  let run system mix budget seed noise memo faults init top_n trace_csv
+      telemetry_spec =
+    match parse_telemetry telemetry_spec with
+    | Error msg -> `Error (false, msg)
+    | Ok telemetry_out ->
+    let telemetry =
+      match telemetry_out with
+      | None -> Telemetry.off
+      | Some _ -> Telemetry.create ()
+    in
+    match
+      (objective_of ~system ~mix ~seed ~noise ~memo ~telemetry (),
+       parse_faults faults)
+    with
     | exception Invalid_argument msg -> `Error (false, msg)
     | _, Error msg -> `Error (false, msg)
     | objective, Ok faults ->
@@ -188,7 +233,7 @@ let tune_cmd =
           { Tuner.default_options with Tuner.init; max_evaluations = budget;
             measure }
         in
-        let session = Session.create ~objective ~options () in
+        let session = Session.create ~objective ~options ~telemetry () in
         let r = Session.tune ?top_n session in
         let space = objective.Objective.space in
         Format.printf "tuned parameters:  %s@."
@@ -205,13 +250,12 @@ let tune_cmd =
         (match trace_csv with
         | None -> ()
         | Some file ->
-            let tuned_space =
-              Space.create
-                (List.map (Space.param space) r.Session.tuned_indices)
-            in
+            (* Session.trace_csv renders the trace over the *full*
+               space: with --top-n the frozen parameters appear as
+               constant columns at their pinned values instead of
+               being dropped. *)
             Out_channel.with_open_text file (fun oc ->
-                Out_channel.output_string oc
-                  (Tuner.trace_csv tuned_space r.Session.outcome));
+                Out_channel.output_string oc (Session.trace_csv session r));
             Format.printf "trace written to   %s@." file);
         (match r.Session.outcome.Tuner.measurement with
         | None -> ()
@@ -219,6 +263,14 @@ let tune_cmd =
             Format.printf "measurement:       %a@." Measure.pp_summary s;
             Format.printf "degraded:          %b@." r.Session.degraded);
         print_memo_stats objective;
+        (match telemetry_out with
+        | None -> ()
+        | Some (file, format) ->
+            Out_channel.with_open_text file (fun oc ->
+                Out_channel.output_string oc (Export.render telemetry format));
+            Format.printf "telemetry written to %s (%s, %d events)@." file
+              (Export.format_to_string format)
+              (Telemetry.event_count telemetry));
         `Ok ()
   in
   let doc = "Tune a built-in system with Active Harmony." in
@@ -226,7 +278,8 @@ let tune_cmd =
     Term.(
       ret
         (const run $ system_arg $ mix_arg $ budget_arg $ seed_arg $ noise_arg
-       $ memo_arg $ faults_arg $ init_arg $ top_n_arg $ trace_csv_arg))
+       $ memo_arg $ faults_arg $ init_arg $ top_n_arg $ trace_csv_arg
+       $ telemetry_arg))
 
 (* ------------------------------------------------------------------ *)
 (* prioritize                                                          *)
@@ -346,6 +399,35 @@ let factorial_cmd =
     Term.(ret (const run $ system_arg $ mix_arg $ seed_arg $ noise_arg $ design_arg))
 
 (* ------------------------------------------------------------------ *)
+(* stats                                                               *)
+
+let stats_cmd =
+  let file_arg =
+    let doc =
+      "JSONL telemetry trace, as written by $(b,tune --telemetry FILE.jsonl)."
+    in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Summary.of_jsonl text with
+    | Error msg -> `Error (false, file ^ ": " ^ msg)
+    | Ok summary ->
+        print_string (Summary.to_string summary);
+        `Ok ()
+  in
+  let doc =
+    "Summarize a JSONL telemetry trace: span durations, instants, counters, \
+     gauges and histograms."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ file_arg))
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 
 let serve_cmd =
@@ -368,6 +450,13 @@ let serve_cmd =
   let run budget journal recover =
     let options =
       { Simplex.default_options with Simplex.max_evaluations = budget }
+    in
+    (* The serve loop is the one place a wall clock is injected: span
+       timestamps and handle latencies are milliseconds since startup.
+       lib/ itself never reads a clock (lint rule D1). *)
+    let start = Unix.gettimeofday () in
+    let telemetry =
+      Telemetry.create ~clock:(fun () -> (Unix.gettimeofday () -. start) *. 1e3) ()
     in
     (* Line protocol on stdin/stdout.  `register min|max` keeps reading
        specification lines until a blank line or EOF. *)
@@ -404,19 +493,20 @@ let serve_cmd =
       in
       Format.printf
         "harmony tuning server: 'register min|max' + RSL lines + blank line, \
-         then 'query' / 'report <perf>' / 'report failed' / 'quit'@.";
+         then 'query' / 'report <perf>' / 'report failed' / 'metrics' / \
+         'quit'@.";
       loop ();
       `Ok ()
     in
     match (journal, recover) with
     | None, true -> `Error (false, "--recover requires --journal")
-    | None, false -> serve (Server.create ~options ())
+    | None, false -> serve (Server.create ~options ~telemetry ())
     | Some path, false ->
-        let server = Server.create ~options () in
+        let server = Server.create ~options ~telemetry () in
         Server.attach_journal server ~journal:path ();
         serve server
     | Some path, true ->
-        let r = Server.recover ~options ~journal:path () in
+        let r = Server.recover ~options ~telemetry ~journal:path () in
         Format.printf "recovered from %s: %d event(s) replayed, %d dropped@."
           path r.Server.replayed r.Server.dropped;
         (match r.Server.last_reply with
@@ -552,5 +642,5 @@ let () =
   exit (Cmd.eval (Cmd.group info
        [
          experiment_cmd; tune_cmd; prioritize_cmd; factorial_cmd; serve_cmd;
-         rsl_cmd; rules_cmd; db_cmd;
+         stats_cmd; rsl_cmd; rules_cmd; db_cmd;
        ]))

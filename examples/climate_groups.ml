@@ -60,6 +60,7 @@ let () =
         let o = List.assoc "OCEAN" best in
         (l, o, performance)
     | Server.Rejected msg -> failwith ("server rejected: " ^ msg)
+    | Server.Stats _ -> failwith "unexpected stats reply"
   in
   let l, o, best_time =
     session

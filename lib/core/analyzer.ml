@@ -34,10 +34,18 @@ type preparation = {
   estimated_vertices : int;
 }
 
-let prepare ?(fallback = Simplex.Init.Spread) t obj ~characteristics =
-  match classify t characteristics with
+module Telemetry = Harmony_telemetry.Telemetry
+
+let prepare ?(telemetry = Telemetry.off) ?(fallback = Simplex.Init.Spread) t obj
+    ~characteristics =
+  let matched =
+    Telemetry.span telemetry "history.lookup" (fun () ->
+        classify t characteristics)
+  in
+  match matched with
   | None ->
       Log.info (fun m -> m "no matching experience; cold start");
+      Telemetry.instant telemetry "history.cold-start";
       { matched = None; init = fallback; estimated_vertices = 0 }
   | Some entry ->
       let space = obj.Objective.space in
@@ -122,9 +130,10 @@ let prepare ?(fallback = Simplex.Init.Spread) t obj ~characteristics =
           in
           if points = [] then List.map (fun c -> (c, None)) targets
           else
-            List.map
-              (fun (c, p) -> (c, Some p))
-              (Estimator.fill ~space ~points ~targets ())
+            Telemetry.span telemetry "estimator.fill" (fun () ->
+                List.map
+                  (fun (c, p) -> (c, Some p))
+                  (Estimator.fill ~space ~points ~targets ()))
         end
       in
       let estimated_vertices =
@@ -134,16 +143,26 @@ let prepare ?(fallback = Simplex.Init.Spread) t obj ~characteristics =
           m "matched experience %S (%d seeds, %d estimated, trusted %b)"
             entry.History.label (List.length trusted) estimated_vertices
             exact_match);
+      Telemetry.instant telemetry "history.matched"
+        ~args:
+          [
+            ("label", Telemetry.Str entry.History.label);
+            ("seeds", Telemetry.Int (List.length trusted));
+            ("estimated", Telemetry.Int estimated_vertices);
+            ("trusted", Telemetry.Bool exact_match);
+          ];
       {
         matched = Some entry;
         init = Simplex.Init.Seeded (trusted @ estimated);
         estimated_vertices;
       }
 
-let tune_with_experience ?(options = Tuner.default_options) ?label t obj
-    ~characteristics =
-  let preparation = prepare ~fallback:options.Tuner.init t obj ~characteristics in
+let tune_with_experience ?(telemetry = Telemetry.off)
+    ?(options = Tuner.default_options) ?label t obj ~characteristics =
+  let preparation =
+    prepare ~telemetry ~fallback:options.Tuner.init t obj ~characteristics
+  in
   let options = { options with Tuner.init = preparation.init } in
-  let outcome = Tuner.tune ~options obj in
+  let outcome = Tuner.tune ~telemetry ~options obj in
   ignore (History.add_outcome t.db ?label ~characteristics outcome);
   (outcome, preparation)

@@ -41,6 +41,7 @@ type preparation = {
 }
 
 val prepare :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?fallback:Simplex.Init.t ->
   t ->
   Objective.t ->
@@ -55,9 +56,15 @@ val prepare :
     similar workload the configurations seed the simplex but are
     re-measured (stale values would anchor the search to a falsely
     good vertex).  Without a match, returns [fallback] (default
-    {!Simplex.Init.Spread}) untouched. *)
+    {!Simplex.Init.Spread}) untouched.
+
+    With a live [telemetry] handle the classification is bracketed by
+    a [history.lookup] span, triangulation by an [estimator.fill]
+    span, and the decision surfaces as a [history.matched] or
+    [history.cold-start] instant. *)
 
 val tune_with_experience :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?options:Tuner.options ->
   ?label:string ->
   t ->

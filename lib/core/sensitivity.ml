@@ -24,9 +24,13 @@ let subsample n count =
         let f = float_of_int i /. float_of_int (count - 1) in
         int_of_float (Float.round (f *. float_of_int (n - 1))))
 
-let analyze ?pool ?(max_points = 16) ?(repeats = 1) obj =
+module Telemetry = Harmony_telemetry.Telemetry
+
+let analyze ?(telemetry = Telemetry.off) ?pool ?(max_points = 16) ?(repeats = 1)
+    obj =
   if max_points < 2 then invalid_arg "Sensitivity.analyze: max_points < 2";
   if repeats < 1 then invalid_arg "Sensitivity.analyze: repeats < 1";
+  Telemetry.span telemetry "sensitivity" @@ fun () ->
   let space = obj.Objective.space in
   let defaults = Space.defaults space in
   let score_param index =
@@ -79,6 +83,19 @@ let analyze ?pool ?(max_points = 16) ?(repeats = 1) obj =
         Harmony_parallel.Pool.map_array pool score_param indices
     | _ -> Array.map score_param indices
   in
+  (* Per-parameter instants are emitted here, sequentially over the
+     finished scores, so the trace is identical whether the sweeps ran
+     pooled or not. *)
+  Array.iter
+    (fun s ->
+      Telemetry.instant telemetry "sensitivity.param"
+        ~args:
+          [
+            ("name", Telemetry.Str s.name);
+            ("sensitivity", Telemetry.Num s.sensitivity);
+          ];
+      Telemetry.incr telemetry ~by:s.evaluations "sensitivity.evaluations")
+    scores;
   { scores }
 
 let ranked report =

@@ -34,6 +34,7 @@ val subsample : int -> int -> int array
     division by zero). *)
 
 val analyze :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?pool:Harmony_parallel.Pool.t ->
   ?max_points:int ->
   ?repeats:int ->
@@ -50,7 +51,13 @@ val analyze :
     are independent by construction, so the report is identical to
     the sequential one.  Objectives marked {!Objective.noisy} ignore
     [pool] and stay sequential: their shared noise stream would make
-    the draw order (and hence the scores) depend on scheduling. *)
+    the draw order (and hence the scores) depend on scheduling.
+
+    With a live [telemetry] handle the whole sweep is bracketed by a
+    [sensitivity] span, each parameter yields a [sensitivity.param]
+    instant (emitted after the sweeps, in parameter order, so the
+    trace does not depend on pool scheduling), and
+    [sensitivity.evaluations] counts the points measured. *)
 
 val ranked : report -> score array
 (** Scores sorted by decreasing sensitivity (ties by parameter

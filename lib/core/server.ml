@@ -3,6 +3,8 @@ open Harmony_objective
 module Frame = Harmony_persist.Frame
 module Persist = Harmony_persist.Persist
 module Journal = Harmony_persist.Journal
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
 
 type direction = Minimize | Maximize
 
@@ -11,11 +13,13 @@ type message =
   | Query
   | Report of float
   | Report_failed
+  | Metrics
 
 type reply =
   | Assign of (string * int) list
   | Done of { best : (string * int) list; performance : float }
   | Rejected of string
+  | Stats of string
 
 type session = {
   rsl : Rsl.t;
@@ -50,14 +54,16 @@ type persist = {
 type t = {
   options : Simplex.options;
   max_report_failures : int;
+  telemetry : Telemetry.t;
   mutable session : session option;
   mutable persist : persist option;
 }
 
-let create ?(options = Simplex.default_options) ?(max_report_failures = 3) () =
+let create ?(options = Simplex.default_options) ?(max_report_failures = 3)
+    ?(telemetry = Telemetry.off) () =
   if max_report_failures < 1 then
     invalid_arg "Server.create: max_report_failures < 1";
-  { options; max_report_failures; session = None; persist = None }
+  { options; max_report_failures; telemetry; session = None; persist = None }
 
 let spec t = Option.map (fun s -> s.rsl) t.session
 
@@ -107,8 +113,18 @@ let next_reply session =
       in
       Done { best = assignment_of_config session best_config; performance }
 
+let message_kind = function
+  | Register _ -> "register"
+  | Query -> "query"
+  | Report _ -> "report"
+  | Report_failed -> "report-failed"
+  | Metrics -> "metrics"
+
 let handle_message t message =
   match (message, t.session) with
+  (* Read-only introspection: the server's own metrics registry in
+     Prometheus text form.  Valid in any state, never journaled. *)
+  | Metrics, _ -> Stats (Export.prometheus t.telemetry)
   | Register { spec; direction }, _ -> (
       match Rsl.parse spec with
       | exception Rsl.Parse_error msg -> Rejected ("bad specification: " ^ msg)
@@ -219,6 +235,7 @@ let parse_message text =
   | None -> (
       match String.split_on_char ' ' text with
       | [ "query" ] -> Ok Query
+      | [ "metrics" ] -> Ok Metrics
       | [ "report"; "failed" ] -> Ok Report_failed
       | [ "report"; value ] -> (
           match float_of_string_opt value with
@@ -241,6 +258,7 @@ let reply_to_string = function
         (String.concat " " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) best))
         performance
   | Rejected msg -> "error " ^ msg
+  | Stats text -> "stats\n" ^ String.trim text
 
 let message_to_string = function
   | Register { spec; direction } ->
@@ -251,6 +269,7 @@ let message_to_string = function
      replaying a journaled report feeds the controller the same bits. *)
   | Report performance -> Printf.sprintf "report %.17g" performance
   | Report_failed -> "report failed"
+  | Metrics -> "metrics"
 
 (* ------------------------------------------------------------------ *)
 (* Write-ahead journal: event codec                                    *)
@@ -314,7 +333,7 @@ let journaled_persist t message =
   | Some p -> (
       match message with
       | Register _ | Report _ | Report_failed -> Some p
-      | Query -> None)
+      | Query | Metrics -> None)
 
 (* The session log restarts at an *accepted* register: a rejected
    re-register leaves the live session untouched, so its events must
@@ -325,10 +344,12 @@ let extend_session_log log ~seq message reply =
   let is_register =
     match message with
     | Register _ -> true
-    | Query | Report _ | Report_failed -> false
+    | Query | Report _ | Report_failed | Metrics -> false
   in
   let rejected =
-    match reply with Rejected _ -> true | Assign _ | Done _ -> false
+    match reply with
+    | Rejected _ -> true
+    | Assign _ | Done _ | Stats _ -> false
   in
   if is_register && not rejected then [ rep; recv ] else rep :: recv :: log
 
@@ -347,10 +368,18 @@ let compact p =
   Persist.write_atomic ~path:p.snapshot (Buffer.contents buf);
   Journal.reset p.journal
 
-let maybe_compact p =
-  if Journal.records p.journal > p.compact_every then compact p
+(* Every [Journal.append] frames, writes and fsyncs one record. *)
+let journal_append tel journal record =
+  Journal.append journal record;
+  Telemetry.incr tel "server.journal.appends";
+  Telemetry.incr tel "server.journal.fsyncs"
 
 let handle t message =
+  let tel = t.telemetry in
+  Telemetry.span_begin t.telemetry "server.handle"
+    ~args:[ ("kind", Telemetry.Str (message_kind message)) ];
+  Telemetry.incr tel "server.messages";
+  let started = Telemetry.now tel in
   (match journaled_persist t message with
   | None -> ()
   | Some p ->
@@ -358,15 +387,20 @@ let handle t message =
          changes, so a crash can lose at most the reply, never an
          applied-but-unlogged mutation. *)
       p.seq <- p.seq + 1;
-      Journal.append p.journal (Event.encode ~seq:p.seq (Recv message)));
+      journal_append tel p.journal (Event.encode ~seq:p.seq (Recv message)));
   let reply = handle_total t message in
   (match journaled_persist t message with
   | None -> ()
   | Some p ->
-      Journal.append p.journal
+      journal_append tel p.journal
         (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
       p.session_log <- extend_session_log p.session_log ~seq:p.seq message reply;
-      maybe_compact p);
+      if Journal.records p.journal > p.compact_every then begin
+        Telemetry.incr tel "server.journal.compactions";
+        compact p
+      end);
+  Telemetry.observe tel "server.handle_ms" (Telemetry.now tel -. started);
+  Telemetry.span_end t.telemetry "server.handle";
   reply
 
 let attach_journal ?(compact_every = default_compact_every) ?wrap t ~journal:path
@@ -466,10 +500,10 @@ type recovery = {
   dropped : int;
 }
 
-let recover ?options ?max_report_failures
+let recover ?options ?max_report_failures ?telemetry
     ?(compact_every = default_compact_every) ~journal:path () =
   if compact_every < 1 then invalid_arg "Server.recover: compact_every < 1";
-  let server = create ?options ?max_report_failures () in
+  let server = create ?options ?max_report_failures ?telemetry () in
   let events, dropped_load = load_events path in
   let last_reply, replayed, dropped_replay, session_log, seq =
     replay_events server events
@@ -483,7 +517,12 @@ let recover ?options ?max_report_failures
      snapshot and the journal restarts empty, so torn tails, stale
      records and diverged suffixes are durably gone. *)
   compact p;
-  { server; last_reply; replayed; dropped = dropped_load + dropped_replay }
+  let dropped = dropped_load + dropped_replay in
+  Telemetry.gauge server.telemetry "server.recovery.replayed"
+    (float_of_int replayed);
+  Telemetry.gauge server.telemetry "server.recovery.dropped"
+    (float_of_int dropped);
+  { server; last_reply; replayed; dropped }
 
 (* ------------------------------------------------------------------ *)
 (* Reconstructing the measurement trace from a journal                 *)
@@ -528,7 +567,7 @@ let journal_evaluations path =
           match !last_assign with
           | Some assignment -> current := (assignment, performance) :: !current
           | None -> ())
-      | Recv Report_failed | Recv Query -> ()
+      | Recv Report_failed | Recv Query | Recv Metrics -> ()
       | Reply text -> (
           if String.starts_with ~prefix:"error" text then (
             match !pending with

@@ -51,21 +51,37 @@ type message =
   | Report_failed
       (** the last assigned configuration could not be measured (crash,
           timeout, invalid configuration) *)
+  | Metrics
+      (** read-only introspection: dump the server's telemetry
+          registry (valid in any state, never journaled) *)
 
 type reply =
   | Assign of (string * int) list  (** bundle name, value — in spec order *)
   | Done of { best : (string * int) list; performance : float }
   | Rejected of string  (** protocol or parse error *)
+  | Stats of string
+      (** the metrics registry in Prometheus text form (reply to
+          {!Metrics}; empty when the server has no live telemetry
+          handle) *)
 
 type t
 
 val create :
-  ?options:Simplex.options -> ?max_report_failures:int -> unit -> t
+  ?options:Simplex.options -> ?max_report_failures:int ->
+  ?telemetry:Harmony_telemetry.Telemetry.t -> unit -> t
 (** A server with no registered client yet.  [options] bounds each
     session's search (budget, tolerance, initial simplex).
     [max_report_failures] (default 3, must be >= 1) is how many
     consecutive [Report_failed] a configuration gets before it is
     penalized as worst-case and the search moves on.
+
+    With a live [telemetry] handle, every {!handle} call is bracketed
+    by a [server.handle] span (its [kind] argument names the message),
+    counted in [server.messages], and its latency observed in the
+    [server.handle_ms] histogram (units are the handle's clock — inject
+    a wall clock from [bin/] for real milliseconds); journal appends,
+    fsyncs and compactions are counted under [server.journal.*].  The
+    same registry is what the {!Metrics} message dumps.
     @raise Invalid_argument when [max_report_failures < 1]. *)
 
 val handle : t -> message -> reply
@@ -91,11 +107,13 @@ val fault_counters : t -> int * int
 
 val parse_message : string -> (message, string) result
 (** Parse the text form: ["register min|max\n<rsl...>"], ["query"],
-    ["report <float>"], ["report failed"].  Total: never raises, even
-    on arbitrary bytes (fuzzed in the property suite). *)
+    ["report <float>"], ["report failed"], ["metrics"].  Total: never
+    raises, even on arbitrary bytes (fuzzed in the property suite). *)
 
 val reply_to_string : reply -> string
-(** ["assign B=3 C=4"], ["done B=4 C=2 perf=57"], ["error <msg>"]. *)
+(** ["assign B=3 C=4"], ["done B=4 C=2 perf=57"], ["error <msg>"];
+    [Stats] renders as ["stats"] followed by the Prometheus text on
+    subsequent lines (the only multi-line reply). *)
 
 val message_to_string : message -> string
 (** Inverse of {!parse_message} (reports render with enough digits to
@@ -162,6 +180,7 @@ type recovery = {
 val recover :
   ?options:Simplex.options ->
   ?max_report_failures:int ->
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?compact_every:int ->
   journal:string ->
   unit ->
@@ -176,7 +195,9 @@ val recover :
     corrupt tails are dropped, and the first inconsistency ends the
     replay — the longest valid prefix wins.  On the way out the
     recovered state is compacted into a fresh snapshot, so a crash
-    loop cannot re-accumulate damage.
+    loop cannot re-accumulate damage.  With a live [telemetry] handle
+    the replay totals surface as [server.recovery.replayed] /
+    [server.recovery.dropped] gauges.
     @raise Invalid_argument when [compact_every < 1] (and [Sys_error] /
     [Unix.Unix_error] if the files cannot be re-opened for writing). *)
 

@@ -1,17 +1,20 @@
 open Harmony_param
 open Harmony_objective
 
+module Telemetry = Harmony_telemetry.Telemetry
+
 type t = {
   objective : Objective.t;
   db : History.t;
   db_path : string option;
   checkpoint_every : int option;
   options : Tuner.options;
+  telemetry : Telemetry.t;
   mutable report : Sensitivity.report option;
 }
 
 let create ~objective ?db ?db_path ?checkpoint_every ?on_salvage
-    ?(options = Tuner.default_options) ?measure () =
+    ?(options = Tuner.default_options) ?measure ?(telemetry = Telemetry.off) () =
   (match (checkpoint_every, db_path) with
   | Some k, (Some _ | None) when k < 1 ->
       invalid_arg "Session.create: checkpoint_every must be >= 1"
@@ -30,7 +33,7 @@ let create ~objective ?db ?db_path ?checkpoint_every ?on_salvage
     | None -> options
     | Some _ -> { options with Tuner.measure }
   in
-  { objective; db; db_path; checkpoint_every; options; report = None }
+  { objective; db; db_path; checkpoint_every; options; telemetry; report = None }
 
 let save_database t =
   match t.db_path with None -> () | Some path -> History.save t.db path
@@ -42,7 +45,9 @@ let prioritize ?max_points t =
   match t.report with
   | Some report -> report
   | None ->
-      let report = Sensitivity.analyze ?max_points t.objective in
+      let report =
+        Sensitivity.analyze ~telemetry:t.telemetry ?max_points t.objective
+      in
       t.report <- Some report;
       report
 
@@ -56,6 +61,7 @@ type tune_result = {
   degraded : bool;
   faults : int;
   retries : int;
+  projection : Subspace.t option;
 }
 
 (* A provisional snapshot of the database for a mid-run checkpoint: the
@@ -80,6 +86,7 @@ let checkpoint_database t ?label ?characteristics evaluations path =
 
 let tune ?top_n ?characteristics ?label ?options t =
   let options = Option.value options ~default:t.options in
+  Telemetry.span t.telemetry "session.tune" @@ fun () ->
   (* Opt-in incremental durability: every [checkpoint_every] completed
      evaluations, persist the experience gathered so far, so a mid-run
      kill loses at most that many measurements. *)
@@ -120,12 +127,12 @@ let tune ?top_n ?characteristics ?label ?options t =
   in
   let outcome, used_experience =
     match characteristics with
-    | None -> (Tuner.tune ~options working_objective, false)
+    | None -> (Tuner.tune ~telemetry:t.telemetry ~options working_objective, false)
     | Some characteristics ->
         let analyzer = Analyzer.create t.db in
         let outcome, preparation =
-          Analyzer.tune_with_experience ~options ?label analyzer working_objective
-            ~characteristics
+          Analyzer.tune_with_experience ~telemetry:t.telemetry ~options ?label
+            analyzer working_objective ~characteristics
         in
         (outcome, preparation.Analyzer.matched <> None)
   in
@@ -157,4 +164,25 @@ let tune ?top_n ?characteristics ?label ?options t =
   | None, (Some _ | None) | Some _, None -> ()
   | Some _, Some _ -> save_database t);
   { outcome; tuned_indices; used_experience; full_best_config; degraded;
-    faults; retries }
+    faults; retries; projection }
+
+(* The tuning trace in the *full* parameter space: with [~top_n] the
+   tuner only saw the projected subspace, so each trace configuration
+   is embedded back (frozen parameters at their pinned values) before
+   rendering.  Rendering the subspace trace directly would silently
+   drop the frozen columns. *)
+let trace_csv t result =
+  let outcome =
+    match result.projection with
+    | None -> result.outcome
+    | Some sub ->
+        {
+          result.outcome with
+          Tuner.trace =
+            List.map
+              (fun e ->
+                { e with Recorder.config = Subspace.embed sub e.Recorder.config })
+              result.outcome.Tuner.trace;
+        }
+  in
+  Tuner.trace_csv t.objective.Objective.space outcome

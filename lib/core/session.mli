@@ -24,7 +24,8 @@ type t
 val create :
   objective:Objective.t -> ?db:History.t -> ?db_path:string ->
   ?checkpoint_every:int -> ?on_salvage:(int -> unit) ->
-  ?options:Tuner.options -> ?measure:Measure.policy -> unit -> t
+  ?options:Tuner.options -> ?measure:Measure.policy ->
+  ?telemetry:Harmony_telemetry.Telemetry.t -> unit -> t
 (** A session around an objective.  [db] defaults to a fresh empty
     database; with [db_path] instead, the database is loaded from that
     file when it exists ({!History.load_or_create}) and {!save_database}
@@ -42,6 +43,12 @@ val create :
     [options] defaults to {!Tuner.default_options} (improved spread
     init); [measure], when given, overrides [options.measure] and runs
     every tune through the fault-tolerant measurement pipeline.
+
+    [telemetry], when a live handle, instruments the whole stack: each
+    {!tune} runs under a [session.tune] root span, and the handle is
+    passed down to the sensitivity sweep, the history lookup, the
+    simplex kernel and the measurement pipeline.  Telemetry observes
+    and never steers — results are byte-identical with it off.
     @raise Invalid_argument when both [db] and [db_path] are given,
     when [checkpoint_every < 1], or when [checkpoint_every] is given
     without [db_path]. *)
@@ -71,6 +78,9 @@ type tune_result = {
                         convergence *)
   faults : int;     (** faulty readings the measurement pipeline saw *)
   retries : int;    (** physical re-measurements it spent on them *)
+  projection : Subspace.t option;
+      (** the subspace actually tuned when [top_n] was given; use
+          {!trace_csv} to render the trace in the full space *)
 }
 
 val tune :
@@ -89,3 +99,10 @@ val tune :
       the closest experience, and the run is recorded back into the
       database under those characteristics.
     - [options] overrides the session's tuner options for this run. *)
+
+val trace_csv : t -> tune_result -> string
+(** The run's tuning trace as CSV over the {e full} parameter space:
+    header [iteration,<all param names...>,performance].  When the run
+    was projected with [top_n], frozen parameters appear as constant
+    columns at their pinned values (rather than being silently
+    dropped, as rendering the subspace trace directly would). *)

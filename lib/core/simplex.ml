@@ -120,7 +120,9 @@ let diameter space vertices =
     norm;
   !d
 
-let optimize ?(options = default_options) obj =
+module Telemetry = Harmony_telemetry.Telemetry
+
+let optimize ?(telemetry = Telemetry.off) ?(options = default_options) obj =
   let space = obj.Objective.space in
   let n = Space.dims space in
   if options.max_evaluations < n + 2 then
@@ -130,6 +132,9 @@ let optimize ?(options = default_options) obj =
     incr evaluations;
     obj.Objective.eval c
   in
+  (* What the current simplex step did, for the step span's [kind]
+     argument; set at each transformation site below. *)
+  let step_kind = ref "none" in
   let budget_left () = !evaluations < options.max_evaluations in
   let iterations = ref 0 in
   let sort vertices =
@@ -161,7 +166,8 @@ let optimize ?(options = default_options) obj =
     let is_vertex c =
       Array.exists (fun v -> Space.config_equal v.config c) vertices
     in
-    let replace_worst v =
+    let replace_worst kind v =
+      step_kind := kind;
       vertices.(k - 1) <- v;
       sort vertices
     in
@@ -169,6 +175,7 @@ let optimize ?(options = default_options) obj =
        discrete grid this is the genuine fixpoint test: when shrinking
        moves nothing, the simplex cannot change any further. *)
     let shrink () =
+      step_kind := "shrink";
       let best = vertices.(0) in
       let changed = ref false in
       for i = 1 to k - 1 do
@@ -184,7 +191,13 @@ let optimize ?(options = default_options) obj =
     in
     while budget_left () && not !converged do
       incr iterations;
-      if diameter space vertices <= options.tolerance then converged := true
+      step_kind := "none";
+      Telemetry.span_begin telemetry "simplex.step";
+      Telemetry.incr telemetry "simplex.steps";
+      if diameter space vertices <= options.tolerance then begin
+        step_kind := "converged";
+        converged := true
+      end
       else begin
         let worst = vertices.(k - 1) in
         let second_worst = vertices.(k - 2) in
@@ -200,7 +213,7 @@ let optimize ?(options = default_options) obj =
           else begin
             let v = eval contracted in
             if Objective.better obj v worst.value then
-              replace_worst { config = contracted; value = v }
+              replace_worst "contract" { config = contracted; value = v }
             else shrink ()
           end
         end
@@ -210,35 +223,39 @@ let optimize ?(options = default_options) obj =
             (* Try expanding further. *)
             let expanded = move ~from:worst.config ~towards:cen ~factor:3.0 in
             if Space.config_equal expanded reflected || is_vertex expanded then
-              replace_worst { config = reflected; value = rv }
+              replace_worst "reflect" { config = reflected; value = rv }
             else begin
               let ev = eval expanded in
               if Objective.better obj ev rv then
-                replace_worst { config = expanded; value = ev }
-              else replace_worst { config = reflected; value = rv }
+                replace_worst "expand" { config = expanded; value = ev }
+              else replace_worst "reflect" { config = reflected; value = rv }
             end
           end
           else if Objective.better obj rv second_worst.value then
-            replace_worst { config = reflected; value = rv }
+            replace_worst "reflect" { config = reflected; value = rv }
           else if budget_left () then begin
             (* Contraction (keep the reflection if it at least beats
                the worst vertex). *)
             let contracted = move ~from:worst.config ~towards:cen ~factor:0.5 in
             if is_vertex contracted then
               if Objective.better obj rv worst.value then
-                replace_worst { config = reflected; value = rv }
+                replace_worst "reflect" { config = reflected; value = rv }
               else shrink ()
             else begin
               let cv = eval contracted in
               if Objective.better obj cv worst.value then
-                replace_worst { config = contracted; value = cv }
+                replace_worst "contract" { config = contracted; value = cv }
               else if Objective.better obj rv worst.value then
-                replace_worst { config = reflected; value = rv }
+                replace_worst "reflect" { config = reflected; value = rv }
               else shrink ()
             end
           end
         end
-      end
+      end;
+      Telemetry.instant telemetry ("simplex." ^ !step_kind);
+      Telemetry.span_end telemetry
+        ~args:[ ("kind", Telemetry.Str !step_kind) ]
+        "simplex.step"
     done;
     !converged
   in
@@ -252,7 +269,10 @@ let optimize ?(options = default_options) obj =
                if budget_left () then Some { config; value = eval config } else None)
          initial)
   in
-  let vertices = eval_initial (Init.vertices options.init space) in
+  let vertices =
+    Telemetry.span telemetry "simplex.init" (fun () ->
+        eval_initial (Init.vertices options.init space))
+  in
   if Array.length vertices < 2 then
     invalid_arg "Simplex.optimize: degenerate initial simplex";
   let converged = ref (search vertices) in
@@ -285,7 +305,10 @@ let optimize ?(options = default_options) obj =
     in
     if Array.length restart < 2 then keep_restarting := false
     else begin
-      let c = search restart in
+      Telemetry.incr telemetry "simplex.restarts";
+      let c =
+        Telemetry.span telemetry "simplex.restart" (fun () -> search restart)
+      in
       converged := c;
       if Objective.better obj restart.(0).value !best.value then begin
         Log.debug (fun m ->

@@ -54,7 +54,20 @@ type outcome = {
   converged : bool;     (** true when stopped by the tolerance test *)
 }
 
-val optimize : ?options:options -> Objective.t -> outcome
+val optimize :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?options:options ->
+  Objective.t ->
+  outcome
 (** Run the search.  All proposals are snapped into the objective's
     space, so the objective is only ever called on valid grid
-    configurations. *)
+    configurations.
+
+    With a live [telemetry] handle the search emits a [simplex.init]
+    span around the initial-simplex evaluation, a [simplex.step] span
+    per transformation step (its [kind] argument is
+    reflect/expand/contract/shrink/converged, mirrored as a
+    [simplex.<kind>] instant), a [simplex.restart] span per oriented
+    restart, and [simplex.steps]/[simplex.restarts] counters.
+    Telemetry observes and never steers: the search path is identical
+    with the handle off. *)

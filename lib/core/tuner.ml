@@ -29,7 +29,9 @@ type outcome = {
   measurement : Measure.summary option;
 }
 
-let tune ?(options = default_options) obj =
+module Telemetry = Harmony_telemetry.Telemetry
+
+let tune ?(telemetry = Telemetry.off) ?(options = default_options) obj =
   (* With a measurement policy, every evaluation the kernel requests
      goes through the fault-tolerant pipeline; a measurement that
      exhausts the policy evaluates to the worst-case penalty, so the
@@ -39,10 +41,33 @@ let tune ?(options = default_options) obj =
     match options.measure with
     | None -> (obj, None)
     | Some policy ->
-        let robust, handle = Measure.robust ~policy obj in
+        let robust, handle = Measure.robust ~telemetry ~policy obj in
         (robust, Some handle)
   in
-  let recorder, recorded = Recorder.wrap ?on_record:options.on_evaluation measured in
+  (* A [measure] span per evaluation, closed with the vetted reading.
+     Wrapping below the recorder keeps the span around the physical
+     measurement; the recorder's own hook still fires in entry order. *)
+  let traced =
+    if not (Telemetry.enabled telemetry) then measured
+    else
+      {
+        measured with
+        Objective.eval =
+          (fun c ->
+            Telemetry.span_begin telemetry "measure";
+            Telemetry.incr telemetry "tuner.evaluations";
+            match measured.Objective.eval c with
+            | v ->
+                Telemetry.span_end telemetry
+                  ~args:[ ("performance", Telemetry.Num v) ]
+                  "measure";
+                v
+            | exception e ->
+                Telemetry.span_end telemetry "measure";
+                raise e);
+      }
+  in
+  let recorder, recorded = Recorder.wrap ?on_record:options.on_evaluation traced in
   let simplex_options =
     {
       Simplex.init = options.init;
@@ -50,7 +75,7 @@ let tune ?(options = default_options) obj =
       tolerance = options.tolerance;
     }
   in
-  let result = Simplex.optimize ~options:simplex_options recorded in
+  let result = Simplex.optimize ~telemetry ~options:simplex_options recorded in
   let trace = Recorder.entries recorder in
   (* The best *measured* point can beat the simplex's final best
      vertex (e.g. a good vertex was later shrunk away); report the

@@ -45,7 +45,14 @@ type outcome = {
       (** fault/retry accounting when [options.measure] was set *)
 }
 
-val tune : ?options:options -> Objective.t -> outcome
+val tune :
+  ?telemetry:Harmony_telemetry.Telemetry.t -> ?options:options -> Objective.t -> outcome
+(** With a live [telemetry] handle, each evaluation is bracketed by a
+    [measure] span (the [End] carries the vetted performance), a
+    [tuner.evaluations] counter counts them, and the handle is passed
+    down to {!Simplex.optimize} (step spans) and {!Measure.robust}
+    (retry/fault counters).  Telemetry observes and never steers: the
+    tuning outcome is byte-identical with the handle off. *)
 
 val trace_csv : Space.t -> outcome -> string
 (** The tuning trace as CSV: header

@@ -171,16 +171,20 @@ let measure ?(policy = default_policy) ?(clock = Clock.create ()) obj c =
   let result, _, _, _ = measure_one ~policy ~clock obj c in
   result
 
-type counters = {
-  mutable m_measurements : int;
-  mutable m_attempts : int;
-  mutable m_retries : int;
-  mutable m_faults : int;
-  mutable m_give_ups : int;
-}
+module Telemetry = Harmony_telemetry.Telemetry
+
+(* Counter names under which [robust] records on the telemetry
+   registry — the single counting path (DESIGN.md §11); [summary] and
+   the merged [Objective.stats] are thin views over these. *)
+let c_measurements = "measure.measurements"
+let c_attempts = "measure.attempts"
+let c_retries = "measure.retries"
+let c_faults = "measure.faults"
+let c_give_ups = "measure.give_ups"
+let g_backoff = "measure.backoff_ms"
 
 type handle = {
-  counters : counters;
+  registry : Telemetry.t;
   handle_lock : Mutex.t;
   clock : Clock.t;
   clock_start : float;
@@ -189,11 +193,11 @@ type handle = {
 let summary h =
   Mutex.protect h.handle_lock (fun () ->
       {
-        measurements = h.counters.m_measurements;
-        attempts = h.counters.m_attempts;
-        retries = h.counters.m_retries;
-        faults = h.counters.m_faults;
-        give_ups = h.counters.m_give_ups;
+        measurements = Telemetry.counter_value h.registry c_measurements;
+        attempts = Telemetry.counter_value h.registry c_attempts;
+        retries = Telemetry.counter_value h.registry c_retries;
+        faults = Telemetry.counter_value h.registry c_faults;
+        give_ups = Telemetry.counter_value h.registry c_give_ups;
         backoff_ms = Clock.now h.clock -. h.clock_start;
       })
 
@@ -202,35 +206,34 @@ let pp_summary ppf s =
     "%d measurements, %d attempts (%d retries, %d faults, %d give-ups), %.0f ms backoff"
     s.measurements s.attempts s.retries s.faults s.give_ups s.backoff_ms
 
-let robust ?(policy = default_policy) ?(clock = Clock.create ()) ?penalty
-    (obj : Objective.t) =
+let robust ?(telemetry = Telemetry.off) ?(policy = default_policy)
+    ?(clock = Clock.create ()) ?penalty (obj : Objective.t) =
   validate_policy policy;
   let penalty =
     Option.value penalty ~default:(penalty_for obj.Objective.direction)
   in
-  let counters =
-    {
-      m_measurements = 0;
-      m_attempts = 0;
-      m_retries = 0;
-      m_faults = 0;
-      m_give_ups = 0;
-    }
-  in
+  (* All counts live on a telemetry registry — the caller's handle
+     when one was supplied (so a traced run sees measurement
+     activity), a private one otherwise.  The handle lock still
+     groups the per-measurement increments so a [summary] snapshot is
+     internally consistent.  Lock order: handle lock, then the
+     registry's (never reversed). *)
+  let reg = if Telemetry.enabled telemetry then telemetry else Telemetry.create () in
   let lock = Mutex.create () in
   let handle =
-    { counters; handle_lock = lock; clock; clock_start = Clock.now clock }
+    { registry = reg; handle_lock = lock; clock; clock_start = Clock.now clock }
   in
   let eval c =
     let result, attempts, retries, faults = measure_one ~policy ~clock obj c in
     Mutex.protect lock (fun () ->
-        counters.m_measurements <- counters.m_measurements + 1;
-        counters.m_attempts <- counters.m_attempts + attempts;
-        counters.m_retries <- counters.m_retries + retries;
-        counters.m_faults <- counters.m_faults + faults;
+        Telemetry.incr reg c_measurements;
+        Telemetry.incr reg ~by:attempts c_attempts;
+        Telemetry.incr reg ~by:retries c_retries;
+        Telemetry.incr reg ~by:faults c_faults;
+        Telemetry.gauge reg g_backoff (Clock.now clock -. handle.clock_start);
         match result with
         | Ok _ -> ()
-        | Error _ -> counters.m_give_ups <- counters.m_give_ups + 1);
+        | Error _ -> Telemetry.incr reg c_give_ups);
     match result with Ok v -> v | Error _ -> penalty
   in
   let get () =
@@ -245,7 +248,7 @@ let robust ?(policy = default_policy) ?(clock = Clock.create ()) ?penalty
            layer made reached the real system. *)
         let misses =
           match obj.Objective.stats with
-          | None -> counters.m_attempts
+          | None -> Telemetry.counter_value reg c_attempts
           | Some _ -> u.Objective.misses
         in
         let hits = u.Objective.hits in
@@ -253,8 +256,8 @@ let robust ?(policy = default_policy) ?(clock = Clock.create ()) ?penalty
           Objective.hits;
           misses;
           evals = hits + misses;
-          faults = counters.m_faults + u.Objective.faults;
-          retries = counters.m_retries + u.Objective.retries;
+          faults = Telemetry.counter_value reg c_faults + u.Objective.faults;
+          retries = Telemetry.counter_value reg c_retries + u.Objective.retries;
         })
   in
   ({ obj with Objective.eval; stats = Some get }, handle)

@@ -95,6 +95,7 @@ val penalty_for : Objective.direction -> float
     [-1e9] when higher is better, [+1e9] when lower is. *)
 
 val robust :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?policy:policy ->
   ?clock:Clock.t ->
   ?penalty:float ->
@@ -109,4 +110,11 @@ val robust :
     measurements and [faults]/[retries] come from this layer; the
     handle gives the full {!summary}.  Thread-safe; for byte-identical
     parallel runs give each arm its own [robust] (and faulty)
-    objective, as the parallel engine's arms already do. *)
+    objective, as the parallel engine's arms already do.
+
+    Counts are recorded on a telemetry registry — [telemetry] when a
+    live handle is given (counters [measure.measurements] /
+    [measure.attempts] / [measure.retries] / [measure.faults] /
+    [measure.give_ups], gauge [measure.backoff_ms]), a private
+    registry otherwise — and {!summary} reads them back, so there is
+    exactly one counting path. *)

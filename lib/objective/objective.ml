@@ -148,11 +148,15 @@ let with_faults ?(rates = fault_profile 0.1) ~seed t =
      unless told to, exactly as for measurement noise. *)
   { t with eval; noisy = true }
 
-(* The counters are mutable internals; [stats] hands out immutable
-   snapshots. *)
-type counters = { mutable c_hits : int; mutable c_misses : int }
+(* Counter names under which [cached] records on the telemetry
+   registry — the single counting path (DESIGN.md §11); [stats] is a
+   thin view over these. *)
+let memo_hits = "objective.memo.hits"
+let memo_misses = "objective.memo.misses"
 
-let cached ?(freeze_noise = false) t =
+module Telemetry = Harmony_telemetry.Telemetry
+
+let cached ?(telemetry = Telemetry.off) ?(freeze_noise = false) t =
   if t.noisy && not freeze_noise then
     invalid_arg
       "Objective.cached: objective carries measurement noise; memoizing would \
@@ -160,23 +164,29 @@ let cached ?(freeze_noise = false) t =
        the deterministic objective and apply with_noise on top, or pass \
        ~freeze_noise:true to freeze draws on purpose (cache-after-noise)";
   let table = Hashtbl.create 256 in
-  let counters = { c_hits = 0; c_misses = 0 } in
+  (* All counts live on a telemetry registry — the caller's handle
+     when one was supplied (so a traced run sees memo activity), a
+     private one otherwise.  [stats] stays a thin view either way.
+     Callers sharing one handle across several cached objectives get
+     merged counts, by design. *)
+  let reg = if Telemetry.enabled telemetry then telemetry else Telemetry.create () in
   (* One lock guards both the table and the counters, and stays held
      across the underlying measurement: two domains racing on the same
      un-measured configuration must not both measure it (under frozen
      noise they would record different draws and break determinism).
      The cost is that concurrent evaluations of a cached objective
-     serialize — parallelize across objectives, not inside one. *)
+     serialize — parallelize across objectives, not inside one.
+     Lock order: this lock, then the registry's (never reversed). *)
   let lock = Mutex.create () in
   let eval c =
     Mutex.protect lock (fun () ->
         let k = Space.config_key c in
         match Hashtbl.find_opt table k with
         | Some v ->
-            counters.c_hits <- counters.c_hits + 1;
+            Telemetry.incr reg memo_hits;
             v
         | None ->
-            counters.c_misses <- counters.c_misses + 1;
+            Telemetry.incr reg memo_misses;
             let v = t.eval c in
             Hashtbl.add table k v;
             v)
@@ -192,9 +202,11 @@ let cached ?(freeze_noise = false) t =
           match t.stats with None -> empty_stats | Some get -> get ()
         in
         let misses =
-          match t.stats with None -> counters.c_misses | Some _ -> under.misses
+          match t.stats with
+          | None -> Telemetry.counter_value reg memo_misses
+          | Some _ -> under.misses
         in
-        let hits = counters.c_hits + under.hits in
+        let hits = Telemetry.counter_value reg memo_hits + under.hits in
         {
           hits;
           misses;

@@ -127,7 +127,7 @@ val with_faults : ?rates:fault_rates -> seed:int -> t -> t
     @raise Invalid_argument on rates outside [0, 1] or a non-positive
     magnitude. *)
 
-val cached : ?freeze_noise:bool -> t -> t
+val cached : ?telemetry:Harmony_telemetry.Telemetry.t -> ?freeze_noise:bool -> t -> t
 (** Memoize measurements per configuration (key: {!Space.config_key},
     so bit-identical configurations — which grid-snapped proposals
     are — share an entry).  Repeated configurations return their
@@ -144,7 +144,13 @@ val cached : ?freeze_noise:bool -> t -> t
     freeze (cache-after-noise).  To keep noise live, cache the
     deterministic objective first and apply [with_noise] on top
     (noise-after-cache).  Unbounded table — intended for tuning-scale
-    evaluation counts. *)
+    evaluation counts.
+
+    Counts are recorded on a telemetry registry — [telemetry] when a
+    live handle is given (counters [objective.memo.hits] /
+    [objective.memo.misses]), a private registry otherwise — and
+    {!stats} reads them back, so there is exactly one counting path.
+    Several cached objectives sharing one handle merge their counts. *)
 
 val with_cache : t -> t
 (** [cached ~freeze_noise:true] — the historical name.  Prefer

@@ -1,17 +1,30 @@
+module Telemetry = Harmony_telemetry.Telemetry
+
 type t = {
   size : int;
   mutex : Mutex.t;
   work : Condition.t;  (* new tasks queued, or the pool is closing *)
   queue : (unit -> unit) Queue.t;
+  telemetry : Telemetry.t;
   mutable closed : bool;
   mutable workers : unit Domain.t list;
 }
 
 let default_domains () = Domain.recommended_domain_count ()
 
+(* Registry names.  Per-domain task counters attribute work to the
+   domain that ran it: index 0 is the submitting domain (which helps
+   drain the queue), workers are 1..size-1.  Scheduling decides which
+   domain takes which task, so these counters are utilization
+   observations, not deterministic quantities — the task *results*
+   stay input-ordered regardless. *)
+let c_tasks = "pool.tasks"
+let g_queue_depth = "pool.queue_depth.max"
+let domain_counter i = Printf.sprintf "pool.domain.%d.tasks" i
+
 (* Worker domains block on [work] until a task (or shutdown) arrives.
    Tasks never raise: submission wraps them in per-task capture. *)
-let worker_loop t =
+let worker_loop t index =
   let rec loop () =
     Mutex.lock t.mutex;
     while Queue.is_empty t.queue && not t.closed do
@@ -20,6 +33,7 @@ let worker_loop t =
     match Queue.take_opt t.queue with
     | Some task ->
         Mutex.unlock t.mutex;
+        Telemetry.incr t.telemetry (domain_counter index);
         task ();
         loop ()
     | None ->
@@ -28,7 +42,7 @@ let worker_loop t =
   in
   loop ()
 
-let create ~domains =
+let create ?(telemetry = Telemetry.off) ~domains () =
   if domains < 1 then invalid_arg "Pool.create: domains < 1";
   let t =
     {
@@ -36,11 +50,14 @@ let create ~domains =
       mutex = Mutex.create ();
       work = Condition.create ();
       queue = Queue.create ();
+      telemetry;
       closed = false;
       workers = [];
     }
   in
-  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t.workers <-
+    List.init (domains - 1)
+      (fun i -> Domain.spawn (fun () -> worker_loop t (i + 1)));
   t
 
 let size t = t.size
@@ -54,8 +71,8 @@ let shutdown t =
   Mutex.unlock t.mutex;
   List.iter Domain.join workers
 
-let with_pool ~domains f =
-  let t = create ~domains in
+let with_pool ?telemetry ~domains f =
+  let t = create ?telemetry ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
 let sequential_try f a = Array.map (fun x -> try Ok (f x) with e -> Error e) a
@@ -63,40 +80,53 @@ let sequential_try f a = Array.map (fun x -> try Ok (f x) with e -> Error e) a
 let try_map_array t f a =
   let n = Array.length a in
   if n = 0 then [||]
-  else if t.size = 1 || n = 1 then sequential_try f a
   else begin
-    (* Results land by input index, so ordering is independent of
-       scheduling.  [pending] and [results] are only touched under the
-       pool mutex; the submitting domain helps drain the queue (which
-       also makes nested submissions from inside tasks deadlock-free)
-       and sleeps on [finished] only when all its tasks are already
-       running elsewhere. *)
-    let results = Array.make n None in
-    let pending = ref n in
-    let finished = Condition.create () in
-    let task i () =
-      let r = try Ok (f a.(i)) with e -> Error e in
+    Telemetry.incr t.telemetry ~by:n c_tasks;
+    if t.size = 1 || n = 1 then begin
+      Telemetry.incr t.telemetry ~by:n (domain_counter 0);
+      sequential_try f a
+    end
+    else begin
+      (* Results land by input index, so ordering is independent of
+         scheduling.  [pending] and [results] are only touched under the
+         pool mutex; the submitting domain helps drain the queue (which
+         also makes nested submissions from inside tasks deadlock-free)
+         and sleeps on [finished] only when all its tasks are already
+         running elsewhere. *)
+      let results = Array.make n None in
+      let pending = ref n in
+      let finished = Condition.create () in
+      let task i () =
+        let r = try Ok (f a.(i)) with e -> Error e in
+        Mutex.lock t.mutex;
+        results.(i) <- Some r;
+        decr pending;
+        if !pending = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
       Mutex.lock t.mutex;
-      results.(i) <- Some r;
-      decr pending;
-      if !pending = 0 then Condition.broadcast finished;
-      Mutex.unlock t.mutex
-    in
-    Mutex.lock t.mutex;
-    for i = 0 to n - 1 do
-      Queue.push (task i) t.queue
-    done;
-    Condition.broadcast t.work;
-    while !pending > 0 do
-      match Queue.take_opt t.queue with
-      | Some job ->
-          Mutex.unlock t.mutex;
-          job ();
-          Mutex.lock t.mutex
-      | None -> Condition.wait finished t.mutex
-    done;
-    Mutex.unlock t.mutex;
-    Array.map (function Some r -> r | None -> assert false) results
+      for i = 0 to n - 1 do
+        Queue.push (task i) t.queue
+      done;
+      let depth = Queue.length t.queue in
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      (* High-water mark of the queue, taken outside the pool mutex:
+         lock order is pool mutex before telemetry lock, never both. *)
+      Telemetry.gauge_max t.telemetry g_queue_depth (float_of_int depth);
+      Mutex.lock t.mutex;
+      while !pending > 0 do
+        match Queue.take_opt t.queue with
+        | Some job ->
+            Mutex.unlock t.mutex;
+            Telemetry.incr t.telemetry (domain_counter 0);
+            job ();
+            Mutex.lock t.mutex
+        | None -> Condition.wait finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      Array.map (function Some r -> r | None -> assert false) results
+    end
   end
 
 let map_array t f a =

@@ -26,12 +26,17 @@
 
 type t
 
-val create : domains:int -> t
-(** [create ~domains] starts a pool that runs at most [domains] tasks
-    in parallel: [domains - 1] worker domains plus the submitting
-    domain, which always participates.  [domains = 1] spawns no
-    domains at all and evaluates everything sequentially in the
-    caller.  @raise Invalid_argument when [domains < 1]. *)
+val create : ?telemetry:Harmony_telemetry.Telemetry.t -> domains:int -> unit -> t
+(** [create ~domains ()] starts a pool that runs at most [domains]
+    tasks in parallel: [domains - 1] worker domains plus the
+    submitting domain, which always participates.  [domains = 1]
+    spawns no domains at all and evaluates everything sequentially in
+    the caller.  With a live [telemetry] handle the pool records a
+    [pool.tasks] counter, a [pool.queue_depth.max] high-water gauge,
+    and per-domain [pool.domain.N.tasks] utilization counters (N = 0
+    is the submitting domain) — utilization is a scheduling
+    observation and may vary run to run; task results never do.
+    @raise Invalid_argument when [domains < 1]. *)
 
 val size : t -> int
 (** The [domains] the pool was created with. *)
@@ -58,6 +63,7 @@ val shutdown : t -> unit
     after shutdown still complete (the caller runs them itself), so a
     shut-down pool behaves like a pool of size 1. *)
 
-val with_pool : domains:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?telemetry:Harmony_telemetry.Telemetry.t -> domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it
     down afterwards, whether [f] returns or raises. *)

@@ -1,0 +1,192 @@
+(* Parse a JSONL trace (as written by [Export.jsonl]) back into an
+   aggregate summary: per-span-name durations, instant counts, and the
+   final metrics registry.  Backs [harmony_cli stats] and the exporter
+   round-trip tests. *)
+
+type span_stats = {
+  span_name : string;
+  span_count : int;
+  total : float;
+  mean : float;
+  max_duration : float;
+}
+
+type histogram = { hist_count : int; hist_sum : float }
+
+type t = {
+  events : int;
+  spans : span_stats list;
+  instants : (string * int) list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram) list;
+  unmatched : int;
+      (* End events with no matching Begin, plus Begins left open *)
+}
+
+(* Mutable accumulation per span name while scanning the event
+   stream. *)
+type span_acc = {
+  mutable a_count : int;
+  mutable a_total : float;
+  mutable a_max : float;
+}
+
+let bump table name f init =
+  match Hashtbl.find_opt table name with
+  | Some v -> f v
+  | None ->
+      let v = init () in
+      f v;
+      Hashtbl.replace table name v
+
+let of_jsonl text =
+  let span_accs : (string, span_acc) Hashtbl.t = Hashtbl.create 16 in
+  let instant_counts : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  let counters = ref [] in
+  let gauges = ref [] in
+  let histograms = ref [] in
+  let open_spans = ref [] in
+  (* stack of (name, ts) *)
+  let unmatched = ref 0 in
+  let events = ref 0 in
+  let error = ref None in
+  let field_str key json = Option.bind (Tjson.member key json) Tjson.to_str in
+  let field_num key json = Option.bind (Tjson.member key json) Tjson.to_float in
+  let handle_line lineno line =
+    match Tjson.parse line with
+    | Error msg ->
+        if Option.is_none !error then
+          error := Some (Printf.sprintf "line %d: %s" lineno msg)
+    | Ok json -> (
+        match (field_str "type" json, field_str "name" json) with
+        | None, _ | _, None ->
+            if Option.is_none !error then
+              error :=
+                Some (Printf.sprintf "line %d: missing type or name" lineno)
+        | Some kind, Some name -> (
+            match kind with
+            | "begin" ->
+                incr events;
+                let ts = Option.value ~default:0.0 (field_num "ts" json) in
+                open_spans := (name, ts) :: !open_spans
+            | "end" -> (
+                incr events;
+                let ts = Option.value ~default:0.0 (field_num "ts" json) in
+                match !open_spans with
+                | (open_name, begin_ts) :: rest when String.equal open_name name
+                  ->
+                    open_spans := rest;
+                    let d = ts -. begin_ts in
+                    bump span_accs name
+                      (fun a ->
+                        a.a_count <- a.a_count + 1;
+                        a.a_total <- a.a_total +. d;
+                        a.a_max <- Float.max a.a_max d)
+                      (fun () -> { a_count = 0; a_total = 0.0; a_max = 0.0 })
+                | _ :: _ | [] -> incr unmatched)
+            | "instant" ->
+                incr events;
+                bump instant_counts name
+                  (fun r -> incr r)
+                  (fun () -> ref 0)
+            | "counter" ->
+                let v = Option.value ~default:0.0 (field_num "value" json) in
+                counters := (name, int_of_float v) :: !counters
+            | "gauge" ->
+                let v = Option.value ~default:0.0 (field_num "value" json) in
+                gauges := (name, v) :: !gauges
+            | "histogram" ->
+                let hist_count =
+                  int_of_float
+                    (Option.value ~default:0.0 (field_num "count" json))
+                in
+                let hist_sum =
+                  Option.value ~default:0.0 (field_num "sum" json)
+                in
+                histograms := (name, { hist_count; hist_sum }) :: !histograms
+            | _ ->
+                if Option.is_none !error then
+                  error :=
+                    Some
+                      (Printf.sprintf "line %d: unknown record type %S" lineno
+                         kind)))
+  in
+  String.split_on_char '\n' text
+  |> List.iteri (fun i line ->
+         let line = String.trim line in
+         if String.length line > 0 then handle_line (i + 1) line);
+  match !error with
+  | Some msg -> Error msg
+  | None ->
+      unmatched := !unmatched + List.length !open_spans;
+      let spans =
+        Hashtbl.fold
+          (fun name a acc ->
+            {
+              span_name = name;
+              span_count = a.a_count;
+              total = a.a_total;
+              mean = (if a.a_count = 0 then 0.0 else a.a_total /. float_of_int a.a_count);
+              max_duration = a.a_max;
+            }
+            :: acc)
+          span_accs []
+        |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+      in
+      let sorted l =
+        List.sort (fun (a, _) (b, _) -> String.compare a b) (List.rev l)
+      in
+      let instants =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) instant_counts []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      Ok
+        {
+          events = !events;
+          spans;
+          instants;
+          counters = sorted !counters;
+          gauges = sorted !gauges;
+          histograms = sorted !histograms;
+          unmatched = !unmatched;
+        }
+
+let pp ppf t =
+  Format.fprintf ppf "events: %d@." t.events;
+  if t.unmatched > 0 then Format.fprintf ppf "unmatched spans: %d@." t.unmatched;
+  if t.spans <> [] then begin
+    Format.fprintf ppf "@.spans (count / total / mean / max):@.";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-28s %6d  %10.3f %10.3f %10.3f@." s.span_name
+          s.span_count s.total s.mean s.max_duration)
+      t.spans
+  end;
+  if t.instants <> [] then begin
+    Format.fprintf ppf "@.instants:@.";
+    List.iter
+      (fun (name, n) -> Format.fprintf ppf "  %-28s %6d@." name n)
+      t.instants
+  end;
+  if t.counters <> [] then begin
+    Format.fprintf ppf "@.counters:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-28s %6d@." name v)
+      t.counters
+  end;
+  if t.gauges <> [] then begin
+    Format.fprintf ppf "@.gauges:@.";
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "  %-28s %10.3f@." name v)
+      t.gauges
+  end;
+  if t.histograms <> [] then begin
+    Format.fprintf ppf "@.histograms (count / sum):@.";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "  %-28s %6d %10.3f@." name h.hist_count h.hist_sum)
+      t.histograms
+  end
+
+let to_string t = Format.asprintf "%a" pp t

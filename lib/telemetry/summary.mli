@@ -1,0 +1,31 @@
+(** Summarize a JSONL trace (the {!Export.jsonl} format) — the engine
+    behind [harmony_cli stats]. *)
+
+type span_stats = {
+  span_name : string;
+  span_count : int;
+  total : float;  (** summed duration, in the trace's clock units *)
+  mean : float;
+  max_duration : float;
+}
+
+type histogram = { hist_count : int; hist_sum : float }
+
+type t = {
+  events : int;  (** begin/end/instant records seen *)
+  spans : span_stats list;  (** per-name aggregates, sorted by name *)
+  instants : (string * int) list;
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram) list;
+  unmatched : int;
+      (** [end] events with no open span of that name, plus spans
+          still open at end of trace *)
+}
+
+val of_jsonl : string -> (t, string) result
+(** Total: the first malformed line yields [Error "line N: ..."].
+    Blank lines are skipped. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

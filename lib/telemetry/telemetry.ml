@@ -1,0 +1,245 @@
+(* The deterministic telemetry handle: a span tracer plus a
+   counters/gauges/histograms registry.
+
+   Designed around the repo's determinism invariants (DESIGN.md §8):
+   no ambient clocks and no module-toplevel mutable state.  All
+   instrumentation goes through an explicit [t]; timestamps come from
+   an injectable clock that defaults to a *logical* clock (the event
+   sequence number), so a seeded run produces a byte-identical trace.
+   [bin/] may inject a wall clock — the library never reads one.
+
+   Thread-safety: one mutex per handle.  Counters, gauges and
+   histograms may be updated from any pool domain; span begin/end
+   pairs are meaningful only when emitted from a single domain (the
+   tuning loop is sequential, so this holds everywhere spans are
+   used today). *)
+
+type value = Str of string | Num of float | Int of int | Bool of bool
+
+type event =
+  | Begin of { name : string; ts : float; args : (string * value) list }
+  | End of { name : string; ts : float; args : (string * value) list }
+  | Instant of { name : string; ts : float; args : (string * value) list }
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+      (* (upper bound, occupancy) per bucket, ascending; the final
+         bucket's bound is [infinity] *)
+}
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  bounds : float array; (* ascending finite upper bounds *)
+  occupancy : int array; (* length bounds + 1; last is the overflow bucket *)
+}
+
+type state = {
+  lock : Mutex.t;
+  clock : (unit -> float) option;
+  mutable ticks : int;
+  mutable rev_events : event list;
+  mutable event_count : int;
+  mutable depth_now : int;
+  counters : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  histograms : (string, hist) Hashtbl.t;
+}
+
+type t = Off | On of state
+
+let off = Off
+
+let create ?clock () =
+  On
+    {
+      lock = Mutex.create ();
+      clock;
+      ticks = 0;
+      rev_events = [];
+      event_count = 0;
+      depth_now = 0;
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 16;
+      histograms = Hashtbl.create 8;
+    }
+
+let enabled = function Off -> false | On _ -> true
+
+let now_locked s =
+  match s.clock with
+  | Some f -> f ()
+  | None -> float_of_int s.ticks
+
+let now = function
+  | Off -> 0.0
+  | On s -> Mutex.protect s.lock (fun () -> now_locked s)
+
+(* Every recorded event advances the logical clock by one, so default
+   timestamps are the event sequence number — strictly increasing and
+   fully deterministic. *)
+let record s mk =
+  Mutex.protect s.lock (fun () ->
+      let ts = now_locked s in
+      s.ticks <- s.ticks + 1;
+      s.rev_events <- mk ts :: s.rev_events;
+      s.event_count <- s.event_count + 1)
+
+let span_begin t ?(args = []) name =
+  match t with
+  | Off -> ()
+  | On s ->
+      record s (fun ts -> Begin { name; ts; args });
+      Mutex.protect s.lock (fun () -> s.depth_now <- s.depth_now + 1)
+
+let span_end t ?(args = []) name =
+  match t with
+  | Off -> ()
+  | On s ->
+      Mutex.protect s.lock (fun () -> s.depth_now <- max 0 (s.depth_now - 1));
+      record s (fun ts -> End { name; ts; args })
+
+let span t ?args name f =
+  match t with
+  | Off -> f ()
+  | On _ ->
+      span_begin t ?args name;
+      Fun.protect ~finally:(fun () -> span_end t name) f
+
+let instant t ?(args = []) name =
+  match t with
+  | Off -> ()
+  | On s -> record s (fun ts -> Instant { name; ts; args })
+
+let events = function
+  | Off -> []
+  | On s -> Mutex.protect s.lock (fun () -> List.rev s.rev_events)
+
+let event_count = function
+  | Off -> 0
+  | On s -> Mutex.protect s.lock (fun () -> s.event_count)
+
+let depth = function
+  | Off -> 0
+  | On s -> Mutex.protect s.lock (fun () -> s.depth_now)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+
+let incr t ?(by = 1) name =
+  match t with
+  | Off -> ()
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.counters name with
+          | Some r -> r := !r + by
+          | None -> Hashtbl.replace s.counters name (ref by))
+
+let counter_value t name =
+  match t with
+  | Off -> 0
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.counters name with
+          | Some r -> !r
+          | None -> 0)
+
+let gauge t name v =
+  match t with
+  | Off -> ()
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.gauges name with
+          | Some r -> r := v
+          | None -> Hashtbl.replace s.gauges name (ref v))
+
+let gauge_max t name v =
+  match t with
+  | Off -> ()
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.gauges name with
+          | Some r -> r := Float.max !r v
+          | None -> Hashtbl.replace s.gauges name (ref v))
+
+let gauge_value t name =
+  match t with
+  | Off -> None
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          Option.map ( ! ) (Hashtbl.find_opt s.gauges name))
+
+let default_bounds =
+  (* Decades from 1 ms to 100 s: wide enough for both logical-tick
+     durations and wall-clock millisecond latencies. *)
+  [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 |]
+
+let observe t ?bounds name v =
+  match t with
+  | Off -> ()
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          let h =
+            match Hashtbl.find_opt s.histograms name with
+            | Some h -> h
+            | None ->
+                (* Bucket bounds are fixed at first observation;
+                   a [bounds] passed later is ignored. *)
+                let bounds =
+                  match bounds with
+                  | Some b ->
+                      let b = Array.copy b in
+                      Array.sort Float.compare b;
+                      b
+                  | None -> default_bounds
+                in
+                let h =
+                  {
+                    h_count = 0;
+                    h_sum = 0.0;
+                    bounds;
+                    occupancy = Array.make (Array.length bounds + 1) 0;
+                  }
+                in
+                Hashtbl.replace s.histograms name h;
+                h
+          in
+          h.h_count <- h.h_count + 1;
+          h.h_sum <- h.h_sum +. v;
+          let rec slot i =
+            if i >= Array.length h.bounds then i
+            else if v <= h.bounds.(i) then i
+            else slot (i + 1)
+          in
+          let i = slot 0 in
+          h.occupancy.(i) <- h.occupancy.(i) + 1)
+
+let sorted_bindings table f =
+  Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters = function
+  | Off -> []
+  | On s -> Mutex.protect s.lock (fun () -> sorted_bindings s.counters ( ! ))
+
+let gauges = function
+  | Off -> []
+  | On s -> Mutex.protect s.lock (fun () -> sorted_bindings s.gauges ( ! ))
+
+let snapshot_hist h =
+  let buckets =
+    List.init
+      (Array.length h.occupancy)
+      (fun i ->
+        let bound =
+          if i < Array.length h.bounds then h.bounds.(i) else infinity
+        in
+        (bound, h.occupancy.(i)))
+  in
+  { count = h.h_count; sum = h.h_sum; buckets }
+
+let histograms = function
+  | Off -> []
+  | On s -> Mutex.protect s.lock (fun () -> sorted_bindings s.histograms snapshot_hist)

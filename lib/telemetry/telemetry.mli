@@ -1,0 +1,102 @@
+(** Deterministic telemetry: a span tracer plus a metrics registry.
+
+    Every instrumented module takes an explicit handle ({!t}) — there
+    is no global tracer, no ambient clock, and a disabled handle
+    ({!off}) makes every operation a no-op, so instrumentation is free
+    when unused and the repo's determinism contract (byte-identical
+    tuner output with telemetry on or off, DESIGN.md §11) holds by
+    construction: recording observes the computation, never steers it.
+
+    {b Clocks.}  Timestamps come from an injectable [clock].  The
+    default is a {e logical} clock: each recorded event is stamped
+    with its sequence number, so a seeded run produces a byte-identical
+    trace.  [bin/] may inject a monotonic wall clock (e.g. for the
+    serve loop); [lib/] never reads one (lint rule D1).
+
+    {b Thread-safety.}  All operations take the handle's mutex.
+    Counters, gauges and histograms may be updated from any pool
+    domain; span begin/end pairs are only meaningful when emitted from
+    a single domain (true of the sequential tuning loop, the only
+    place spans are emitted today). *)
+
+type t
+
+type value = Str of string | Num of float | Int of int | Bool of bool
+(** Argument values attached to events (exported as JSON). *)
+
+type event =
+  | Begin of { name : string; ts : float; args : (string * value) list }
+  | End of { name : string; ts : float; args : (string * value) list }
+  | Instant of { name : string; ts : float; args : (string * value) list }
+
+val off : t
+(** The disabled handle: every operation is a no-op, [events] is
+    empty, every counter reads 0.  The default everywhere. *)
+
+val create : ?clock:(unit -> float) -> unit -> t
+(** A live handle.  Without [clock], timestamps are the logical event
+    sequence number (deterministic); with [clock], every event calls
+    it for a timestamp (inject wall clocks only from [bin/]). *)
+
+val enabled : t -> bool
+val now : t -> float
+(** Current clock reading without recording an event (0 when off). *)
+
+(** {1 Tracing} *)
+
+val span : t -> ?args:(string * value) list -> string -> (unit -> 'a) -> 'a
+(** [span t name f] brackets [f ()] between a [Begin] and an [End]
+    event; the [End] is recorded even when [f] raises. *)
+
+val span_begin : t -> ?args:(string * value) list -> string -> unit
+val span_end : t -> ?args:(string * value) list -> string -> unit
+(** Explicit bracketing for when the end arguments are only known
+    after the work (e.g. the measured performance).  Every
+    [span_begin] must be paired with a [span_end] of the same name. *)
+
+val instant : t -> ?args:(string * value) list -> string -> unit
+(** A point event. *)
+
+val events : t -> event list
+(** All recorded events, in record order. *)
+
+val event_count : t -> int
+
+val depth : t -> int
+(** Current span nesting depth (0 when all spans are closed). *)
+
+(** {1 Metrics registry} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Bump a counter (created at 0 on first use). *)
+
+val gauge : t -> string -> float -> unit
+(** Set a gauge. *)
+
+val gauge_max : t -> string -> float -> unit
+(** Set a gauge to the max of its current value and [v] (high-water
+    marks, e.g. pool queue depth). *)
+
+val observe : t -> ?bounds:float array -> string -> float -> unit
+(** Add an observation to a histogram.  Bucket upper bounds are fixed
+    at the first observation ([bounds] is sorted; later calls ignore
+    it); the default bounds are decades from 1e-3 to 1e5 plus an
+    overflow bucket. *)
+
+val counter_value : t -> string -> int
+val gauge_value : t -> string -> float option
+
+val counters : t -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+type histogram_snapshot = {
+  count : int;
+  sum : float;
+  buckets : (float * int) list;
+      (** (upper bound, occupancy) ascending; the final bound is
+          [infinity] (the overflow bucket) *)
+}
+
+val histograms : t -> (string * histogram_snapshot) list

@@ -1,0 +1,30 @@
+(** Minimal JSON codec used by the telemetry exporters and the
+    [stats] trace summarizer.
+
+    Handles the subset the telemetry layer emits: objects, arrays,
+    strings (byte-transparent above 0x20), finite numbers, booleans
+    and null.  Non-finite numbers serialize as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val number_to_string : float -> string
+(** Shortest decimal representation that round-trips the float
+    ([42] prints as ["42"], not ["42.000000000000000"]). *)
+
+val parse : string -> (t, string) result
+(** Total: malformed input returns [Error] with a byte position,
+    never raises. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on anything else. *)
+
+val to_float : t -> float option
+val to_str : t -> string option

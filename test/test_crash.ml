@@ -45,6 +45,7 @@ let drive_to_done server first =
           go (Server.handle server (Server.Report (respond assignment))) (steps + 1)
       | Server.Done _ -> reply
       | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
   in
   go first 0
 
@@ -56,6 +57,7 @@ let resume server =
   | Server.Rejected _ -> register server
   | Server.Assign _ as reply -> reply
   | Server.Done _ as reply -> reply
+  | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
 
 let with_journal f =
   let path = Filename.temp_file "harmony_crash" ".journal" in
@@ -174,7 +176,9 @@ let test_live_crash_and_recover () =
           let crashed =
             match drive_to_done server (register server) with
             | exception Persist.Crashed -> true
-            | Server.Assign _ | Server.Done _ | Server.Rejected _ -> false
+            | Server.Assign _ | Server.Done _ | Server.Rejected _
+            | Server.Stats _ ->
+                false
           in
           if crashed then begin
             let r = Server.recover ~options ~compact_every:4 ~journal:path () in
@@ -262,7 +266,7 @@ let test_recover_corrupt_inputs_never_raise () =
           let final = drive_to_done r.Server.server (resume r.Server.server) in
           (match final with
           | Server.Done _ -> ()
-          | Server.Assign _ | Server.Rejected _ ->
+          | Server.Assign _ | Server.Rejected _ | Server.Stats _ ->
               Alcotest.fail "resumed run did not finish");
           Server.detach_journal r.Server.server))
     garbage
@@ -315,7 +319,8 @@ let prop_event_roundtrip =
           let exact_when_not_register =
             match message with
             | Server.Register _ -> true
-            | Server.Query | Server.Report _ | Server.Report_failed ->
+            | Server.Query | Server.Report _ | Server.Report_failed
+            | Server.Metrics ->
                 String.equal
                   (Server.message_to_string m1)
                   (Server.message_to_string message)
@@ -350,7 +355,9 @@ let prop_report_float_roundtrip =
       match Server.parse_message (Server.message_to_string (Server.Report f)) with
       | Ok (Server.Report f') ->
           Int64.equal (Int64.bits_of_float f) (Int64.bits_of_float f')
-      | Ok (Server.Register _ | Server.Query | Server.Report_failed) | Error _ ->
+      | Ok (Server.Register _ | Server.Query | Server.Report_failed
+           | Server.Metrics)
+      | Error _ ->
           false)
 
 let suite =

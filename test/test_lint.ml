@@ -136,7 +136,22 @@ let p1_flags_printing_in_hot_paths () =
   check_rules "print_endline in simplex flagged" [ "P1" ]
     ~path:"lib/core/simplex.ml" {|let f () = print_endline "x"|};
   check_rules "Format.printf in pool flagged" [ "P1" ]
-    ~path:"lib/parallel/pool.ml" {|let f () = Format.printf "x"|}
+    ~path:"lib/parallel/pool.ml" {|let f () = Format.printf "x"|};
+  (* The telemetry layer is the sanctioned output path, so it is held
+     to the same standard: a tracer that printed would smuggle the
+     very side effect it exists to replace. *)
+  check_rules "print in lib/telemetry flagged" [ "P1" ]
+    ~path:"lib/telemetry/export.ml" {|let f () = print_string "x"|};
+  check_rules "print in lib/persist flagged" [ "P1" ]
+    ~path:"lib/persist/persist.ml" {|let f () = Printf.printf "x"|};
+  check_rules "print in instrumented server flagged" [ "P1" ]
+    ~path:"lib/core/server.ml" {|let f () = print_endline "x"|};
+  check_rules "print in instrumented session flagged" [ "P1" ]
+    ~path:"lib/core/session.ml" {|let f () = Format.printf "x"|};
+  check_rules "print in instrumented sensitivity flagged" [ "P1" ]
+    ~path:"lib/core/sensitivity.ml" {|let f () = print_int 3|};
+  check_rules "print in instrumented analyzer flagged" [ "P1" ]
+    ~path:"lib/core/analyzer.ml" {|let f () = prerr_endline "x"|}
 
 let p1_allows_pure_formatting () =
   check_rules "sprintf is pure" [] ~path:"lib/objective/objective.ml"

@@ -6,7 +6,7 @@ exception Boom of int
 
 let test_create_invalid () =
   Alcotest.check_raises "domains < 1" (Invalid_argument "Pool.create: domains < 1")
-    (fun () -> ignore (Pool.create ~domains:0))
+    (fun () -> ignore (Pool.create ~domains:0 ()))
 
 let test_size_one_matches_list_map () =
   Pool.with_pool ~domains:1 (fun pool ->
@@ -65,7 +65,7 @@ let test_empty_input () =
       Alcotest.(check (array int)) "empty" [||] (Pool.map_array pool succ [||]))
 
 let test_shutdown_idempotent_and_degrades () =
-  let pool = Pool.create ~domains:3 in
+  let pool = Pool.create ~domains:3 () in
   Pool.shutdown pool;
   Pool.shutdown pool;
   (* After shutdown the submitting domain runs everything itself. *)

@@ -149,7 +149,7 @@ let prop_assign_always_feasible =
         | Server.Assign assignment ->
             let ints = Array.of_list (List.map snd assignment) in
             Rsl.is_feasible spec ints
-        | Server.Done _ | Server.Rejected _ -> true
+        | Server.Done _ | Server.Rejected _ | Server.Stats _ -> true
       in
       let register =
         Server.handle server

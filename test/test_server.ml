@@ -42,6 +42,7 @@ let test_register_untunable_spec () =
           drive (Server.handle server (Server.Report 1.0)) (steps + 1)
       | Server.Rejected _ -> ()
       | Server.Done _ -> Alcotest.fail "degenerate spec reported success"
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
   in
   drive
     (Server.handle server
@@ -94,6 +95,7 @@ let test_assignments_feasible () =
         let values = Array.of_list (List.map snd best) in
         Alcotest.(check bool) "best feasible" true (Rsl.is_feasible spec values)
     | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+    | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
   in
   loop (register server) 0
 
@@ -126,7 +128,8 @@ let test_report_failed_reassigns () =
          penalized and the search moves on. *)
       (match Server.handle server Server.Report_failed with
       | Server.Assign _ | Server.Done _ -> ()
-      | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg))
+      | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply")
   | _ -> Alcotest.fail "expected an assignment");
   Alcotest.(check (pair int int)) "fault counters" (3, 1)
     (Server.fault_counters server)
@@ -182,6 +185,7 @@ let test_done_degrades_to_best_measured () =
           Alcotest.(check bool) "the measured configuration" true
             (Some best = !measured)
       | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
   in
   loop (register server) 0;
   let failed, penalized = Server.fault_counters server in
@@ -271,6 +275,7 @@ let test_minimize_session () =
           loop (Server.handle server (Server.Report (cost assignment))) (steps + 1)
       | Server.Done { performance; _ } -> performance
       | Server.Rejected msg -> Alcotest.fail msg
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
   in
   let best =
     loop

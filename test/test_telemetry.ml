@@ -1,0 +1,401 @@
+(* The deterministic telemetry layer: tracer semantics, the metrics
+   registry, the three exporters (round-tripped where a parser
+   exists), and the stack-level contract — telemetry observes the
+   tuning computation and never steers it. *)
+
+open Harmony
+open Harmony_objective
+module Param = Harmony_param.Param
+module Space = Harmony_param.Space
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
+module Summary = Harmony_telemetry.Summary
+module Tjson = Harmony_telemetry.Tjson
+
+(* ------------------------------------------------------------------ *)
+(* Tracer semantics *)
+
+let event_name = function
+  | Telemetry.Begin { name; _ }
+  | Telemetry.End { name; _ }
+  | Telemetry.Instant { name; _ } ->
+      name
+
+let event_ts = function
+  | Telemetry.Begin { ts; _ } | Telemetry.End { ts; _ }
+  | Telemetry.Instant { ts; _ } ->
+      ts
+
+let test_span_nesting () =
+  let t = Telemetry.create () in
+  let r =
+    Telemetry.span t "outer" (fun () ->
+        Alcotest.(check int) "depth inside outer" 1 (Telemetry.depth t);
+        Telemetry.span t "inner" (fun () ->
+            Alcotest.(check int) "depth inside inner" 2 (Telemetry.depth t));
+        17)
+  in
+  Alcotest.(check int) "span returns f's value" 17 r;
+  Alcotest.(check int) "all spans closed" 0 (Telemetry.depth t);
+  let names = List.map event_name (Telemetry.events t) in
+  Alcotest.(check (list string))
+    "record order" [ "outer"; "inner"; "inner"; "outer" ] names;
+  (match Telemetry.events t with
+  | [ Telemetry.Begin _; Telemetry.Begin _; Telemetry.End _; Telemetry.End _ ]
+    ->
+      ()
+  | _ -> Alcotest.fail "expected Begin Begin End End");
+  (* The default clock is logical: event sequence numbers. *)
+  Alcotest.(check (list (float 1e-9)))
+    "logical timestamps" [ 0.0; 1.0; 2.0; 3.0 ]
+    (List.map event_ts (Telemetry.events t))
+
+let test_span_end_on_exception () =
+  let t = Telemetry.create () in
+  (try Telemetry.span t "failing" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed by the exception path" 0 (Telemetry.depth t);
+  match Telemetry.events t with
+  | [ Telemetry.Begin _; Telemetry.End _ ] -> ()
+  | _ -> Alcotest.fail "expected a Begin/End pair"
+
+let test_injected_clock () =
+  let fake = ref 100.0 in
+  let t = Telemetry.create ~clock:(fun () -> !fake) () in
+  Telemetry.instant t "a";
+  fake := 250.0;
+  Telemetry.instant t "b";
+  Alcotest.(check (list (float 1e-9)))
+    "clock readings recorded" [ 100.0; 250.0 ]
+    (List.map event_ts (Telemetry.events t))
+
+let test_off_is_noop () =
+  let t = Telemetry.off in
+  Alcotest.(check bool) "disabled" false (Telemetry.enabled t);
+  let r = Telemetry.span t "s" (fun () -> 3) in
+  Alcotest.(check int) "span still runs f" 3 r;
+  Telemetry.instant t "i";
+  Telemetry.incr t "c";
+  Telemetry.gauge t "g" 1.0;
+  Telemetry.observe t "h" 1.0;
+  Alcotest.(check int) "no events" 0 (Telemetry.event_count t);
+  Alcotest.(check int) "counter reads 0" 0 (Telemetry.counter_value t "c");
+  Alcotest.(check bool) "no gauge" true (Telemetry.gauge_value t "g" = None);
+  Alcotest.(check int) "no histograms" 0 (List.length (Telemetry.histograms t))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_registry () =
+  let t = Telemetry.create () in
+  Telemetry.incr t "b.counter";
+  Telemetry.incr t ~by:4 "a.counter";
+  Telemetry.incr t "b.counter";
+  Telemetry.gauge t "g" 2.0;
+  Telemetry.gauge_max t "hw" 3.0;
+  Telemetry.gauge_max t "hw" 1.0;
+  Alcotest.(check (list (pair string int)))
+    "counters sorted by name"
+    [ ("a.counter", 4); ("b.counter", 2) ]
+    (Telemetry.counters t);
+  Alcotest.(check bool) "gauge set" true (Telemetry.gauge_value t "g" = Some 2.0);
+  Alcotest.(check bool)
+    "gauge_max keeps the high-water mark" true
+    (Telemetry.gauge_value t "hw" = Some 3.0);
+  Telemetry.observe t ~bounds:[| 1.0; 10.0 |] "h" 0.5;
+  Telemetry.observe t "h" 5.0;
+  Telemetry.observe t "h" 99.0;
+  match Telemetry.histograms t with
+  | [ ("h", snap) ] ->
+      Alcotest.(check int) "count" 3 snap.Telemetry.count;
+      Alcotest.(check (float 1e-9)) "sum" 104.5 snap.Telemetry.sum;
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "buckets: bounds fixed at first observe, plus overflow"
+        [ (1.0, 1); (10.0, 1); (infinity, 1) ]
+        snap.Telemetry.buckets
+  | _ -> Alcotest.fail "expected one histogram"
+
+(* ------------------------------------------------------------------ *)
+(* Exporters *)
+
+let populated () =
+  let t = Telemetry.create () in
+  Telemetry.span t "outer" (fun () ->
+      Telemetry.instant t ~args:[ ("k", Telemetry.Str "v") ] "tick";
+      Telemetry.span t "inner" (fun () -> ()));
+  Telemetry.incr t ~by:7 "evals";
+  Telemetry.gauge t "depth" 4.0;
+  Telemetry.observe t "latency" 0.5;
+  Telemetry.observe t "latency" 50.0;
+  t
+
+let test_jsonl_roundtrip () =
+  let t = populated () in
+  let text = Export.jsonl t in
+  (* Every line is a standalone JSON object. *)
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match Tjson.parse line with
+        | Ok (Tjson.Obj _) -> ()
+        | Ok _ -> Alcotest.fail ("non-object line: " ^ line)
+        | Error msg -> Alcotest.fail ("unparseable line: " ^ msg))
+    (String.split_on_char '\n' text);
+  match Summary.of_jsonl text with
+  | Error msg -> Alcotest.fail ("summary rejected the export: " ^ msg)
+  | Ok s ->
+      Alcotest.(check int) "events" 5 s.Summary.events;
+      Alcotest.(check int) "no unmatched spans" 0 s.Summary.unmatched;
+      Alcotest.(check (list string))
+        "span aggregates by name" [ "inner"; "outer" ]
+        (List.map (fun sp -> sp.Summary.span_name) s.Summary.spans);
+      Alcotest.(check (list (pair string int)))
+        "instants" [ ("tick", 1) ] s.Summary.instants;
+      Alcotest.(check (list (pair string int)))
+        "counters survive" [ ("evals", 7) ] s.Summary.counters;
+      (match s.Summary.histograms with
+      | [ ("latency", h) ] ->
+          Alcotest.(check int) "histogram count" 2 h.Summary.hist_count;
+          Alcotest.(check (float 1e-9)) "histogram sum" 50.5 h.Summary.hist_sum
+      | _ -> Alcotest.fail "expected the latency histogram")
+
+let test_summary_rejects_garbage () =
+  match Summary.of_jsonl "{\"type\":\"instant\",\"name\":\"a\",\"ts\":0}\nnot json\n" with
+  | Error msg ->
+      Alcotest.(check bool)
+        "error names the line" true
+        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "garbage accepted"
+
+let test_chrome_valid () =
+  let t = populated () in
+  match Tjson.parse (Export.chrome t) with
+  | Error msg -> Alcotest.fail ("chrome export is not valid JSON: " ^ msg)
+  | Ok json -> (
+      match Tjson.member "traceEvents" json with
+      | Some (Tjson.List events) ->
+          let phase e =
+            match Tjson.member "ph" e with Some (Tjson.Str p) -> p | _ -> "?"
+          in
+          let count p =
+            List.length (List.filter (fun e -> phase e = p) events)
+          in
+          Alcotest.(check int) "B/E balanced" (count "B") (count "E");
+          Alcotest.(check int) "two spans" 2 (count "B");
+          Alcotest.(check int) "one instant" 1 (count "i");
+          Alcotest.(check bool) "metric counter events" true (count "C" > 0)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let test_prometheus_grammar () =
+  let t = populated () in
+  let lines =
+    List.filter
+      (fun l -> String.trim l <> "")
+      (String.split_on_char '\n' (Export.prometheus t))
+  in
+  Alcotest.(check bool) "non-empty" true (lines <> []);
+  List.iter
+    (fun line ->
+      if String.length line > 0 && line.[0] = '#' then
+        (* Only well-formed TYPE comments. *)
+        Alcotest.(check bool)
+          ("TYPE comment: " ^ line)
+          true
+          (String.length line > 7 && String.sub line 0 7 = "# TYPE ")
+      else begin
+        (* name{labels} value — sample names carry the harmony_ prefix
+           and the value parses as a float. *)
+        Alcotest.(check bool)
+          ("prefixed: " ^ line)
+          true
+          (String.length line > 8 && String.sub line 0 8 = "harmony_");
+        match String.rindex_opt line ' ' with
+        | None -> Alcotest.fail ("no value separator: " ^ line)
+        | Some i ->
+            let value =
+              String.sub line (i + 1) (String.length line - i - 1)
+            in
+            Alcotest.(check bool)
+              ("float value: " ^ line)
+              true
+              (float_of_string_opt value <> None || value = "+Inf")
+      end)
+    lines
+
+let test_format_selection () =
+  let fmt = Alcotest.testable (Fmt.of_to_string Export.format_to_string) ( = ) in
+  Alcotest.(check (option fmt))
+    "chrome alias" (Some Export.Chrome)
+    (Export.format_of_string "trace-event");
+  Alcotest.(check (option fmt))
+    "prometheus alias" (Some Export.Prometheus)
+    (Export.format_of_string "PROM");
+  Alcotest.(check (option fmt)) "unknown" None (Export.format_of_string "xml");
+  Alcotest.(check fmt) "by extension: .json is chrome" Export.Chrome
+    (Export.format_of_filename "run.json");
+  Alcotest.(check fmt) "by extension: .prom" Export.Prometheus
+    (Export.format_of_filename "metrics.prom");
+  Alcotest.(check fmt) "default jsonl" Export.Jsonl
+    (Export.format_of_filename "trace.dat")
+
+(* ------------------------------------------------------------------ *)
+(* Stack integration *)
+
+let space =
+  Space.create
+    [
+      Param.int_range ~name:"a" ~lo:0 ~hi:10 ~default:5 ();
+      Param.int_range ~name:"b" ~lo:0 ~hi:10 ~default:5 ();
+      Param.int_range ~name:"c" ~lo:0 ~hi:10 ~default:5 ();
+    ]
+
+let obj =
+  Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+      (50.0 *. c.(0)) +. (5.0 *. c.(1)) -. (0.1 *. c.(2)))
+
+let test_tune_identical_with_telemetry () =
+  (* The determinism contract: a live handle records the run and never
+     steers it.  Render both results to text and compare bytes. *)
+  let run telemetry =
+    let session = Session.create ~objective:obj ~telemetry () in
+    let r = Session.tune ~top_n:2 session in
+    Printf.sprintf "%s|%.17g|%d|%s"
+      (String.concat ","
+         (List.map string_of_int r.Session.tuned_indices))
+      r.Session.outcome.Tuner.best_performance
+      r.Session.outcome.Tuner.evaluations
+      (Session.trace_csv session r)
+  in
+  let off = run Telemetry.off in
+  let live = Telemetry.create () in
+  let on = run live in
+  Alcotest.(check string) "byte-identical result" off on;
+  Alcotest.(check bool) "and the run was actually traced" true
+    (Telemetry.event_count live > 0)
+
+let test_seeded_run_trace_is_reproducible () =
+  let run () =
+    let telemetry = Telemetry.create () in
+    let session = Session.create ~objective:obj ~telemetry () in
+    ignore (Session.tune ~top_n:2 session);
+    Export.jsonl telemetry
+  in
+  Alcotest.(check string) "same trace bytes" (run ()) (run ())
+
+let test_session_spans_present () =
+  (* The acceptance criterion: a seeded tune's Chrome export contains
+     spans for the sensitivity sweep, the simplex steps and the
+     measurements. *)
+  let telemetry = Telemetry.create () in
+  let session = Session.create ~objective:obj ~telemetry () in
+  ignore (Session.tune ~top_n:2 session);
+  let chrome = Export.chrome telemetry in
+  (match Tjson.parse chrome with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("chrome export invalid: " ^ msg));
+  let names =
+    List.map
+      (fun e -> event_name e)
+      (Telemetry.events telemetry)
+  in
+  List.iter
+    (fun required ->
+      Alcotest.(check bool) ("span " ^ required) true (List.mem required names))
+    [ "session.tune"; "sensitivity"; "simplex.init"; "simplex.step"; "measure" ];
+  Alcotest.(check bool) "evaluations counted" true
+    (Telemetry.counter_value telemetry "tuner.evaluations" > 0);
+  Alcotest.(check bool) "all spans closed" true (Telemetry.depth telemetry = 0)
+
+let test_memo_counters_are_the_registry () =
+  (* Satellite: Objective.stats is a thin view over the registry. *)
+  let telemetry = Telemetry.create () in
+  let cached = Objective.cached ~telemetry obj in
+  let c = Space.defaults space in
+  ignore (cached.Objective.eval c);
+  ignore (cached.Objective.eval c);
+  ignore (cached.Objective.eval (Array.map (fun v -> v +. 1.0) c));
+  (match Objective.stats cached with
+  | None -> Alcotest.fail "cached objective reports no stats"
+  | Some s ->
+      Alcotest.(check int) "hits view" s.Objective.hits
+        (Telemetry.counter_value telemetry "objective.memo.hits");
+      Alcotest.(check int) "misses view" s.Objective.misses
+        (Telemetry.counter_value telemetry "objective.memo.misses");
+      Alcotest.(check int) "hits" 1 s.Objective.hits;
+      Alcotest.(check int) "misses" 2 s.Objective.misses);
+  (* And without a caller handle the counts still work (private
+     registry fallback). *)
+  let plain = Objective.cached obj in
+  ignore (plain.Objective.eval c);
+  ignore (plain.Objective.eval c);
+  match Objective.stats plain with
+  | Some s ->
+      Alcotest.(check int) "fallback hits" 1 s.Objective.hits;
+      Alcotest.(check int) "fallback misses" 1 s.Objective.misses
+  | None -> Alcotest.fail "no stats on the fallback path"
+
+let test_measure_counters_are_the_registry () =
+  let telemetry = Telemetry.create () in
+  let measured, handle = Measure.robust ~telemetry obj in
+  let c = Space.defaults space in
+  ignore (measured.Objective.eval c);
+  ignore (measured.Objective.eval c);
+  let s = Measure.summary handle in
+  Alcotest.(check int) "measurements view" s.Measure.measurements
+    (Telemetry.counter_value telemetry "measure.measurements");
+  Alcotest.(check int) "attempts view" s.Measure.attempts
+    (Telemetry.counter_value telemetry "measure.attempts");
+  Alcotest.(check int) "faults view" s.Measure.faults
+    (Telemetry.counter_value telemetry "measure.faults");
+  Alcotest.(check int) "two measurements" 2 s.Measure.measurements
+
+let test_trace_csv_full_space () =
+  (* Satellite: after --top-n the trace still renders every parameter,
+     frozen ones as constant columns at their pinned values. *)
+  let telemetry = Telemetry.create () in
+  let session = Session.create ~objective:obj ~telemetry () in
+  let r = Session.tune ~top_n:1 session in
+  let csv = Session.trace_csv session r in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  (match lines with
+  | header :: rows ->
+      Alcotest.(check string)
+        "header covers the full space"
+        "iteration,a,b,c,performance" header;
+      Alcotest.(check bool) "has rows" true (rows <> []);
+      List.iter
+        (fun row ->
+          match String.split_on_char ',' row with
+          | [ _; _; b; c; _ ] ->
+              (* b and c were frozen at their defaults. *)
+              Alcotest.(check string) "b pinned" "5" b;
+              Alcotest.(check string) "c pinned" "5" c
+          | _ -> Alcotest.fail ("bad row arity: " ^ row))
+        rows
+  | [] -> Alcotest.fail "empty csv")
+
+let suite =
+  [
+    ("span nesting and ordering", `Quick, test_span_nesting);
+    ("span closes on exception", `Quick, test_span_end_on_exception);
+    ("injected clock", `Quick, test_injected_clock);
+    ("off handle is a no-op", `Quick, test_off_is_noop);
+    ("metrics registry", `Quick, test_registry);
+    ("jsonl round-trips through Summary", `Quick, test_jsonl_roundtrip);
+    ("summary rejects malformed lines", `Quick, test_summary_rejects_garbage);
+    ("chrome export is valid trace JSON", `Quick, test_chrome_valid);
+    ("prometheus text grammar", `Quick, test_prometheus_grammar);
+    ("format selection", `Quick, test_format_selection);
+    ( "tune is byte-identical with telemetry on",
+      `Quick,
+      test_tune_identical_with_telemetry );
+    ( "seeded trace is reproducible",
+      `Quick,
+      test_seeded_run_trace_is_reproducible );
+    ("whole-stack spans present", `Quick, test_session_spans_present);
+    ("memo stats are registry views", `Quick, test_memo_counters_are_the_registry);
+    ( "measure summary is a registry view",
+      `Quick,
+      test_measure_counters_are_the_registry );
+    ("trace csv covers the full space", `Quick, test_trace_csv_full_space);
+  ]

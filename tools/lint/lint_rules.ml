@@ -396,13 +396,22 @@ let rec p1 =
        controller, tuner, pool) runs thousands of times per session and \
        concurrently across domains; stdout/stderr writes there serialize \
        domains and interleave nondeterministically. Use the logs facade at \
-       the edges; pp functions over an explicit formatter stay fine.";
+       the edges; pp functions over an explicit formatter stay fine. The \
+       instrumented paths (telemetry, persistence, server, session, \
+       sensitivity, analyzer) are held to the same bar: the telemetry \
+       registry and the persist sinks are the only sanctioned output \
+       paths there — a handle records, an exporter renders, and whoever \
+       owns stdout prints.";
     applies =
       (fun path ->
         under "lib/objective" path || under "lib/parallel" path
+        || under "lib/telemetry" path || under "lib/persist" path
         || (under "lib/core" path
            && List.mem (basename path)
-                [ "simplex.ml"; "controller.ml"; "tuner.ml" ]));
+                [
+                  "simplex.ml"; "controller.ml"; "tuner.ml"; "server.ml";
+                  "session.ml"; "sensitivity.ml"; "analyzer.ml";
+                ]));
     check =
       (fun ~path:_ structure ->
         walk_expressions structure (fun e ->
