@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint test test-fast test-crash trace-smoke bench bench-quick experiments examples clean
+.PHONY: all build lint test test-fast test-crash trace-smoke bench bench-quick bench-evals experiments examples clean
 
 all: build
 
@@ -48,6 +48,14 @@ bench:
 # Reproduction + ablations only; skips the Bechamel micro-benchmarks.
 bench-quick:
 	BENCH_QUICK=1 dune exec bench/main.exe
+
+# Allocation-discipline smoke (DESIGN.md §12): evals/sec and minor
+# words per evaluation for the MVA and DES objectives plus the
+# batch+memo engine; exits non-zero if minor words/eval regresses
+# more than 2x over the recorded baseline.  Re-record with
+#   dune exec bench/evals.exe -- --write-baseline bench/evals_baseline.json
+bench-evals:
+	dune exec bench/evals.exe -- --check bench/evals_baseline.json
 
 experiments:
 	dune exec bin/harmony_cli.exe -- experiment all

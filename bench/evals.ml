@@ -1,0 +1,272 @@
+(* Evaluation-throughput micro-benchmark: evals/sec and Gc minor
+   words per evaluation for the two hot objectives (analytic MVA
+   model, discrete-event simulation) plus the batch+memo engine on a
+   tuning-shaped stream.  The numbers back the before/after table in
+   EXPERIMENTS.md and guard the allocation discipline in CI:
+
+     dune exec bench/evals.exe                      print the table
+     dune exec bench/evals.exe -- --check FILE      fail (exit 1) if
+                                                    minor words/eval
+                                                    regressed >2x over
+                                                    the recorded
+                                                    baseline
+     dune exec bench/evals.exe -- --write-baseline FILE
+
+   A Chrome trace with every measured figure lands in BENCH_6.json
+   (load into about:tracing / Perfetto), next to the ablation traces
+   bench/main.exe writes. *)
+
+open Harmony_objective
+module Ws = Harmony_webservice
+module Rng = Harmony_numerics.Rng
+module Space = Harmony_param.Space
+module Pool = Harmony_parallel.Pool
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
+
+(* ------------------------------------------------------------------ *)
+(* Measurement                                                         *)
+
+type figures = { words_per_eval : float; evals_per_sec : float }
+
+(* [f ()] performs [per_call] evaluations; [calls] of them are timed
+   after [warmup] untimed ones. *)
+let measure ~warmup ~calls ~per_call f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  Gc.full_major ();
+  let words0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to calls do
+    f ()
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let words = Gc.minor_words () -. words0 in
+  let evals = float_of_int (calls * per_call) in
+  {
+    words_per_eval = words /. evals;
+    evals_per_sec = (evals /. Float.max 1e-9 elapsed);
+  }
+
+(* A deterministic pool of distinct grid configurations to cycle
+   through, so memo layers and warm caches cannot flatter the
+   per-evaluation numbers. *)
+let distinct_configs space ~count ~seed =
+  let rng = Rng.create seed in
+  let seen = Hashtbl.create count in
+  let rec draw budget =
+    if budget = 0 then invalid_arg "distinct_configs: space too small"
+    else
+      let c = Space.random rng space in
+      let key = Space.config_key c in
+      if Hashtbl.mem seen key then draw (budget - 1)
+      else begin
+        Hashtbl.add seen key ();
+        c
+      end
+  in
+  Array.init count (fun _ -> draw 10_000)
+
+(* ------------------------------------------------------------------ *)
+(* Scenarios                                                           *)
+
+let mva_figures () =
+  let obj = Ws.Model.objective ~mix:Ws.Tpcw.shopping () in
+  let configs = distinct_configs obj.Objective.space ~count:64 ~seed:42 in
+  let i = ref 0 in
+  measure ~warmup:200 ~calls:20_000 ~per_call:1 (fun () ->
+      let c = configs.(!i land 63) in
+      incr i;
+      ignore (obj.Objective.eval c : float))
+
+let des_options =
+  {
+    Ws.Simulation.default_options with
+    Ws.Simulation.warmup_ms = 1_000.0;
+    horizon_ms = 5_000.0;
+  }
+
+let des_figures () =
+  let obj = Ws.Simulation.objective ~options:des_options ~mix:Ws.Tpcw.shopping () in
+  let configs = distinct_configs obj.Objective.space ~count:8 ~seed:42 in
+  let i = ref 0 in
+  measure ~warmup:3 ~calls:40 ~per_call:1 (fun () ->
+      let c = configs.(!i land 7) in
+      incr i;
+      ignore (obj.Objective.eval c : float))
+
+(* The batch+memo engine on a tuning-shaped stream: 64 distinct
+   configurations, each occurring 8 times, interleaved the way a
+   simplex revisits vertices.  One eval_batch per fresh cached
+   objective — 64 distinct misses fan out across the pool, the other
+   448 evaluations answer from the single memo pass. *)
+let batch_figures ?pool () =
+  let base = Ws.Model.objective ~mix:Ws.Tpcw.shopping () in
+  let distinct = distinct_configs base.Objective.space ~count:64 ~seed:42 in
+  let stream =
+    Array.init (64 * 8) (fun i -> distinct.((i * 13) land 63))
+  in
+  measure ~warmup:5 ~calls:200 ~per_call:(Array.length stream) (fun () ->
+      let obj = Objective.cached base in
+      ignore (Objective.eval_batch ?pool obj stream : float array))
+
+(* Same tuning-shaped stream over the simulation objective: 8
+   distinct configurations x 8 occurrences.  Only the 8 distinct
+   misses run a simulation; the engine's single memo pass answers the
+   other 56 evaluations, which is where a tuner's effective
+   evaluation throughput comes from. *)
+let des_batch_figures ?pool () =
+  let base = Ws.Simulation.objective ~options:des_options ~mix:Ws.Tpcw.shopping () in
+  let distinct = distinct_configs base.Objective.space ~count:8 ~seed:42 in
+  let stream = Array.init (8 * 8) (fun i -> distinct.((i * 5) land 7)) in
+  measure ~warmup:1 ~calls:6 ~per_call:(Array.length stream) (fun () ->
+      let obj = Objective.cached base in
+      ignore (Objective.eval_batch ?pool obj stream : float array))
+
+(* ------------------------------------------------------------------ *)
+(* Baseline check                                                      *)
+
+(* Minimal extraction of ["key": <number>] from the flat baseline
+   files this tool writes itself — not a general JSON parser. *)
+let json_number ~key text =
+  let needle = Printf.sprintf "\"%s\"" key in
+  let nlen = String.length needle and tlen = String.length text in
+  let rec find i =
+    if i + nlen > tlen then None
+    else if String.sub text i nlen = needle then Some (i + nlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      let i = ref start in
+      while
+        !i < tlen && (text.[!i] = ' ' || text.[!i] = ':' || text.[!i] = '\n')
+      do
+        incr i
+      done;
+      let b = Buffer.create 24 in
+      while
+        !i < tlen
+        &&
+        match text.[!i] with
+        | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+        | _ -> false
+      do
+        Buffer.add_char b text.[!i];
+        incr i
+      done;
+      float_of_string_opt (Buffer.contents b)
+
+let baseline_json ~mva ~des ~batch ~des_batch =
+  Printf.sprintf
+    "{\n\
+    \  \"mva_words_per_eval\": %.1f,\n\
+    \  \"mva_evals_per_sec\": %.0f,\n\
+    \  \"des_words_per_eval\": %.1f,\n\
+    \  \"des_evals_per_sec\": %.0f,\n\
+    \  \"batch_evals_per_sec\": %.0f,\n\
+    \  \"des_batch_evals_per_sec\": %.0f\n\
+     }\n"
+    mva.words_per_eval mva.evals_per_sec des.words_per_eval
+    des.evals_per_sec batch.evals_per_sec des_batch.evals_per_sec
+
+let check ~baseline_file ~mva ~des =
+  let text = In_channel.with_open_text baseline_file In_channel.input_all in
+  let verdicts =
+    List.filter_map
+      (fun (label, key, measured) ->
+        match json_number ~key text with
+        | None ->
+            Some (Printf.sprintf "%s: baseline key %s missing" label key)
+        | Some recorded ->
+            if measured > 2.0 *. recorded then
+              Some
+                (Printf.sprintf
+                   "%s: %.1f minor words/eval exceeds 2x the recorded \
+                    baseline %.1f"
+                   label measured recorded)
+            else None)
+      [
+        ("mva", "mva_words_per_eval", mva.words_per_eval);
+        ("des", "des_words_per_eval", des.words_per_eval);
+      ]
+  in
+  match verdicts with
+  | [] -> Printf.printf "allocation check against %s: ok\n" baseline_file
+  | problems ->
+      List.iter (fun p -> Printf.printf "REGRESSION %s\n" p) problems;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let check_file = ref None and write_file = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--check" :: file :: rest ->
+        check_file := Some file;
+        parse rest
+    | "--write-baseline" :: file :: rest ->
+        write_file := Some file;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: evals [--check baseline.json] [--write-baseline FILE] \
+           (got %s)\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let start = Unix.gettimeofday () in
+  let telemetry =
+    Telemetry.create ~clock:(fun () -> (Unix.gettimeofday () -. start) *. 1e3) ()
+  in
+  let timed label f = Telemetry.span telemetry ("evals." ^ label) f in
+  let mva = timed "mva" mva_figures in
+  let des = timed "des" des_figures in
+  let jobs =
+    match Sys.getenv_opt "HARMONY_JOBS" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> Pool.default_domains ())
+    | None -> Pool.default_domains ()
+  in
+  let batch_seq = timed "batch-sequential" (fun () -> batch_figures ()) in
+  let batch_pool, des_batch =
+    Pool.with_pool ~domains:jobs (fun pool ->
+        ( timed "batch-pool" (fun () -> batch_figures ~pool ()),
+          timed "des-batch" (fun () -> des_batch_figures ~pool ()) ))
+  in
+  let row label f =
+    Printf.printf "%-18s %12.1f %14.0f\n" label f.words_per_eval
+      f.evals_per_sec;
+    Telemetry.gauge telemetry
+      (Printf.sprintf "evals.%s.words_per_eval" label)
+      f.words_per_eval;
+    Telemetry.gauge telemetry
+      (Printf.sprintf "evals.%s.per_sec" label)
+      f.evals_per_sec
+  in
+  Printf.printf "%-18s %12s %14s\n" "objective" "words/eval" "evals/sec";
+  row "mva" mva;
+  row "des" des;
+  row "batch-sequential" batch_seq;
+  Printf.printf "%-18s (batch of 512 = 64 distinct x 8, memo on)\n" "";
+  row "batch-pool" batch_pool;
+  Printf.printf "%-18s (same stream, %d domains)\n" "" jobs;
+  row "des-batch" des_batch;
+  Printf.printf "%-18s (batch of 64 = 8 distinct x 8, memo on, %d domains)\n"
+    "" jobs;
+  Out_channel.with_open_text "BENCH_6.json" (fun oc ->
+      Out_channel.output_string oc (Export.chrome telemetry));
+  Printf.printf "telemetry: BENCH_6.json (Chrome trace)\n";
+  (match !write_file with
+  | None -> ()
+  | Some file ->
+      Out_channel.with_open_text file (fun oc ->
+          Out_channel.output_string oc
+            (baseline_json ~mva ~des ~batch:batch_pool ~des_batch));
+      Printf.printf "baseline written to %s\n" file);
+  match !check_file with
+  | None -> ()
+  | Some file -> check ~baseline_file:file ~mva ~des

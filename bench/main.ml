@@ -102,13 +102,14 @@ let ablation_init pool =
 
 (* 2b. Estimator vertex choice: prediction error on held-out points of
    a tuning trace, in a static and a drifting environment. *)
-let ablation_estimator telemetry =
+let ablation_estimator pool telemetry =
   let obj = Ws.Model.objective ~mix:Ws.Tpcw.shopping () in
   let space = obj.Objective.space in
-  (* This tune is sequential, so the bench part's handle can record
-     its simplex/measure spans directly. *)
+  (* The bench part's handle records this tune's simplex/measure spans
+     directly; its evaluation batches fan out across the pool without
+     changing a byte of the outcome or the trace. *)
   let outcome =
-    Tuner.tune ~telemetry
+    Tuner.tune ~telemetry ~pool
       ~options:{ Tuner.default_options with Tuner.max_evaluations = 120 }
       obj
   in
@@ -371,7 +372,7 @@ let ablations pool =
     (fun t -> Report.print Format.std_formatter t)
     [
       bench_part "ablation-init" (fun _ -> ablation_init pool);
-      bench_part "ablation-estimator" ablation_estimator;
+      bench_part "ablation-estimator" (ablation_estimator pool);
       bench_part "ablation-classifier" (fun _ -> ablation_classifier ());
       bench_part "ablation-repeats" (fun _ -> ablation_sensitivity_repeats pool);
       bench_part "ablation-faults" (fun _ -> ablation_faults pool);

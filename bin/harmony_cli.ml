@@ -199,7 +199,9 @@ let tune_cmd =
                   ("cannot parse --telemetry " ^ text ^ " (want FILE[,FORMAT])")))
   in
   let run system mix budget seed noise memo faults init top_n trace_csv
-      telemetry_spec =
+      telemetry_spec jobs =
+    if jobs < 1 then `Error (false, "--jobs must be at least 1")
+    else
     match parse_telemetry telemetry_spec with
     | Error msg -> `Error (false, msg)
     | Ok telemetry_out ->
@@ -234,7 +236,12 @@ let tune_cmd =
             measure }
         in
         let session = Session.create ~objective ~options ~telemetry () in
-        let r = Session.tune ?top_n session in
+        let r =
+          if jobs = 1 then Session.tune ?top_n session
+          else
+            Pool.with_pool ~domains:jobs (fun pool ->
+                Session.tune ?top_n ~pool session)
+        in
         let space = objective.Objective.space in
         Format.printf "tuned parameters:  %s@."
           (String.concat ", "
@@ -279,7 +286,7 @@ let tune_cmd =
       ret
         (const run $ system_arg $ mix_arg $ budget_arg $ seed_arg $ noise_arg
        $ memo_arg $ faults_arg $ init_arg $ top_n_arg $ trace_csv_arg
-       $ telemetry_arg))
+       $ telemetry_arg $ jobs_arg))
 
 (* ------------------------------------------------------------------ *)
 (* prioritize                                                          *)

@@ -65,6 +65,7 @@ val prepare :
 
 val tune_with_experience :
   ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?pool:Harmony_parallel.Pool.t ->
   ?options:Tuner.options ->
   ?label:string ->
   t ->
@@ -73,4 +74,6 @@ val tune_with_experience :
   Tuner.outcome * preparation
 (** End-to-end: prepare from experience, tune, and record the new
     trace back into the database under the observed
-    characteristics. *)
+    characteristics.  [pool] batches the tuner's deterministic
+    evaluation phases across domains (see {!Tuner.tune}); the outcome
+    is byte-identical with or without it. *)

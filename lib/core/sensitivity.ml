@@ -33,55 +33,67 @@ let analyze ?(telemetry = Telemetry.off) ?pool ?(max_points = 16) ?(repeats = 1)
   Telemetry.span telemetry "sensitivity" @@ fun () ->
   let space = obj.Objective.space in
   let defaults = Space.defaults space in
-  let score_param index =
-    let p = Space.param space index in
-    let nv = Param.num_values p in
-    let picks = subsample nv max_points in
-    let values = Array.map (Param.value_at p) picks in
-    let perfs =
-      Array.map
+  (* Per-parameter sweep plans, flattened into one batch over every
+     (parameter, value, repeat) in the exact sequential order — the
+     one-at-a-time sweeps are independent, so the batch engine fans
+     them across the pool while keeping the readings (and, for a noisy
+     objective, the draw order — [eval_batch] then folds sequentially)
+     byte-identical to the sequential per-parameter loops. *)
+  let plans =
+    Array.init (Space.dims space) (fun index ->
+        let p = Space.param space index in
+        let picks = subsample (Param.num_values p) max_points in
+        (index, p, Array.map (Param.value_at p) picks))
+  in
+  let rev_configs = ref [] in
+  Array.iter
+    (fun (index, _, values) ->
+      Array.iter
         (fun v ->
           let c = Array.copy defaults in
           c.(index) <- v;
-          let total = ref 0.0 in
           for _ = 1 to repeats do
-            total := !total +. obj.Objective.eval c
-          done;
-          !total /. float_of_int repeats)
-        values
-    in
-    (* argmax / argmin of the sweep. *)
-    let a = ref 0 and b = ref 0 in
-    Array.iteri
-      (fun i perf ->
-        if perf > perfs.(!a) then a := i;
-        if perf < perfs.(!b) then b := i)
-      perfs;
-    let dp = Float.abs (perfs.(!a) -. perfs.(!b)) in
-    let dv = Float.abs (Param.normalize p values.(!a) -. Param.normalize p values.(!b)) in
-    let sensitivity = if Float.equal dv 0.0 then 0.0 else dp /. dv in
-    {
-      index;
-      name = p.Param.name;
-      sensitivity;
-      best_value = values.(!a);
-      worst_value = values.(!b);
-      evaluations = Array.length values * repeats;
-    }
-  in
-  let indices = Array.init (Space.dims space) Fun.id in
+            rev_configs := c :: !rev_configs
+          done)
+        values)
+    plans;
+  let all = Objective.eval_batch ?pool obj (Array.of_list (List.rev !rev_configs)) in
+  let cursor = ref 0 in
   let scores =
-    (* One task per parameter: the one-at-a-time sweeps touch disjoint
-       configurations and share no mutable state, so fanning them
-       across domains preserves the sequential result exactly —
-       provided the objective itself is deterministic.  A noisy
-       objective draws from one shared stream, and the draw order then
-       depends on scheduling: keep such analyses on the sequential
-       path (or freeze the noise with [Objective.cached]). *)
-    match pool with
-    | Some pool when not (Objective.noisy obj) ->
-        Harmony_parallel.Pool.map_array pool score_param indices
-    | _ -> Array.map score_param indices
+    Array.map
+      (fun (index, p, values) ->
+        let perfs =
+          Array.map
+            (fun _ ->
+              let total = ref 0.0 in
+              for _ = 1 to repeats do
+                total := !total +. all.(!cursor);
+                incr cursor
+              done;
+              !total /. float_of_int repeats)
+            values
+        in
+        (* argmax / argmin of the sweep. *)
+        let a = ref 0 and b = ref 0 in
+        Array.iteri
+          (fun i perf ->
+            if perf > perfs.(!a) then a := i;
+            if perf < perfs.(!b) then b := i)
+          perfs;
+        let dp = Float.abs (perfs.(!a) -. perfs.(!b)) in
+        let dv =
+          Float.abs (Param.normalize p values.(!a) -. Param.normalize p values.(!b))
+        in
+        let sensitivity = if Float.equal dv 0.0 then 0.0 else dp /. dv in
+        {
+          index;
+          name = p.Param.name;
+          sensitivity;
+          best_value = values.(!a);
+          worst_value = values.(!b);
+          evaluations = Array.length values * repeats;
+        })
+      plans
   in
   (* Per-parameter instants are emitted here, sequentially over the
      finished scores, so the trace is identical whether the sweeps ran

@@ -84,7 +84,7 @@ let checkpoint_database t ?label ?characteristics evaluations path =
        ~evaluations ());
   History.save copy path
 
-let tune ?top_n ?characteristics ?label ?options t =
+let tune ?top_n ?characteristics ?label ?pool ?options t =
   let options = Option.value options ~default:t.options in
   Telemetry.span t.telemetry "session.tune" @@ fun () ->
   (* Opt-in incremental durability: every [checkpoint_every] completed
@@ -127,12 +127,13 @@ let tune ?top_n ?characteristics ?label ?options t =
   in
   let outcome, used_experience =
     match characteristics with
-    | None -> (Tuner.tune ~telemetry:t.telemetry ~options working_objective, false)
+    | None ->
+        (Tuner.tune ~telemetry:t.telemetry ?pool ~options working_objective, false)
     | Some characteristics ->
         let analyzer = Analyzer.create t.db in
         let outcome, preparation =
-          Analyzer.tune_with_experience ~telemetry:t.telemetry ~options ?label
-            analyzer working_objective ~characteristics
+          Analyzer.tune_with_experience ~telemetry:t.telemetry ?pool ~options
+            ?label analyzer working_objective ~characteristics
         in
         (outcome, preparation.Analyzer.matched <> None)
   in

@@ -87,6 +87,7 @@ val tune :
   ?top_n:int ->
   ?characteristics:float array ->
   ?label:string ->
+  ?pool:Harmony_parallel.Pool.t ->
   ?options:Tuner.options ->
   t ->
   tune_result
@@ -98,6 +99,9 @@ val tune :
     - With [characteristics], the data analyzer seeds the simplex from
       the closest experience, and the run is recorded back into the
       database under those characteristics.
+    - With [pool], the tuner's deterministic evaluation batches fan
+      out across the pool's domains; the tuning result is
+      byte-identical with or without it (see {!Tuner.tune}).
     - [options] overrides the session's tuner options for this run. *)
 
 val trace_csv : t -> tune_result -> string

@@ -122,16 +122,21 @@ let diameter space vertices =
 
 module Telemetry = Harmony_telemetry.Telemetry
 
-let optimize ?(telemetry = Telemetry.off) ?(options = default_options) obj =
+let optimize ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
   let space = obj.Objective.space in
   let n = Space.dims space in
   if options.max_evaluations < n + 2 then
     invalid_arg "Simplex.optimize: budget below n+2 evaluations";
   let evaluations = ref 0 in
-  let eval c =
-    incr evaluations;
-    obj.Objective.eval c
+  (* Every measurement goes through the batch engine — the phases that
+     produce whole config sets (initial simplex, shrink, restarts)
+     issue one batch, single proposals are batches of one — so the
+     evaluation sequence is identical with and without a pool. *)
+  let eval_batch configs =
+    evaluations := !evaluations + Array.length configs;
+    Objective.eval_batch ?pool obj configs
   in
+  let eval c = (eval_batch [| c |]).(0) in
   (* What the current simplex step did, for the step span's [kind]
      argument; set at each transformation site below. *)
   let step_kind = ref "none" in
@@ -177,17 +182,28 @@ let optimize ?(telemetry = Telemetry.off) ?(options = default_options) obj =
     let shrink () =
       step_kind := "shrink";
       let best = vertices.(0) in
-      let changed = ref false in
+      (* Every move is computed from the pre-shrink simplex (each
+         vertex shrinks towards the fixed best), so the changed
+         vertices — capped at the remaining budget, in vertex order,
+         exactly the set the per-vertex budget check admitted — can be
+         evaluated as one batch. *)
+      let rev_jobs = ref [] in
+      let budget = ref (options.max_evaluations - !evaluations) in
       for i = 1 to k - 1 do
         let c = move ~from:vertices.(i).config ~towards:best.config ~factor:0.5 in
-        if (not (Space.config_equal c vertices.(i).config)) && budget_left ()
+        if (not (Space.config_equal c vertices.(i).config)) && !budget > 0
         then begin
-          vertices.(i) <- { config = c; value = eval c };
-          changed := true
+          decr budget;
+          rev_jobs := (i, c) :: !rev_jobs
         end
       done;
+      let jobs = Array.of_list (List.rev !rev_jobs) in
+      let values = eval_batch (Array.map snd jobs) in
+      Array.iteri
+        (fun j (i, c) -> vertices.(i) <- { config = c; value = values.(j) })
+        jobs;
       sort vertices;
-      if not !changed then converged := true
+      if Array.length jobs = 0 then converged := true
     in
     while budget_left () && not !converged do
       incr iterations;
@@ -260,13 +276,30 @@ let optimize ?(telemetry = Telemetry.off) ?(options = default_options) obj =
     !converged
   in
   let eval_initial initial =
+    (* Trusted vertices keep their value; the rest are evaluated as
+       one batch — the first [budget-left] of them, exactly the set
+       the sequential per-vertex budget check would have admitted. *)
+    let missing =
+      List.filter
+        (fun (_, value) -> match value with None -> true | Some _ -> false)
+        initial
+    in
+    let budget = Stdlib.max 0 (options.max_evaluations - !evaluations) in
+    let admitted = List.filteri (fun i _ -> i < budget) missing in
+    let values = eval_batch (Array.of_list (List.map fst admitted)) in
+    let next = ref 0 in
     Array.of_list
       (List.filter_map
          (fun (config, value) ->
            match value with
            | Some v -> Some { config; value = v }
            | None ->
-               if budget_left () then Some { config; value = eval config } else None)
+               if !next < Array.length values then begin
+                 let v = values.(!next) in
+                 incr next;
+                 Some { config; value = v }
+               end
+               else None)
          initial)
   in
   let vertices =

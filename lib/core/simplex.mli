@@ -56,12 +56,20 @@ type outcome = {
 
 val optimize :
   ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?pool:Harmony_parallel.Pool.t ->
   ?options:options ->
   Objective.t ->
   outcome
 (** Run the search.  All proposals are snapped into the objective's
     space, so the objective is only ever called on valid grid
     configurations.
+
+    Every measurement goes through {!Objective.eval_batch}: the phases
+    that produce whole configuration sets — the initial simplex, the
+    shrink step, each oriented restart — issue one batch, and with a
+    [pool] those configurations are measured in parallel.  The
+    evaluation sequence, budget accounting, and result are
+    byte-identical with and without a pool at any domain count.
 
     With a live [telemetry] handle the search emits a [simplex.init]
     span around the initial-simplex evaluation, a [simplex.step] span

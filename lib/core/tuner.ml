@@ -31,7 +31,7 @@ type outcome = {
 
 module Telemetry = Harmony_telemetry.Telemetry
 
-let tune ?(telemetry = Telemetry.off) ?(options = default_options) obj =
+let tune ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
   (* With a measurement policy, every evaluation the kernel requests
      goes through the fault-tolerant pipeline; a measurement that
      exhausts the policy evaluates to the worst-case penalty, so the
@@ -65,6 +65,24 @@ let tune ?(telemetry = Telemetry.off) ?(options = default_options) obj =
             | exception e ->
                 Telemetry.span_end telemetry "measure";
                 raise e);
+        (* A batch emits its [measure] spans after the underlying
+           evaluations return, one per reading in input order on the
+           calling domain — the trace stays deterministic at any pool
+           size (the spans bracket no wall time; the logical clock
+           just orders them). *)
+        batch =
+          Some
+            (fun disp configs ->
+              let values = Objective.run_batch measured disp configs in
+              Array.iter
+                (fun v ->
+                  Telemetry.span_begin telemetry "measure";
+                  Telemetry.incr telemetry "tuner.evaluations";
+                  Telemetry.span_end telemetry
+                    ~args:[ ("performance", Telemetry.Num v) ]
+                    "measure")
+                values;
+              values);
       }
   in
   let recorder, recorded = Recorder.wrap ?on_record:options.on_evaluation traced in
@@ -75,7 +93,7 @@ let tune ?(telemetry = Telemetry.off) ?(options = default_options) obj =
       tolerance = options.tolerance;
     }
   in
-  let result = Simplex.optimize ~telemetry ~options:simplex_options recorded in
+  let result = Simplex.optimize ~telemetry ?pool ~options:simplex_options recorded in
   let trace = Recorder.entries recorder in
   (* The best *measured* point can beat the simplex's final best
      vertex (e.g. a good vertex was later shrunk away); report the

@@ -46,13 +46,22 @@ type outcome = {
 }
 
 val tune :
-  ?telemetry:Harmony_telemetry.Telemetry.t -> ?options:options -> Objective.t -> outcome
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?pool:Harmony_parallel.Pool.t ->
+  ?options:options ->
+  Objective.t ->
+  outcome
 (** With a live [telemetry] handle, each evaluation is bracketed by a
     [measure] span (the [End] carries the vetted performance), a
     [tuner.evaluations] counter counts them, and the handle is passed
     down to {!Simplex.optimize} (step spans) and {!Measure.robust}
     (retry/fault counters).  Telemetry observes and never steers: the
-    tuning outcome is byte-identical with the handle off. *)
+    tuning outcome is byte-identical with the handle off.
+
+    With a [pool], the simplex phases that produce whole configuration
+    sets (initial vertices, shrink, restarts) are measured as one
+    {!Objective.eval_batch} each; the outcome, trace, and telemetry
+    are byte-identical to the sequential run at any domain count. *)
 
 val trace_csv : Space.t -> outcome -> string
 (** The tuning trace as CSV: header

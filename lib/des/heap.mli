@@ -2,19 +2,33 @@
 
     The event queue of the discrete-event simulator: events at equal
     times fire in insertion order, which keeps simulations
-    deterministic. *)
+    deterministic.
 
-type 'a t
+    The heap is monomorphic — unboxed float keys and int payloads on
+    parallel arrays — so push/pop allocate nothing; callers that need
+    richer payloads keep them in a slab and queue the index (as
+    {!Sim} does with its handler table). *)
 
-val create : unit -> 'a t
-val size : 'a t -> int
-val is_empty : 'a t -> bool
-val push : 'a t -> float -> 'a -> unit
+type t
 
-val peek : 'a t -> (float * 'a) option
+val create : unit -> t
+val size : t -> int
+val is_empty : t -> bool
+val push : t -> float -> int -> unit
+
+val peek : t -> (float * int) option
 (** Smallest key (earliest inserted among equals), without removing. *)
 
-val pop : 'a t -> (float * 'a) option
+val pop : t -> (float * int) option
 (** Remove and return the smallest key. *)
 
-val clear : 'a t -> unit
+val min_key : t -> float
+(** The smallest key, without removing or allocating.
+    @raise Invalid_argument on an empty heap. *)
+
+val pop_payload : t -> int
+(** Remove the minimum and return its payload, without allocating.
+    @raise Invalid_argument on an empty heap. *)
+
+val clear : t -> unit
+(** Empty the heap, keeping its storage for reuse. *)

@@ -32,14 +32,14 @@ let run ?pool ?(seed = 42) ?(distances = [ 0.0; 0.1; 0.2; 0.3; 0.4; 0.5; 0.6 ]) 
   let obj_a = objective_for current in
   (* Cold-start reference run; its final performance is the common
      convergence target for every seeded run. *)
-  let cold = Tuner.tune obj_a in
+  let cold = Tuner.tune ?pool obj_a in
   let reference = cold.Tuner.best_performance in
   let metrics_of outcome = Tuner.Metrics.of_outcome ~reference obj_a outcome in
   let cold_m = metrics_of cold in
   let arm drift d =
     let w' = workload_at current drift d in
     (* Record experience under A'. *)
-    let experience = Tuner.tune (objective_for w') in
+    let experience = Tuner.tune ?pool (objective_for w') in
     let db = History.create () in
     ignore (History.add_outcome db ~label:"A'" ~characteristics:w' experience);
     let analyzer = Analyzer.create db in

@@ -29,10 +29,10 @@ let sorted_copy a =
   Array.sort Float.compare b;
   b
 
-let percentile a p =
-  require_non_empty "Stats.percentile" a;
-  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
-  let b = sorted_copy a in
+let percentile_sorted b p =
+  require_non_empty "Stats.percentile_sorted" b;
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_sorted: p out of range";
   let n = Array.length b in
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (floor rank) in
@@ -40,7 +40,57 @@ let percentile a p =
   let frac = rank -. float_of_int lo in
   b.(lo) +. (frac *. (b.(hi) -. b.(lo)))
 
+let percentile a p =
+  require_non_empty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  percentile_sorted (sorted_copy a) p
+
 let median a = percentile a 50.0
+
+(* In-place heapsort of the first [len] cells of a floatarray:
+   allocation-free and deterministic (equal keys are interchangeable
+   float values), for scratch buffers reused across evaluations. *)
+let sort_floatarray ?len a =
+  let n = match len with None -> Float.Array.length a | Some l -> l in
+  if n < 0 || n > Float.Array.length a then
+    invalid_arg "Stats.sort_floatarray: len out of range";
+  let get = Float.Array.get a and set = Float.Array.set a in
+  let swap i j =
+    let t = get i in
+    set i (get j);
+    set j t
+  in
+  let rec sift_down i limit =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let largest = ref i in
+    if l < limit && get l > get !largest then largest := l;
+    if r < limit && get r > get !largest then largest := r;
+    if !largest <> i then begin
+      swap i !largest;
+      sift_down !largest limit
+    end
+  in
+  for i = (n / 2) - 1 downto 0 do
+    sift_down i n
+  done;
+  for i = n - 1 downto 1 do
+    swap 0 i;
+    sift_down 0 i
+  done
+
+let percentile_sorted_floatarray ?len a p =
+  let n = match len with None -> Float.Array.length a | Some l -> l in
+  if n < 0 || n > Float.Array.length a then
+    invalid_arg "Stats.percentile_sorted_floatarray: len out of range";
+  if n = 0 then invalid_arg "Stats.percentile_sorted_floatarray: empty";
+  if p < 0.0 || p > 100.0 then
+    invalid_arg "Stats.percentile_sorted_floatarray: p out of range";
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  let vlo = Float.Array.get a lo and vhi = Float.Array.get a hi in
+  vlo +. (frac *. (vhi -. vlo))
 
 let mad a =
   require_non_empty "Stats.mad" a;

@@ -24,6 +24,23 @@ val percentile : float array -> float -> float
 (** [percentile a p] with [p] in [0, 100], linear interpolation
     between order statistics. Requires a non-empty array. *)
 
+val percentile_sorted : float array -> float -> float
+(** {!percentile} over an array the caller has {e already sorted}
+    ascending — no copy, no sort.  Sort once, read many percentiles.
+    Requires a non-empty array; unspecified on unsorted input. *)
+
+val sort_floatarray : ?len:int -> floatarray -> unit
+(** In-place ascending heapsort of the first [len] cells (default:
+    the whole array) — allocation-free, for scratch buffers reused
+    across evaluations.  Values must not be NaN (total order by [<]).
+    @raise Invalid_argument when [len] is outside [0, length]. *)
+
+val percentile_sorted_floatarray : ?len:int -> floatarray -> float -> float
+(** {!percentile_sorted} over the first [len] cells of a sorted
+    floatarray.
+    @raise Invalid_argument on an empty prefix or [p] outside
+    [0, 100]. *)
+
 val mad : float array -> float
 (** Median absolute deviation, [median |x_i - median a|]: the robust
     dispersion estimate behind the measurement pipeline's outlier

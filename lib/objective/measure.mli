@@ -71,6 +71,21 @@ val measure :
     budget).
     @raise Invalid_argument on a malformed policy. *)
 
+val measure_batch :
+  ?policy:policy ->
+  ?clock:Clock.t ->
+  ?pool:Harmony_parallel.Pool.t ->
+  Objective.t ->
+  Space.config array ->
+  (float, failure) result array
+(** Batch counterpart of {!measure}: one logical measurement per
+    configuration, results in input order, byte-identical to mapping
+    {!measure} sequentially.  Distinct configurations fan out across
+    the pool; repeated occurrences of one configuration are measured
+    in input order on a single task, so its fault/attempt sequence is
+    exactly the sequential one.  All backoff accumulates on the one
+    [clock] (a sum, independent of interleaving). *)
+
 type summary = {
   measurements : int;  (** logical measurements requested *)
   attempts : int;      (** physical attempts spent *)

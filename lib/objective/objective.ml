@@ -25,16 +25,83 @@ type stats = {
 
 let empty_stats = { hits = 0; misses = 0; evals = 0; faults = 0; retries = 0 }
 
+type dispatcher = { run : 'a. ('a -> float) -> 'a array -> float array }
+
 type t = {
   space : Space.t;
   direction : direction;
   eval : Space.config -> float;
+  batch : (dispatcher -> Space.config array -> float array) option;
   noisy : bool;
   stats : (unit -> stats) option;
 }
 
 let create ~space ~direction eval =
-  { space; direction; eval; noisy = false; stats = None }
+  { space; direction; eval; batch = None; noisy = false; stats = None }
+
+let sequential_dispatcher = { run = (fun f xs -> Array.map f xs) }
+
+let pool_dispatcher pool =
+  { run = (fun f xs -> Harmony_parallel.Pool.map_array pool f xs) }
+
+(* The batch engine's fallback: a combinator stack without its own
+   batch strategy fans a deterministic objective straight out to the
+   dispatcher; a noisy one (shared RNG stream — draw order matters)
+   stays on a sequential input-order fold, so batching never reorders
+   draws. *)
+let run_batch t disp configs =
+  match t.batch with
+  | Some b -> b disp configs
+  | None -> if t.noisy then Array.map t.eval configs else disp.run t.eval configs
+
+let eval_batch ?pool t configs =
+  if Array.length configs = 0 then [||]
+  else
+    let disp =
+      match pool with
+      | None -> sequential_dispatcher
+      | Some pool -> pool_dispatcher pool
+    in
+    run_batch t disp configs
+
+(* Occurrence indices grouped by configuration key, groups in
+   first-occurrence order, indices within a group in input order. *)
+let group_by_key configs =
+  let n = Array.length configs in
+  let groups : (string, int list) Hashtbl.t =
+    Hashtbl.create (Stdlib.max 16 (2 * n))
+  in
+  let rev_order = ref [] in
+  for i = 0 to n - 1 do
+    let k = Space.config_key configs.(i) in
+    match Hashtbl.find_opt groups k with
+    | Some tail -> Hashtbl.replace groups k (i :: tail)
+    | None ->
+        Hashtbl.add groups k [ i ];
+        rev_order := k :: !rev_order
+  done;
+  Array.of_list
+    (List.rev_map
+       (fun k ->
+         match Hashtbl.find_opt groups k with
+         | Some tail -> List.rev tail
+         | None -> [])
+       !rev_order)
+
+(* Batch strategy for layers whose randomness is keyed per
+   configuration (fault injection, retry policies): distinct
+   configurations are independent and fan out across domains, while
+   repeated occurrences of one configuration stay on one task in input
+   order, preserving that configuration's attempt sequence exactly. *)
+let batch_by_key eval disp configs =
+  let groups = group_by_key configs in
+  let results = Array.make (Array.length configs) 0.0 in
+  let eval_group idxs =
+    List.iter (fun i -> results.(i) <- eval configs.(i)) idxs;
+    0.0
+  in
+  ignore (disp.run eval_group groups : float array);
+  results
 
 let better t a b =
   match t.direction with
@@ -60,9 +127,23 @@ let stats t = match t.stats with None -> None | Some get -> Some (get ())
 
 let with_noise rng ~level t =
   if level < 0.0 then invalid_arg "Objective.with_noise: negative level";
-  { t with eval = (fun c -> Rng.perturb rng level (t.eval c)); noisy = true }
+  (* One shared RNG stream: the draw order is the evaluation order, so
+     batches of a noisy objective must stay sequential — [batch] is
+     cleared and the [run_batch] fallback keeps the input-order fold. *)
+  {
+    t with
+    eval = (fun c -> Rng.perturb rng level (t.eval c));
+    batch = None;
+    noisy = true;
+  }
 
-let with_snap t = { t with eval = (fun c -> t.eval (Space.snap t.space c)) }
+let with_snap t =
+  let snap c = Space.snap t.space c in
+  {
+    t with
+    eval = (fun c -> t.eval (snap c));
+    batch = Some (fun disp configs -> run_batch t disp (Array.map snap configs));
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection                                                     *)
@@ -145,8 +226,10 @@ let with_faults ?(rates = fault_profile 0.1) ~seed t =
   (* A faulty objective is not a deterministic function of the
      configuration (transients clear on retry), so mark it noisy:
      [cached] then refuses to freeze a possibly-corrupt first draw
-     unless told to, exactly as for measurement noise. *)
-  { t with eval; noisy = true }
+     unless told to, exactly as for measurement noise.  Fault draws
+     are keyed per configuration, so a by-key batch reproduces the
+     sequential draws exactly at any domain count. *)
+  { t with eval; batch = Some (batch_by_key eval); noisy = true }
 
 (* Counter names under which [cached] records on the telemetry
    registry — the single counting path (DESIGN.md §11); [stats] is a
@@ -191,6 +274,53 @@ let cached ?(telemetry = Telemetry.off) ?(freeze_noise = false) t =
             Hashtbl.add table k v;
             v)
   in
+  (* One memo pass per batch: hits (and in-batch duplicates of a miss,
+     which the sequential fold would answer from the just-filled
+     entry) are resolved up front, and only the distinct misses reach
+     the dispatcher.  Counter totals match the sequential fold
+     exactly.  The lock is held across the whole batch, like a single
+     measurement — parallelism happens below this layer, on the
+     deduplicated misses. *)
+  let batch disp configs =
+    Mutex.protect lock (fun () ->
+        let n = Array.length configs in
+        let keys = Array.map Space.config_key configs in
+        let results = Array.make n 0.0 in
+        let filled = Array.make n false in
+        let pending : (string, unit) Hashtbl.t =
+          Hashtbl.create (Stdlib.max 16 n)
+        in
+        let rev_miss = ref [] in
+        let hits = ref 0 in
+        for i = 0 to n - 1 do
+          match Hashtbl.find_opt table keys.(i) with
+          | Some v ->
+              incr hits;
+              results.(i) <- v;
+              filled.(i) <- true
+          | None ->
+              if Hashtbl.mem pending keys.(i) then incr hits
+              else begin
+                Hashtbl.add pending keys.(i) ();
+                rev_miss := i :: !rev_miss
+              end
+        done;
+        let miss_idx = Array.of_list (List.rev !rev_miss) in
+        let values =
+          run_batch t disp (Array.map (fun i -> configs.(i)) miss_idx)
+        in
+        Array.iteri (fun j i -> Hashtbl.add table keys.(i) values.(j)) miss_idx;
+        Telemetry.incr reg ~by:!hits memo_hits;
+        Telemetry.incr reg ~by:(Array.length miss_idx) memo_misses;
+        for i = 0 to n - 1 do
+          if not filled.(i) then begin
+            match Hashtbl.find_opt table keys.(i) with
+            | Some v -> results.(i) <- v
+            | None -> () (* unreachable: the key was hit or just measured *)
+          end
+        done;
+        results)
+  in
   let get () =
     Mutex.protect lock (fun () ->
         (* When a measurement layer below also keeps counters (the
@@ -215,7 +345,7 @@ let cached ?(telemetry = Telemetry.off) ?(freeze_noise = false) t =
           retries = under.retries;
         })
   in
-  { t with eval; stats = Some get }
+  { t with eval; batch = Some batch; stats = Some get }
 
 let with_cache t = cached ~freeze_noise:true t
 
@@ -225,4 +355,10 @@ let negate t =
     | Higher_is_better -> Lower_is_better
     | Lower_is_better -> Higher_is_better
   in
-  { t with direction; eval = (fun c -> -.t.eval c) }
+  {
+    t with
+    direction;
+    eval = (fun c -> -.t.eval c);
+    batch =
+      Some (fun disp configs -> Array.map Float.neg (run_batch t disp configs));
+  }

@@ -49,15 +49,71 @@ type stats = {
 
 val empty_stats : stats
 
+type dispatcher = { run : 'a. ('a -> float) -> 'a array -> float array }
+(** How a batch of independent measurements is fanned out: the
+    sequential dispatcher maps in the caller, the pool dispatcher uses
+    {!Harmony_parallel.Pool.map_array}.  Both return results in input
+    order, so a combinator's batch strategy is dispatcher-agnostic. *)
+
 type t = {
   space : Space.t;
   direction : direction;
   eval : Space.config -> float;
+  batch : (dispatcher -> Space.config array -> float array) option;
+      (** how this layer evaluates a whole array of configurations at
+          once (input-order results); [None] means {!eval_batch} falls
+          back to dispatching [eval] directly (deterministic
+          objectives) or to a sequential input-order fold (noisy
+          ones).  Combinator authors wrap the layer below with
+          {!run_batch}. *)
   noisy : bool;  (** [with_noise] was applied somewhere in the stack *)
   stats : (unit -> stats) option;  (** set by [cached]; use {!stats} *)
 }
 
 val create : space:Space.t -> direction:direction -> (Space.config -> float) -> t
+
+val eval_batch :
+  ?pool:Harmony_parallel.Pool.t -> t -> Space.config array -> float array
+(** [eval_batch ?pool t configs] measures every configuration and
+    returns the readings in input order, byte-identical to the
+    sequential fold [Array.map t.eval configs] at any pool size:
+
+    - a [cached] layer makes one memo pass per batch — hits (and
+      in-batch duplicates) answer up front, only the distinct misses
+      reach the dispatcher, and hit/miss totals match the sequential
+      fold exactly;
+    - keyed randomness ([with_faults], [Measure.robust]) batches by
+      configuration: distinct configurations fan out, repeated
+      occurrences of one configuration keep their in-order attempt
+      sequence on a single task;
+    - shared-stream noise ([with_noise]) forces the whole batch onto
+      the sequential fold, so the draw order never changes.
+
+    Without [pool] the dispatch itself is sequential; the memo pass
+    and per-layer bookkeeping are identical either way, so 1-domain
+    and N-domain runs produce the same bytes.  When evaluations raise,
+    the first exception by configuration group (rather than strictly
+    by input position) is re-raised after the batch completes. *)
+
+val run_batch : t -> dispatcher -> Space.config array -> float array
+(** The engine underneath {!eval_batch}, with an explicit dispatcher:
+    [t.batch] when the layer has a strategy, otherwise the
+    deterministic fan-out / noisy sequential-fold fallback.  For
+    combinator authors delegating to the layer below. *)
+
+val sequential_dispatcher : dispatcher
+
+val pool_dispatcher : Harmony_parallel.Pool.t -> dispatcher
+
+val group_by_key : Space.config array -> int list array
+(** Occurrence indices grouped by {!Space.config_key}: groups in
+    first-occurrence order, indices within a group in input order. *)
+
+val batch_by_key :
+  (Space.config -> float) -> dispatcher -> Space.config array -> float array
+(** Batch strategy for layers whose randomness is keyed per
+    configuration: one dispatcher task per distinct configuration,
+    repeated occurrences evaluated in input order within the task. *)
 
 val better : t -> float -> float -> bool
 (** [better t a b] is true when performance [a] is strictly preferable

@@ -5,15 +5,26 @@ type t = { mutable rev_entries : entry list; mutable next : int }
 
 let wrap ?on_record obj =
   let r = { rev_entries = []; next = 0 } in
-  let eval c =
-    let performance = obj.Objective.eval c in
+  let record c performance =
     let entry = { index = r.next; config = Array.copy c; performance } in
     r.rev_entries <- entry :: r.rev_entries;
     r.next <- r.next + 1;
-    (match on_record with None -> () | Some f -> f entry);
+    match on_record with None -> () | Some f -> f entry
+  in
+  let eval c =
+    let performance = obj.Objective.eval c in
+    record c performance;
     performance
   in
-  (r, { obj with Objective.eval })
+  (* A batch is recorded after the underlying evaluations return, in
+     input order on the calling domain — the entry sequence (and the
+     [on_record] hook order) is the same as the sequential fold's. *)
+  let batch disp configs =
+    let values = Objective.run_batch obj disp configs in
+    Array.iteri (fun i v -> record configs.(i) v) values;
+    values
+  in
+  (r, { obj with Objective.eval; batch = Some batch })
 
 let entries r = List.rev r.rev_entries
 let count r = r.next

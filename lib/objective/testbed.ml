@@ -88,9 +88,13 @@ let with_irrelevant obj idxs =
         invalid_arg "Testbed.with_irrelevant: index out of range")
     idxs;
   let defaults = Space.defaults space in
-  let eval c =
+  let mask c =
     let c' = Array.copy c in
     List.iter (fun i -> c'.(i) <- defaults.(i)) idxs;
-    obj.Objective.eval c'
+    c'
   in
-  { obj with Objective.eval }
+  let eval c = obj.Objective.eval (mask c) in
+  let batch disp configs =
+    Objective.run_batch obj disp (Array.map mask configs)
+  in
+  { obj with Objective.eval; batch = Some batch }

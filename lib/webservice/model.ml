@@ -12,87 +12,215 @@ type result = {
   reject_fraction : float;
 }
 
-type station = { name : string; demand_ms : float; servers : int }
-
 (* Schweitzer AMVA with Seidmann's multi-server approximation: a
    c-server station with demand D becomes a queueing station with
    demand D/c plus a pure delay of D*(c-1)/c. *)
-let amva ~clients ~think_ms stations =
-  let n = float_of_int clients in
-  let k = Array.length stations in
-  let q_demand = Array.map (fun s -> s.demand_ms /. float_of_int s.servers) stations in
-  let fixed_delay =
-    Array.fold_left
-      (fun acc s ->
-        acc +. (s.demand_ms *. float_of_int (s.servers - 1) /. float_of_int s.servers))
-      0.0 stations
-  in
-  let q = Array.make k (n /. float_of_int (max 1 k)) in
-  let x = ref 0.0 in
-  for _ = 1 to 200 do
-    let r = Array.mapi (fun i d -> d *. (1.0 +. (q.(i) *. (n -. 1.0) /. n))) q_demand in
-    let total = Array.fold_left ( +. ) 0.0 r in
-    x := n /. (think_ms +. fixed_delay +. total);
-    Array.iteri (fun i ri -> q.(i) <- !x *. ri) r
-  done;
-  (!x, q)
+module Amva = struct
+  (* All per-iteration state lives in preallocated floatarrays (float
+     refs and Array.mapi in the fixed-point loop cost ~30 words per
+     iteration, ~6k words per evaluation).  [acc] holds the loop's
+     scalar state: slot 0 is the previous iteration's throughput. *)
+  type scratch = {
+    mutable q_demand : floatarray;
+    mutable q : floatarray;
+    mutable r : floatarray;
+    acc : floatarray;
+    (* Previous solution, for warm-started incremental re-solves. *)
+    mutable prev_q : floatarray;
+    mutable prev_demands : floatarray;
+    mutable prev_servers : int array;
+    mutable prev_k : int;
+    mutable prev_clients : int;
+    prev_think_ms : floatarray;
+    mutable prev_valid : bool;
+  }
+
+  let scratch () =
+    {
+      q_demand = Float.Array.create 0;
+      q = Float.Array.create 0;
+      r = Float.Array.create 0;
+      acc = Float.Array.make 2 0.0;
+      prev_q = Float.Array.create 0;
+      prev_demands = Float.Array.create 0;
+      prev_servers = [||];
+      prev_k = 0;
+      prev_clients = 0;
+      prev_think_ms = Float.Array.make 1 Float.nan;
+      prev_valid = false;
+    }
+
+  let ensure s k =
+    if Float.Array.length s.q < k then begin
+      s.q_demand <- Float.Array.make k 0.0;
+      s.q <- Float.Array.make k 0.0;
+      s.r <- Float.Array.make k 0.0;
+      s.prev_q <- Float.Array.make k 0.0;
+      s.prev_demands <- Float.Array.make k 0.0;
+      s.prev_servers <- Array.make k 0
+    end
+
+  (* Warm start is valid when the previous solve had the same shape
+     and at most one station's demand changed: the fixed point is the
+     same map iterated from a nearby point, so it converges in a
+     handful of iterations instead of tens. *)
+  let warm_applicable s ~k ~clients ~think_ms ~demands_ms ~servers =
+    s.prev_valid && s.prev_k = k && s.prev_clients = clients
+    && Float.equal (Float.Array.get s.prev_think_ms 0) think_ms
+    && (let same = ref true in
+        for i = 0 to k - 1 do
+          if s.prev_servers.(i) <> servers.(i) then same := false
+        done;
+        !same)
+    &&
+    let changed = ref 0 in
+    for i = 0 to k - 1 do
+      if not (Float.equal (Float.Array.get s.prev_demands i) demands_ms.(i))
+      then incr changed
+    done;
+    !changed <= 1
+
+  let solve ?scratch:sc ?(max_iterations = 200) ?(early_exit = true)
+      ?(warm = false) ~clients ~think_ms ~demands_ms ~servers () =
+    let k = Array.length demands_ms in
+    if k = 0 then invalid_arg "Amva.solve: no stations";
+    if Array.length servers <> k then invalid_arg "Amva.solve: length mismatch";
+    let s = match sc with Some s -> s | None -> scratch () in
+    ensure s k;
+    let n = float_of_int clients in
+    let qd = s.q_demand and q = s.q and r = s.r and acc = s.acc in
+    Float.Array.set acc 1 0.0;
+    for i = 0 to k - 1 do
+      Float.Array.set qd i (demands_ms.(i) /. float_of_int servers.(i));
+      Float.Array.set acc 1
+        (Float.Array.get acc 1
+        +. demands_ms.(i)
+           *. float_of_int (servers.(i) - 1)
+           /. float_of_int servers.(i))
+    done;
+    let fixed_delay = Float.Array.get acc 1 in
+    if warm && warm_applicable s ~k ~clients ~think_ms ~demands_ms ~servers
+    then Float.Array.blit s.prev_q 0 q 0 k
+    else begin
+      let q0 = n /. float_of_int (Stdlib.max 1 k) in
+      for i = 0 to k - 1 do
+        Float.Array.set q i q0
+      done
+    end;
+    Float.Array.set acc 0 0.0;
+    let iters = ref 0 in
+    let running = ref true in
+    let changed = ref false in
+    while !running && !iters < max_iterations do
+      incr iters;
+      Float.Array.set acc 1 0.0;
+      for i = 0 to k - 1 do
+        let ri =
+          Float.Array.get qd i
+          *. (1.0 +. (Float.Array.get q i *. (n -. 1.0) /. n))
+        in
+        Float.Array.set r i ri;
+        Float.Array.set acc 1 (Float.Array.get acc 1 +. ri)
+      done;
+      let x = n /. (think_ms +. fixed_delay +. Float.Array.get acc 1) in
+      changed := false;
+      for i = 0 to k - 1 do
+        let qi = x *. Float.Array.get r i in
+        if not (Float.equal qi (Float.Array.get q i)) then changed := true;
+        Float.Array.set q i qi
+      done;
+      (* Exact fixed point: once x and every q_i repeat bitwise, all
+         remaining iterations are the identity, so exiting here is
+         provably byte-identical to running the full budget. *)
+      if
+        early_exit
+        && (not !changed)
+        && Float.equal x (Float.Array.get acc 0)
+      then running := false;
+      Float.Array.set acc 0 x
+    done;
+    Float.Array.blit q 0 s.prev_q 0 k;
+    for i = 0 to k - 1 do
+      Float.Array.set s.prev_demands i demands_ms.(i);
+      s.prev_servers.(i) <- servers.(i)
+    done;
+    s.prev_k <- k;
+    s.prev_clients <- clients;
+    Float.Array.set s.prev_think_ms 0 think_ms;
+    s.prev_valid <- true;
+    Float.Array.get acc 0
+
+  let queue_lengths s =
+    Array.init s.prev_k (fun i -> Float.Array.get s.prev_q i)
+end
 
 (* M/M/c/K blocking probability (Erlang loss with waiting room):
    computed from the birth-death chain with a running normalization so
    large K never overflows. [offered] is in Erlangs (arrival rate x
-   mean service time). *)
+   mean service time).  The running terms live in a two-cell
+   floatarray — float refs would box on every state. *)
 let mmck_blocking ~servers ~queue ~offered =
   if offered <= 0.0 then 0.0
   else begin
     let k = servers + queue in
     let c = float_of_int servers in
-    (* p_n relative to p_0, renormalized on the fly. *)
-    let rel = ref 1.0 in
-    let total = ref 1.0 in
+    let acc = Float.Array.make 2 1.0 in
+    (* acc.(0) = p_n relative to p_0, acc.(1) = running total. *)
     for n = 0 to k - 1 do
       let rate = offered /. Float.min c (float_of_int (n + 1)) in
-      rel := !rel *. rate;
+      let rel = Float.Array.get acc 0 *. rate in
       (* Guard against runaway growth in deeply saturated systems. *)
-      if !rel > 1e12 then begin
-        total := !total /. !rel;
-        rel := 1.0
-      end;
-      total := !total +. !rel
+      if rel > 1e12 then begin
+        Float.Array.set acc 1 ((Float.Array.get acc 1 /. rel) +. 1.0);
+        Float.Array.set acc 0 1.0
+      end
+      else begin
+        Float.Array.set acc 0 rel;
+        Float.Array.set acc 1 (Float.Array.get acc 1 +. rel)
+      end
     done;
-    !rel /. !total
+    Float.Array.get acc 0 /. Float.Array.get acc 1
   end
+
+(* Per-domain scratch: contents are fully reinitialized by each cold
+   solve, so evaluations stay order-independent and byte-identical at
+   any domain count; the warm-started path is opt-in via Amva.solve
+   and never used here. *)
+let scratch_key = Domain.DLS.new_key (fun () -> Amva.scratch ())
 
 let evaluate ?(options = default_options) config ~mix =
   if options.clients < 1 then invalid_arg "Model.evaluate: clients < 1";
   let fx = Effects.derive config ~mix in
-  let d_proxy = Effects.mean_proxy_ms fx in
-  let d_app = Effects.mean_app_ms fx in
-  let d_db = Effects.mean_db_ms fx in
-  let stations =
+  let demands =
     [|
-      { name = "proxy"; demand_ms = Float.max 1e-6 d_proxy;
-        servers = Effects.proxy_servers fx };
-      { name = "app"; demand_ms = Float.max 1e-6 d_app;
-        servers = Effects.app_servers fx };
-      { name = "db"; demand_ms = Float.max 1e-6 d_db;
-        servers = Effects.db_servers fx };
+      Float.max 1e-6 (Effects.mean_proxy_ms fx);
+      Float.max 1e-6 (Effects.mean_app_ms fx);
+      Float.max 1e-6 (Effects.mean_db_ms fx);
     |]
   in
-  let x, _q = amva ~clients:options.clients ~think_ms:options.think_ms stations in
+  let servers =
+    [|
+      Effects.proxy_servers fx; Effects.app_servers fx; Effects.db_servers fx;
+    |]
+  in
+  let x =
+    Amva.solve
+      ~scratch:(Domain.DLS.get scratch_key)
+      ~clients:options.clients ~think_ms:options.think_ms ~demands_ms:demands
+      ~servers ()
+  in
   (* Accept-queue overflow at the proxy and app tiers: requests that
      find the backlog full are rejected and retried after a client
      backoff, costing throughput. *)
-  let blocking station queue_limit =
-    mmck_blocking ~servers:station.servers ~queue:queue_limit
-      ~offered:(x *. station.demand_ms)
+  let blocking i queue_limit =
+    mmck_blocking ~servers:servers.(i) ~queue:queue_limit
+      ~offered:(x *. demands.(i))
   in
-  let over_proxy = blocking stations.(0) (Effects.proxy_queue_limit fx) in
-  let over_app = blocking stations.(1) (Effects.app_queue_limit fx) in
+  let over_proxy = blocking 0 (Effects.proxy_queue_limit fx) in
+  let over_app = blocking 1 (Effects.app_queue_limit fx) in
   let reject_fraction = Float.min 0.9 (over_proxy +. over_app) in
   let x = x *. (1.0 -. (0.5 *. reject_fraction)) in
-  let util i =
-    Float.min 1.0 (x *. stations.(i).demand_ms /. float_of_int stations.(i).servers)
-  in
+  let util i = Float.min 1.0 (x *. demands.(i) /. float_of_int servers.(i)) in
   let u = (util 0, util 1, util 2) in
   let bottleneck =
     let u0, u1, u2 = u in

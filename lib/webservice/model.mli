@@ -18,6 +18,42 @@ type options = {
 
 val default_options : options
 
+(** The Schweitzer AMVA fixed-point solver, exposed with its scratch
+    state so hot paths can re-solve without allocating: all
+    per-iteration arrays live in a caller-owned (or per-domain)
+    {!Amva.scratch}. *)
+module Amva : sig
+  type scratch
+
+  val scratch : unit -> scratch
+
+  val solve :
+    ?scratch:scratch ->
+    ?max_iterations:int ->
+    ?early_exit:bool ->
+    ?warm:bool ->
+    clients:int ->
+    think_ms:float ->
+    demands_ms:float array ->
+    servers:int array ->
+    unit ->
+    float
+  (** Throughput (interactions per ms).  [max_iterations] defaults to
+      200.  [early_exit] (default true) stops at the exact fixed point
+      — once throughput and every queue length repeat bitwise, the
+      remaining iterations are the identity, so the result is provably
+      byte-identical to the fixed-budget solve.  [warm] (default
+      false) starts from the scratch's previous solution when the
+      population, think time, and servers match and at most one
+      station's demand changed — the incremental re-solve for
+      one-parameter sweeps; leave it off on shared paths that must be
+      evaluation-order-independent.
+      @raise Invalid_argument on zero stations or mismatched lengths. *)
+
+  val queue_lengths : scratch -> float array
+  (** Per-station mean queue lengths of the scratch's last solve. *)
+end
+
 type result = {
   wips : float;             (** web interactions per second *)
   cache_hit : float;        (** mix-weighted cache hit probability *)

@@ -45,7 +45,23 @@ type result = {
           {!Model.result.utilization} *)
 }
 
-val run : ?options:options -> Wsconfig.t -> mix:Tpcw.mix -> result
+(** Reusable measurement buffers.  An arena owns the response-time
+    buffer a run fills; passing one explicitly lets a caller amortize
+    its capacity across many runs.  Ownership rules: an arena belongs
+    to exactly one run at a time, {!run} resets it on entry and leaves
+    the (sorted) samples of the finished run behind, so its contents
+    are only meaningful until the next run borrows it.  Without an
+    explicit arena each domain reuses a private one, which is safe
+    because a domain runs one simulation at a time. *)
+module Arena : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  (** [capacity] is the initial response-time buffer size in samples
+      (default 4096); the buffer grows geometrically when exceeded. *)
+end
+
+val run : ?options:options -> ?arena:Arena.t -> Wsconfig.t -> mix:Tpcw.mix -> result
 
 val wips : ?options:options -> Wsconfig.t -> mix:Tpcw.mix -> float
 

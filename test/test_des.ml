@@ -22,45 +22,117 @@ let test_heap_ordering () =
 
 let test_heap_fifo_ties () =
   let h = Heap.create () in
-  Heap.push h 1.0 "first";
-  Heap.push h 1.0 "second";
-  Heap.push h 1.0 "third";
-  let pop () = match Heap.pop h with Some (_, v) -> v | None -> "?" in
+  Heap.push h 1.0 1;
+  Heap.push h 1.0 2;
+  Heap.push h 1.0 3;
+  let pop () = match Heap.pop h with Some (_, v) -> v | None -> -1 in
   let first = pop () in
   let second = pop () in
   let third = pop () in
-  Alcotest.(check (list string)) "insertion order" [ "first"; "second"; "third" ]
+  Alcotest.(check (list int)) "insertion order" [ 1; 2; 3 ]
     [ first; second; third ]
 
 let test_heap_peek () =
   let h = Heap.create () in
   Alcotest.(check bool) "empty peek" true (Heap.peek h = None);
-  Heap.push h 2.0 "b";
-  Heap.push h 1.0 "a";
+  Heap.push h 2.0 20;
+  Heap.push h 1.0 10;
   (match Heap.peek h with
   | Some (k, v) ->
       Alcotest.(check (float 1e-12)) "key" 1.0 k;
-      Alcotest.(check string) "value" "a" v
+      Alcotest.(check int) "value" 10 v
   | None -> Alcotest.fail "expected peek");
-  Alcotest.(check int) "peek does not pop" 2 (Heap.size h)
+  Alcotest.(check int) "peek does not pop" 2 (Heap.size h);
+  Alcotest.(check (float 1e-12)) "min_key" 1.0 (Heap.min_key h)
 
 let test_heap_clear () =
   let h = Heap.create () in
-  Heap.push h 1.0 ();
+  Heap.push h 1.0 0;
   Heap.clear h;
   Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_heap_pop_payload () =
+  let h = Heap.create () in
+  Heap.push h 3.0 30;
+  Heap.push h 1.0 10;
+  Heap.push h 2.0 20;
+  Alcotest.(check int) "first" 10 (Heap.pop_payload h);
+  Alcotest.(check int) "second" 20 (Heap.pop_payload h);
+  Alcotest.(check int) "third" 30 (Heap.pop_payload h);
+  Alcotest.check_raises "empty" (Invalid_argument "Heap.pop_payload: empty heap")
+    (fun () -> ignore (Heap.pop_payload h))
 
 let prop_heap_sorts =
   QCheck2.Test.make ~name:"heap drains keys in order" ~count:200
     QCheck2.Gen.(list_size (int_range 0 100) (float_range (-1e3) 1e3))
     (fun keys ->
       let h = Heap.create () in
-      List.iter (fun k -> Heap.push h k k) keys;
+      List.iteri (fun i k -> Heap.push h k i) keys;
       let rec drain acc =
         match Heap.pop h with Some (k, _) -> drain (k :: acc) | None -> List.rev acc
       in
       let out = drain [] in
       out = List.sort compare keys)
+
+(* Differential reference for the flat heap: a sorted association
+   list ordered by (key, insertion sequence) — the semantics of the
+   previous boxed-entry heap.  Interleaved pushes and pops must
+   dequeue identical (key, payload) sequences. *)
+module Ref_heap = struct
+  type t = { mutable entries : (float * int * int) list; mutable next_seq : int }
+
+  let create () = { entries = []; next_seq = 0 }
+
+  let push t key value =
+    let rec insert = function
+      | [] -> [ (key, t.next_seq, value) ]
+      | (k, s, v) :: rest when k < key || (Float.equal k key && s < t.next_seq)
+        ->
+          (k, s, v) :: insert rest
+      | rest -> (key, t.next_seq, value) :: rest
+    in
+    t.entries <- insert t.entries;
+    t.next_seq <- t.next_seq + 1
+
+  let pop t =
+    match t.entries with
+    | [] -> None
+    | (k, _, v) :: rest ->
+        t.entries <- rest;
+        Some (k, v)
+end
+
+let prop_heap_matches_reference =
+  (* Operation stream: [Some key] pushes (payload = op index), [None]
+     pops from both and compares. *)
+  QCheck2.Test.make ~name:"flat heap dequeues like the reference" ~count:200
+    QCheck2.Gen.(
+      list_size (int_range 0 200) (option (float_range 0.0 10.0)))
+    (fun ops ->
+      let h = Heap.create () in
+      let r = Ref_heap.create () in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          match op with
+          | Some key ->
+              Heap.push h key i;
+              Ref_heap.push r key i
+          | None ->
+              let a = Heap.pop h in
+              let b = Ref_heap.pop r in
+              if a <> b then ok := false)
+        ops;
+      (* Drain the rest. *)
+      let rec drain () =
+        match (Heap.pop h, Ref_heap.pop r) with
+        | None, None -> ()
+        | a, b ->
+            if a <> b then ok := false
+            else drain ()
+      in
+      drain ();
+      !ok)
 
 (* ------------------------------------------------------------------ *)
 (* Sim                                                                 *)

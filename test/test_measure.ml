@@ -269,6 +269,86 @@ let test_fault_arms_jobs_deterministic () =
   let run domains = Pool.with_pool ~domains (fun pool -> Pool.map pool arm rates) in
   Alcotest.(check (list string)) "jobs 1 = jobs 4" (run 1) (run 4)
 
+(* ------------------------------------------------------------------ *)
+(* Batch measurement                                                   *)
+
+let batch_configs =
+  [| [| 1.0 |]; [| 4.0 |]; [| 1.0 |]; [| 7.0 |]; [| 4.0 |]; [| 2.0 |] |]
+
+(* One faults+robust+memo stack, fresh per run so no state is shared
+   between the sequential and batched runs. *)
+let robust_stack () =
+  let faulty =
+    Objective.with_faults ~rates:(Objective.fault_profile 0.3) ~seed:17
+      (Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+           (c.(0) *. 2.0) +. 1.0))
+  in
+  let robust, _handle = Measure.robust faulty in
+  Objective.cached ~freeze_noise:true robust
+
+let test_robust_batch_identity () =
+  (* The whole vetting stack, batched at 1 and 4 domains, must return
+     the sequential fold's bytes — fault draws are keyed by
+     (configuration, attempt), so fanning distinct configurations out
+     across domains replays exactly the same faults. *)
+  let expected = Array.map (robust_stack ()).Objective.eval batch_configs in
+  List.iter
+    (fun domains ->
+      let got =
+        Pool.with_pool ~domains (fun pool ->
+            Objective.eval_batch ~pool (robust_stack ()) batch_configs)
+      in
+      Alcotest.(check (array int64))
+        (Printf.sprintf "identical at %d domains" domains)
+        (Array.map Int64.bits_of_float expected)
+        (Array.map Int64.bits_of_float got))
+    [ 1; 4 ]
+
+let test_measure_batch_matches_sequential () =
+  let make () = transient_then 2 42.0 in
+  let verdict = function
+    | Ok v -> Printf.sprintf "ok:%h" v
+    | Error f -> Format.asprintf "error:%a" Measure.pp_failure f
+  in
+  let sequential =
+    let obj = make () in
+    let clock = Measure.Clock.create () in
+    Array.map (fun c -> Measure.measure ~clock obj c) batch_configs
+  in
+  let batched ?pool () =
+    let obj = make () in
+    let clock = Measure.Clock.create () in
+    Measure.measure_batch ?pool ~clock obj batch_configs
+  in
+  let check label got =
+    Alcotest.(check (array string))
+      label
+      (Array.map verdict sequential)
+      (Array.map verdict got)
+  in
+  check "no pool" (batched ());
+  Pool.with_pool ~domains:4 (fun pool -> check "4 domains" (batched ~pool ()))
+
+let test_measure_batch_failures_in_place () =
+  (* A configuration that exhausts its retry budget reports its
+     failure in its own slot without disturbing the others. *)
+  let obj =
+    scripted (fun _ c ->
+        if Float.equal c.(0) 4.0 then
+          raise (Objective.Measurement_failed Objective.Persistent)
+        else c.(0))
+  in
+  let results = Measure.measure_batch obj batch_configs in
+  Array.iteri
+    (fun i r ->
+      match (r, Float.equal batch_configs.(i).(0) 4.0) with
+      | Error _, true -> ()
+      | Ok v, false ->
+          Alcotest.(check (float 1e-12)) "value" batch_configs.(i).(0) v
+      | Ok _, true -> Alcotest.fail "expected failure for 4.0"
+      | Error _, false -> Alcotest.fail "unexpected failure")
+    results
+
 let suite =
   [
     Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
@@ -294,4 +374,9 @@ let suite =
     Alcotest.test_case "session degraded flag" `Quick test_session_degraded_flag;
     Alcotest.test_case "fault arms jobs-deterministic" `Slow
       test_fault_arms_jobs_deterministic;
+    Alcotest.test_case "robust batch identity" `Quick test_robust_batch_identity;
+    Alcotest.test_case "measure_batch matches sequential" `Quick
+      test_measure_batch_matches_sequential;
+    Alcotest.test_case "measure_batch failures in place" `Quick
+      test_measure_batch_failures_in_place;
   ]

@@ -195,6 +195,106 @@ let test_negate () =
   Alcotest.(check bool) "same winner" true
     (Objective.better nn (nn.Objective.eval [| 9.0 |]) (nn.Objective.eval [| 1.0 |]))
 
+(* ------------------------------------------------------------------ *)
+(* Batch evaluation                                                    *)
+
+module Pool = Harmony_parallel.Pool
+
+let bits = Array.map Int64.bits_of_float
+
+let check_bits msg expected got =
+  Alcotest.(check (array int64)) msg (bits expected) (bits got)
+
+(* The stack a tuner actually batches: outlier-injecting faults
+   (deterministic per (seed, config, attempt)) under a freeze-noise
+   memo, snapped and negated.  Built fresh per run so the memo tables
+   of the sequential and batched runs never share state. *)
+let stacked () =
+  let count = ref 0 in
+  let base =
+    Objective.create ~space ~direction:Objective.Higher_is_better (fun c ->
+        incr count;
+        (c.(0) *. 3.0) +. 1.0)
+  in
+  let rates =
+    { Objective.no_faults with Objective.outlier = 0.3; outlier_magnitude = 4.0 }
+  in
+  let faulty = Objective.with_faults ~rates ~seed:9 base in
+  let obj =
+    Objective.negate
+      (Objective.with_snap (Objective.cached ~freeze_noise:true faulty))
+  in
+  (obj, count)
+
+let batch_configs =
+  [|
+    [| 1.0 |]; [| 4.0 |]; [| 1.0 |]; [| 7.0 |];
+    [| 4.0 |]; [| 2.0 |]; [| 1.0 |]; [| 9.0 |];
+  |]
+
+let test_eval_batch_identity () =
+  let seq_obj, seq_count = stacked () in
+  let expected = Array.map seq_obj.Objective.eval batch_configs in
+  List.iter
+    (fun domains ->
+      let obj, count = stacked () in
+      let got =
+        Pool.with_pool ~domains (fun pool ->
+            Objective.eval_batch ~pool obj batch_configs)
+      in
+      check_bits
+        (Printf.sprintf "identical at %d domains" domains)
+        expected got;
+      Alcotest.(check int) "same physical evaluations" !seq_count !count)
+    [ 1; 4 ];
+  let obj, _ = stacked () in
+  check_bits "identical without a pool" expected
+    (Objective.eval_batch obj batch_configs);
+  Alcotest.(check int) "empty batch" 0
+    (Array.length (Objective.eval_batch seq_obj [||]))
+
+let test_stats_under_batching () =
+  (* 8 evaluations over 5 distinct configurations: the in-batch
+     duplicates must count as memo hits exactly as the sequential
+     fold counts them. *)
+  let seq_obj, _ = stacked () in
+  ignore (Array.map seq_obj.Objective.eval batch_configs : float array);
+  check_stats "sequential fold" seq_obj ~hits:3 ~misses:5;
+  let obj, _ = stacked () in
+  ignore
+    (Pool.with_pool ~domains:4 (fun pool ->
+         Objective.eval_batch ~pool obj batch_configs)
+      : float array);
+  check_stats "one batch" obj ~hits:3 ~misses:5;
+  (* A second identical batch answers entirely from the memo. *)
+  ignore (Objective.eval_batch obj batch_configs : float array);
+  check_stats "repeat batch" obj ~hits:11 ~misses:5
+
+let test_group_by_key () =
+  let groups = Objective.group_by_key batch_configs in
+  Alcotest.(check int) "distinct groups" 5 (Array.length groups);
+  (* First-occurrence order of the groups, input order within each. *)
+  Alcotest.(check (list (list int)))
+    "grouped indices"
+    [ [ 0; 2; 6 ]; [ 1; 4 ]; [ 3 ]; [ 5 ]; [ 7 ] ]
+    (Array.to_list groups)
+
+let test_batch_noise_stays_sequential () =
+  (* A shared-stream noisy objective must evaluate in input order even
+     through eval_batch (the draws come off one RNG): batching it with
+     a pool must not change a single byte. *)
+  let run domains =
+    let noisy = Objective.with_noise (Rng.create 11) ~level:0.2 higher in
+    match domains with
+    | None -> Array.map noisy.Objective.eval batch_configs
+    | Some d ->
+        Pool.with_pool ~domains:d (fun pool ->
+            Objective.eval_batch ~pool noisy batch_configs)
+  in
+  let expected = run None in
+  check_bits "1 domain" expected (run (Some 1));
+  check_bits "4 domains" expected (run (Some 4))
+
 let suite =
   [
     Alcotest.test_case "better" `Quick test_better;
@@ -216,4 +316,9 @@ let suite =
     Alcotest.test_case "with_faults passthrough" `Quick test_with_faults_pure_passthrough;
     Alcotest.test_case "stats faults and retries" `Quick test_stats_faults_and_retries;
     Alcotest.test_case "negate" `Quick test_negate;
+    Alcotest.test_case "eval_batch identity" `Quick test_eval_batch_identity;
+    Alcotest.test_case "stats under batching" `Quick test_stats_under_batching;
+    Alcotest.test_case "group_by_key" `Quick test_group_by_key;
+    Alcotest.test_case "batched noise stays sequential" `Quick
+      test_batch_noise_stays_sequential;
   ]

@@ -41,6 +41,64 @@ let test_percentile_invalid () =
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
       ignore (Stats.percentile [| 1.0 |] 101.0))
 
+let test_percentile_sorted () =
+  (* On presorted input the no-copy variant and the copying one must
+     agree bitwise. *)
+  let a = [| 1.0; 2.0; 3.0; 10.0; 30.0 |] in
+  List.iter
+    (fun p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "p%g" p)
+        (Int64.bits_of_float (Stats.percentile a p))
+        (Int64.bits_of_float (Stats.percentile_sorted a p)))
+    [ 0.0; 25.0; 50.0; 75.0; 95.0; 100.0 ]
+
+let test_sort_floatarray () =
+  let values = [| 3.0; -1.0; 7.5; 0.0; 7.5; 2.25; -8.0 |] in
+  let fa = Float.Array.of_list (Array.to_list values) in
+  Stats.sort_floatarray fa;
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  Array.iteri
+    (fun i v -> feq (Printf.sprintf "slot %d" i) v (Float.Array.get fa i))
+    sorted;
+  (* A [len] prefix sorts in place and leaves the tail alone. *)
+  let fa = Float.Array.of_list [ 5.0; 1.0; 3.0; 99.0 ] in
+  Stats.sort_floatarray ~len:3 fa;
+  feq "prefix 0" 1.0 (Float.Array.get fa 0);
+  feq "prefix 1" 3.0 (Float.Array.get fa 1);
+  feq "prefix 2" 5.0 (Float.Array.get fa 2);
+  feq "tail untouched" 99.0 (Float.Array.get fa 3)
+
+let test_percentile_sorted_floatarray () =
+  let a = [| 1.0; 2.0; 3.0; 10.0; 30.0 |] in
+  let fa = Float.Array.of_list (Array.to_list a) in
+  List.iter
+    (fun p ->
+      Alcotest.(check int64)
+        (Printf.sprintf "p%g" p)
+        (Int64.bits_of_float (Stats.percentile a p))
+        (Int64.bits_of_float (Stats.percentile_sorted_floatarray fa p)))
+    [ 0.0; 25.0; 50.0; 95.0; 100.0 ];
+  (* The prefix variant ignores values beyond [len]. *)
+  let fa = Float.Array.of_list [ 1.0; 2.0; 3.0; 1000.0 ] in
+  feq "prefix p100" 3.0 (Stats.percentile_sorted_floatarray ~len:3 fa 100.0)
+
+let prop_sort_floatarray_matches_array_sort =
+  QCheck2.Test.make ~name:"sort_floatarray matches Array.sort" ~count:300
+    QCheck2.Gen.(list_size (int_range 0 60) (float_range (-1e6) 1e6))
+    (fun values ->
+      let reference = Array.of_list values in
+      Array.sort compare reference;
+      let fa = Float.Array.of_list values in
+      Stats.sort_floatarray fa;
+      let ok = ref true in
+      Array.iteri
+        (fun i v ->
+          if not (Float.equal v (Float.Array.get fa i)) then ok := false)
+        reference;
+      !ok)
+
 let test_normalize () =
   Alcotest.(check (array (float 1e-9)))
     "normalize" [| 0.0; 0.5; 1.0 |]
@@ -127,6 +185,10 @@ let suite =
     Alcotest.test_case "percentile endpoints" `Quick test_percentile_endpoints;
     Alcotest.test_case "percentile interpolates" `Quick test_percentile_interpolates;
     Alcotest.test_case "percentile invalid" `Quick test_percentile_invalid;
+    Alcotest.test_case "percentile sorted" `Quick test_percentile_sorted;
+    Alcotest.test_case "sort floatarray" `Quick test_sort_floatarray;
+    Alcotest.test_case "percentile sorted floatarray" `Quick
+      test_percentile_sorted_floatarray;
     Alcotest.test_case "normalize" `Quick test_normalize;
     Alcotest.test_case "normalize constant" `Quick test_normalize_constant;
     Alcotest.test_case "rescale" `Quick test_rescale;
@@ -140,4 +202,7 @@ let suite =
     Alcotest.test_case "distance mismatch" `Quick test_distance_mismatch;
   ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_mean_bounded; prop_normalize_range; prop_histogram_total; prop_variance_nonneg ]
+      [
+        prop_mean_bounded; prop_normalize_range; prop_histogram_total;
+        prop_variance_nonneg; prop_sort_floatarray_matches_array_sort;
+      ]

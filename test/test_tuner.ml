@@ -71,6 +71,30 @@ let test_trace_csv () =
         (float_of_string (List.nth fields 4))
   | _ -> Alcotest.fail "missing rows"
 
+let test_tune_pool_identity () =
+  (* The tuner's outcome and its telemetry trace must be byte-for-byte
+     the same whether evaluation batches run sequentially or fan out
+     across a pool — the batch engine's core contract. *)
+  let run pool_domains =
+    let telemetry = Harmony_telemetry.Telemetry.create () in
+    let obj = Objective.cached ~telemetry (Testbed.interior_peak ~dims:3 ()) in
+    let o =
+      match pool_domains with
+      | None -> Tuner.tune ~telemetry obj
+      | Some d ->
+          Harmony_parallel.Pool.with_pool ~domains:d (fun pool ->
+              Tuner.tune ~telemetry ~pool obj)
+    in
+    (Tuner.trace_csv obj.Objective.space o, Harmony_telemetry.Export.jsonl telemetry)
+  in
+  let csv, trace = run None in
+  let csv1, trace1 = run (Some 1) in
+  let csv4, trace4 = run (Some 4) in
+  Alcotest.(check string) "trace csv at 1 domain" csv csv1;
+  Alcotest.(check string) "telemetry at 1 domain" trace trace1;
+  Alcotest.(check string) "trace csv at 4 domains" csv csv4;
+  Alcotest.(check string) "telemetry at 4 domains" trace trace4
+
 (* --------------------------------------------------------------- *)
 (* Metrics                                                          *)
 
@@ -165,6 +189,7 @@ let suite =
     Alcotest.test_case "option presets" `Quick test_original_options_use_extremes;
     Alcotest.test_case "improved init starts better" `Quick test_improved_init_starts_better;
     Alcotest.test_case "trace csv" `Quick test_trace_csv;
+    Alcotest.test_case "pool identity" `Quick test_tune_pool_identity;
     Alcotest.test_case "metrics convergence" `Quick test_metrics_convergence;
     Alcotest.test_case "metrics reference" `Quick test_metrics_with_reference;
     Alcotest.test_case "metrics worst in window" `Quick test_metrics_worst_in_window;

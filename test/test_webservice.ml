@@ -343,6 +343,144 @@ let prop_cache_hit_monotone_in_memory =
       in
       at 8 <= at 64 +. 1e-9 && at 64 <= at 256 +. 1e-9 && at 256 <= at 512 +. 1e-9)
 
+(* ------------------------------------------------------------------ *)
+(* AMVA solver hot path                                                *)
+
+let fbits = Int64.bits_of_float
+
+let check_fbits msg expected got =
+  Alcotest.(check int64) msg (fbits expected) (fbits got)
+
+let amva_scenarios =
+  [
+    ("3-tier default", 120, 1000.0, [| 2.0; 5.0; 3.0 |], [| 2; 8; 4 |]);
+    ("saturated", 300, 700.0, [| 1.5; 9.0; 6.5 |], [| 2; 6; 4 |]);
+    ("single server", 40, 500.0, [| 4.0; 4.0; 4.0 |], [| 1; 1; 1 |]);
+    ("light load", 8, 2000.0, [| 0.5; 1.25; 0.75 |], [| 4; 16; 8 |]);
+  ]
+
+let test_amva_early_exit_identity () =
+  (* The early exit fires only at the exact bitwise fixed point, so
+     its answer must equal the fixed 200-iteration solve bit for
+     bit on every scenario. *)
+  List.iter
+    (fun (label, clients, think_ms, demands_ms, servers) ->
+      let fixed =
+        Model.Amva.solve ~early_exit:false ~clients ~think_ms ~demands_ms
+          ~servers ()
+      in
+      let early =
+        Model.Amva.solve ~clients ~think_ms ~demands_ms ~servers ()
+      in
+      check_fbits label fixed early)
+    amva_scenarios
+
+let test_amva_warm_matches_cold () =
+  (* A one-parameter sweep re-solved warm from the previous solution
+     must land on the same fixed point as a cold solve — bit for
+     bit — because the early exit only accepts an exact fixed point. *)
+  let warm_scratch = Model.Amva.scratch () in
+  for step = 0 to 20 do
+    let demands_ms = [| 2.0; 5.0 +. (0.25 *. float_of_int step); 3.0 |] in
+    let servers = [| 2; 8; 4 |] in
+    let cold =
+      Model.Amva.solve ~clients:120 ~think_ms:1000.0 ~demands_ms ~servers ()
+    in
+    let warm =
+      Model.Amva.solve ~scratch:warm_scratch ~warm:true ~clients:120
+        ~think_ms:1000.0 ~demands_ms ~servers ()
+    in
+    check_fbits (Printf.sprintf "step %d" step) cold warm
+  done
+
+let test_amva_queue_lengths () =
+  let s = Model.Amva.scratch () in
+  let _x =
+    Model.Amva.solve ~scratch:s ~clients:120 ~think_ms:1000.0
+      ~demands_ms:[| 2.0; 5.0; 3.0 |] ~servers:[| 2; 8; 4 |] ()
+  in
+  let q = Model.Amva.queue_lengths s in
+  Alcotest.(check int) "three stations" 3 (Array.length q);
+  Array.iter
+    (fun qi -> Alcotest.(check bool) "non-negative" true (qi >= 0.0))
+    q;
+  (* Queue lengths + thinkers account for every client. *)
+  let total = Array.fold_left ( +. ) 0.0 q in
+  Alcotest.(check bool) "at most the population" true (total <= 120.0)
+
+let test_amva_invalid () =
+  Alcotest.check_raises "no stations"
+    (Invalid_argument "Amva.solve: no stations") (fun () ->
+      ignore
+        (Model.Amva.solve ~clients:10 ~think_ms:100.0 ~demands_ms:[||]
+           ~servers:[||] ()));
+  Alcotest.check_raises "length mismatch"
+    (Invalid_argument "Amva.solve: length mismatch") (fun () ->
+      ignore
+        (Model.Amva.solve ~clients:10 ~think_ms:100.0 ~demands_ms:[| 1.0 |]
+           ~servers:[| 1; 2 |] ()))
+
+(* ------------------------------------------------------------------ *)
+(* Continuity goldens and arena reuse                                  *)
+
+let test_model_golden () =
+  (* Bitwise outputs captured before the allocation-free rewrite of
+     the solver; any drift here means the hot path changed the math. *)
+  let r = Model.evaluate Wsconfig.default ~mix:Tpcw.shopping in
+  check_fbits "wips" 99.838290894453706 r.Model.wips;
+  check_fbits "reject fraction" 3.6581497272453554e-11 r.Model.reject_fraction;
+  check_fbits "cache hit" 0.3618970647688724 r.Model.cache_hit;
+  let r300 =
+    Model.evaluate
+      ~options:{ Model.clients = 300; think_ms = 700.0 }
+      Wsconfig.default ~mix:Tpcw.browsing
+  in
+  check_fbits "300 clients browsing" 172.16486955556275 r300.Model.wips
+
+let golden_sim_options =
+  { Simulation.default_options with
+    Simulation.warmup_ms = 1_000.0; horizon_ms = 5_000.0; seed = 7 }
+
+let test_sim_golden () =
+  (* Same continuity contract for the simulator: buffers moved into
+     the arena and the heap was flattened, but not one event may
+     reorder. *)
+  let r = Simulation.run ~options:golden_sim_options Wsconfig.default ~mix:Tpcw.ordering in
+  check_fbits "wips" 86.599999999999994 r.Simulation.wips;
+  Alcotest.(check int) "completions" 433 r.Simulation.completions;
+  check_fbits "p50" 461.56186417364279 r.Simulation.p50_response_ms;
+  check_fbits "p95" 1080.2172626104048 r.Simulation.p95_response_ms
+
+let test_sim_arena_reuse () =
+  (* One caller-owned arena across repeated runs (including a
+     different workload in between) changes nothing. *)
+  let fresh =
+    Simulation.run ~options:golden_sim_options Wsconfig.default ~mix:Tpcw.ordering
+  in
+  let arena = Simulation.Arena.create ~capacity:8 () in
+  let first =
+    Simulation.run ~options:golden_sim_options ~arena Wsconfig.default
+      ~mix:Tpcw.ordering
+  in
+  ignore
+    (Simulation.run ~options:golden_sim_options ~arena Wsconfig.default
+       ~mix:Tpcw.shopping
+      : Simulation.result)
+  ;
+  let again =
+    Simulation.run ~options:golden_sim_options ~arena Wsconfig.default
+      ~mix:Tpcw.ordering
+  in
+  List.iter
+    (fun (label, r) ->
+      check_fbits (label ^ " wips") fresh.Simulation.wips r.Simulation.wips;
+      check_fbits (label ^ " p95") fresh.Simulation.p95_response_ms
+        r.Simulation.p95_response_ms;
+      Alcotest.(check int)
+        (label ^ " completions")
+        fresh.Simulation.completions r.Simulation.completions)
+    [ ("first borrow", first); ("reused arena", again) ]
+
 let suite =
   [
     Alcotest.test_case "space shape" `Quick test_space_shape;
@@ -378,6 +516,14 @@ let suite =
     Alcotest.test_case "sim session persistence" `Slow test_sim_session_persistence;
     Alcotest.test_case "sim utilization matches model" `Slow test_sim_utilization_matches_model;
     Alcotest.test_case "sim invalid" `Quick test_sim_invalid;
+    Alcotest.test_case "amva early exit identity" `Quick
+      test_amva_early_exit_identity;
+    Alcotest.test_case "amva warm matches cold" `Quick test_amva_warm_matches_cold;
+    Alcotest.test_case "amva queue lengths" `Quick test_amva_queue_lengths;
+    Alcotest.test_case "amva invalid" `Quick test_amva_invalid;
+    Alcotest.test_case "model golden" `Quick test_model_golden;
+    Alcotest.test_case "sim golden" `Slow test_sim_golden;
+    Alcotest.test_case "sim arena reuse" `Slow test_sim_arena_reuse;
   ]
   @ List.map QCheck_alcotest.to_alcotest
       [

@@ -393,7 +393,8 @@ let rec p1 =
     summary = "no Printf/Format printing in hot evaluation paths";
     doc =
       "The evaluation inner loop (objective, measurement, simplex, \
-       controller, tuner, pool) runs thousands of times per session and \
+       controller, tuner, pool, the DES engine, and the web-service \
+       models it drives) runs thousands of times per session and \
        concurrently across domains; stdout/stderr writes there serialize \
        domains and interleave nondeterministically. Use the logs facade at \
        the edges; pp functions over an explicit formatter stay fine. The \
@@ -406,6 +407,7 @@ let rec p1 =
       (fun path ->
         under "lib/objective" path || under "lib/parallel" path
         || under "lib/telemetry" path || under "lib/persist" path
+        || under "lib/des" path || under "lib/webservice" path
         || (under "lib/core" path
            && List.mem (basename path)
                 [
