@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint test test-fast test-crash trace-smoke bench bench-quick bench-evals experiments examples clean
+.PHONY: all build lint test test-fast test-crash test-service trace-smoke bench bench-quick bench-evals experiments examples clean
 
 all: build
 
@@ -30,6 +30,16 @@ test-fast: lint
 test-crash:
 	dune exec test/test_main.exe -- test persist
 	dune exec test/test_main.exe -- test crash
+
+# Sharded-service load tier (DESIGN.md §13): the service unit/property
+# suite, then the seeded load generator driving 1k clients through the
+# sharded service — every client's conversation must match a dedicated
+# single-session server byte-for-byte, and the p99 handle-latency SLO
+# (bench/service_slo.json, logical ticks) must hold.  The full 10k
+# tier is the same binary with --clients 10000.
+test-service:
+	dune exec test/test_main.exe -- test service
+	dune exec test/loadgen.exe -- --clients 1000 --shards 8 --domains 4
 
 # Telemetry end-to-end (DESIGN.md §11): a seeded tune records a JSONL
 # trace, `stats` summarizes it back, and the same run exports a Chrome

@@ -17,6 +17,7 @@ module Pool = Harmony_parallel.Pool
 module Telemetry = Harmony_telemetry.Telemetry
 module Export = Harmony_telemetry.Export
 module Summary = Harmony_telemetry.Summary
+module Service = Harmony_service.Service
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -454,7 +455,19 @@ let serve_cmd =
     in
     Arg.(value & flag & info [ "recover" ] ~doc)
   in
-  let run budget journal recover =
+  let shards_arg =
+    let doc =
+      "Serve the sharded multi-session service with $(docv) shards instead \
+       of a single session.  Every protocol line is prefixed with a client \
+       id ($(b,<id> register min|max) + RSL lines + blank line, $(b,<id> \
+       query), $(b,<id> report <perf>), $(b,<id> done)); the unprefixed \
+       $(b,service-metrics) dumps the merged per-shard registries.  With \
+       $(b,--journal FILE), each shard journals independently to \
+       $(b,FILE.shard<i>)."
+    in
+    Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let run budget shards journal recover =
     let options =
       { Simplex.default_options with Simplex.max_evaluations = budget }
     in
@@ -505,14 +518,62 @@ let serve_cmd =
       loop ();
       `Ok ()
     in
-    match (journal, recover) with
-    | None, true -> `Error (false, "--recover requires --journal")
-    | None, false -> serve (Server.create ~options ~telemetry ())
-    | Some path, false ->
+    (* The sharded service speaks the client-id-prefixed protocol on
+       the same stdin/stdout loop; each shard gets its own wall-clocked
+       telemetry handle, merged on demand by [service-metrics]. *)
+    let serve_service service =
+      let rec read_spec acc =
+        match In_channel.input_line stdin with
+        | None -> List.rev acc
+        | Some line when String.trim line = "" -> List.rev acc
+        | Some line -> read_spec (line :: acc)
+      in
+      let respond reply =
+        print_endline (Service.reply_to_string reply);
+        flush stdout
+      in
+      let rec loop () =
+        match In_channel.input_line stdin with
+        | None -> ()
+        | Some line -> (
+            let line = String.trim line in
+            if line = "" then loop ()
+            else if line = "quit" then ()
+            else begin
+              let text =
+                match String.split_on_char ' ' line with
+                | _ :: "register" :: _ ->
+                    line ^ "\n" ^ String.concat "\n" (read_spec [])
+                | _ -> line
+              in
+              (match Service.parse_message text with
+              | Ok message -> respond (Service.handle service message)
+              | Error msg -> respond (Service.Service_error msg));
+              loop ()
+            end)
+      in
+      Format.printf
+        "harmony tuning service (%d shard(s)): '<id> register min|max' + RSL \
+         lines + blank line, then '<id> query' / '<id> report <perf>' / \
+         '<id> report failed' / '<id> done' / 'service-metrics' / 'quit'@."
+        (Service.shards service);
+      loop ();
+      `Ok ()
+    in
+    let shard_telemetry _shard =
+      Telemetry.create
+        ~clock:(fun () -> (Unix.gettimeofday () -. start) *. 1e3)
+        ()
+    in
+    match (shards, journal, recover) with
+    | _, None, true -> `Error (false, "--recover requires --journal")
+    | Some n, _, _ when n < 1 -> `Error (false, "--shards must be >= 1")
+    | None, None, false -> serve (Server.create ~options ~telemetry ())
+    | None, Some path, false ->
         let server = Server.create ~options ~telemetry () in
         Server.attach_journal server ~journal:path ();
         serve server
-    | Some path, true ->
+    | None, Some path, true ->
         let r = Server.recover ~options ~telemetry ~journal:path () in
         Format.printf "recovered from %s: %d event(s) replayed, %d dropped@."
           path r.Server.replayed r.Server.dropped;
@@ -522,13 +583,36 @@ let serve_cmd =
             Format.printf "last reply before the crash: %s@."
               (Server.reply_to_string reply));
         serve r.Server.server
+    | Some n, None, false ->
+        serve_service
+          (Service.create ~options ~telemetry:shard_telemetry ~shards:n ())
+    | Some n, Some path, false ->
+        let service =
+          Service.create ~options ~telemetry:shard_telemetry ~shards:n ()
+        in
+        Service.attach_journals service ~journal:path ();
+        serve_service service
+    | Some n, Some path, true ->
+        let r =
+          Service.recover ~options ~telemetry:shard_telemetry ~shards:n
+            ~journal:path ()
+        in
+        Format.printf
+          "recovered %d shard(s) from %s: %d message(s) replayed, %d dropped@."
+          n path r.Service.replayed r.Service.dropped;
+        List.iter
+          (fun (pr : Service.shard_recovery) ->
+            Format.printf "  shard %d: %d replayed, %d dropped@." pr.shard
+              pr.replayed pr.dropped)
+          r.Service.per_shard;
+        serve_service r.Service.service
   in
   let doc =
     "Run the tuning server on stdin/stdout (line protocol), optionally \
      crash-safe via a write-ahead journal."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(ret (const run $ budget_arg $ journal_arg $ recover_arg))
+    Term.(ret (const run $ budget_arg $ shards_arg $ journal_arg $ recover_arg))
 
 (* ------------------------------------------------------------------ *)
 (* rules                                                               *)

@@ -19,7 +19,8 @@ type t = {
   mutable best : (Space.config * float) option;
 }
 
-let create ?(options = Simplex.default_options) ~space ~direction () =
+let create ?telemetry ?(options = Simplex.default_options) ~space ~direction ()
+    =
   let t =
     { space; direction; state = Running; measurements = 0; best = None }
   in
@@ -31,7 +32,7 @@ let create ?(options = Simplex.default_options) ~space ~direction () =
       Objective.create ~space ~direction (fun config ->
           Effect.perform (Measure (Array.copy config)))
     in
-    let outcome = Simplex.optimize ~options objective in
+    let outcome = Simplex.optimize ?telemetry ~options objective in
     t.state <- Finished outcome
   in
   let effc : type a. a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option

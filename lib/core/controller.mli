@@ -26,6 +26,7 @@ open Harmony_objective
 type t
 
 val create :
+  ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?options:Simplex.options ->
   space:Space.t ->
   direction:Objective.direction ->
@@ -33,7 +34,16 @@ val create :
   t
 (** A fresh controller; the first {!pending} call already has a
     configuration to measure (unless the initial simplex is fully
-    trusted). *)
+    trusted).
+
+    [telemetry] is threaded into the inverted {!Simplex.optimize}
+    kernel, so a live handle sees the search's init/step/restart spans
+    as the client's reports drive it.  Because the kernel suspends
+    mid-span between messages, a span opened while handling one
+    message may close while handling a later one — the {e metrics}
+    derived from these events (logical-clock durations, step counters)
+    are exact and deterministic, but strict stack nesting of the raw
+    trace is not guaranteed across messages.  Default: {!Telemetry.off}. *)
 
 val pending : t -> [ `Measure of Space.config | `Done of Simplex.outcome ]
 (** What the controller wants next: a configuration to measure, or the

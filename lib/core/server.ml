@@ -54,16 +54,18 @@ type persist = {
 type t = {
   options : Simplex.options;
   max_report_failures : int;
+  reject_reregister : bool;
   telemetry : Telemetry.t;
   mutable session : session option;
   mutable persist : persist option;
 }
 
 let create ?(options = Simplex.default_options) ?(max_report_failures = 3)
-    ?(telemetry = Telemetry.off) () =
+    ?(reject_reregister = false) ?(telemetry = Telemetry.off) () =
   if max_report_failures < 1 then
     invalid_arg "Server.create: max_report_failures < 1";
-  { options; max_report_failures; telemetry; session = None; persist = None }
+  { options; max_report_failures; reject_reregister; telemetry;
+    session = None; persist = None }
 
 let spec t = Option.map (fun s -> s.rsl) t.session
 
@@ -125,6 +127,21 @@ let handle_message t message =
   (* Read-only introspection: the server's own metrics registry in
      Prometheus text form.  Valid in any state, never journaled. *)
   | Metrics, _ -> Stats (Export.prometheus t.telemetry)
+  (* Duplicate registration guard (opt-in): a second [register] while
+     a tuning session is still mid-flight used to rely on caller
+     discipline — under one shared server it silently threw away the
+     live session.  With [reject_reregister] the duplicate gets a
+     total error reply and the active session is untouched; once the
+     session has finished (or was aborted) re-registering is again the
+     normal way to start the next one. *)
+  | Register _, Some session
+    when t.reject_reregister
+         && (match Controller.pending session.controller with
+            | `Measure _ -> true
+            | `Done _ -> false) ->
+      Rejected
+        "already registered: an active session is mid-tuning (finish it \
+         before re-registering)"
   | Register { spec; direction }, _ -> (
       match Rsl.parse spec with
       | exception Rsl.Parse_error msg -> Rejected ("bad specification: " ^ msg)
@@ -142,7 +159,10 @@ let handle_message t message =
                  degenerate initial simplex.  [handle] is total: such
                  specs are rejected, never raised (the fuzz suite
                  drives this with arbitrary generated specs). *)
-              match Controller.create ~options:t.options ~space ~direction () with
+              match
+                Controller.create ~telemetry:t.telemetry ~options:t.options
+                  ~space ~direction ()
+              with
               | exception Invalid_argument msg ->
                   Rejected ("untunable specification: " ^ msg)
               | controller ->
@@ -500,10 +520,12 @@ type recovery = {
   dropped : int;
 }
 
-let recover ?options ?max_report_failures ?telemetry
+let recover ?options ?max_report_failures ?reject_reregister ?telemetry
     ?(compact_every = default_compact_every) ~journal:path () =
   if compact_every < 1 then invalid_arg "Server.recover: compact_every < 1";
-  let server = create ?options ?max_report_failures ?telemetry () in
+  let server =
+    create ?options ?max_report_failures ?reject_reregister ?telemetry ()
+  in
   let events, dropped_load = load_events path in
   let last_reply, replayed, dropped_replay, session_log, seq =
     replay_events server events

@@ -68,6 +68,7 @@ type t
 
 val create :
   ?options:Simplex.options -> ?max_report_failures:int ->
+  ?reject_reregister:bool ->
   ?telemetry:Harmony_telemetry.Telemetry.t -> unit -> t
 (** A server with no registered client yet.  [options] bounds each
     session's search (budget, tolerance, initial simplex).
@@ -75,13 +76,29 @@ val create :
     consecutive [Report_failed] a configuration gets before it is
     penalized as worst-case and the search moves on.
 
+    [reject_reregister] (default [false], preserving the historical
+    restart-on-register behaviour) makes a [Register] arriving while a
+    session is still mid-tuning answer with a total [Rejected] reply
+    instead of silently discarding the live session; re-registering
+    after the session finished (or aborted) still starts a fresh one.
+    The sharded service sets this for every per-client session, so a
+    duplicate register from an already-active client id is an error,
+    not a session reset.
+
     With a live [telemetry] handle, every {!handle} call is bracketed
     by a [server.handle] span (its [kind] argument names the message),
     counted in [server.messages], and its latency observed in the
     [server.handle_ms] histogram (units are the handle's clock — inject
     a wall clock from [bin/] for real milliseconds); journal appends,
     fsyncs and compactions are counted under [server.journal.*].  The
-    same registry is what the {!Metrics} message dumps.
+    session's controller shares the handle, so the search kernel's
+    [simplex.*] spans and instants advance the logical clock while a
+    message is being handled — on the default logical clock,
+    [server.handle_ms] therefore measures the {e search work} each
+    message triggered (0 for an idempotent re-query, more for a step
+    or a restart), which is what the service's p99 handle-latency SLO
+    is asserted against.  The same registry is what the {!Metrics}
+    message dumps.
     @raise Invalid_argument when [max_report_failures < 1]. *)
 
 val handle : t -> message -> reply
@@ -180,6 +197,7 @@ type recovery = {
 val recover :
   ?options:Simplex.options ->
   ?max_report_failures:int ->
+  ?reject_reregister:bool ->
   ?telemetry:Harmony_telemetry.Telemetry.t ->
   ?compact_every:int ->
   journal:string ->
@@ -189,8 +207,9 @@ val recover :
     load the snapshot's events, append the journal's (skipping records
     the snapshot already covers), and replay the client messages in
     order through the deterministic search stack, checking each
-    recorded reply.  [options] and [max_report_failures] must match
-    the crashed server's for replay to be faithful.  Never raises on
+    recorded reply.  [options], [max_report_failures] and
+    [reject_reregister] must match the crashed server's for replay to
+    be faithful.  Never raises on
     corrupt input: missing files recover to a fresh server, torn or
     corrupt tails are dropped, and the first inconsistency ends the
     replay — the longest valid prefix wins.  On the way out the

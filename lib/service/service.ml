@@ -1,0 +1,546 @@
+open Harmony
+module Frame = Harmony_persist.Frame
+module Persist = Harmony_persist.Persist
+module Journal = Harmony_persist.Journal
+module Pool = Harmony_parallel.Pool
+module Telemetry = Harmony_telemetry.Telemetry
+module Export = Harmony_telemetry.Export
+
+type message =
+  | Client of { client : string; payload : Server.message }
+  | Deregister of { client : string }
+  | Service_metrics
+
+type reply =
+  | Client_reply of { client : string; reply : Server.reply }
+  | Deregistered of { client : string }
+  | Service_stats of string
+  | Service_error of string
+
+type event = Recv of message | Reply of string
+
+(* Per-shard durability plumbing: the same WAL discipline as
+   [Server.persist], except the replayable essence interleaves many
+   clients' sessions, so each log entry remembers which client owns it
+   (an accepted re-register or a deregister prunes exactly that
+   client's entries). *)
+type shard_persist = {
+  journal : Journal.t;
+  snapshot : string;
+  compact_every : int;
+  mutable seq : int;
+  mutable session_log : (int * string * event) list;  (* newest first *)
+}
+
+type shard = {
+  tel : Telemetry.t;
+  sessions : (string, Server.t) Hashtbl.t;
+  mutable persist : shard_persist option;
+}
+
+type t = {
+  options : Simplex.options option;
+  max_report_failures : int option;
+  shards_ : shard array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+(* FNV-1a, 32-bit: a tiny, cross-version-stable string hash.  The shard
+   map is part of the on-disk layout (shard journals), so it must not
+   depend on [Hashtbl.hash] internals. *)
+let fnv1a s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x01000193 land 0xFFFFFFFF)
+    s;
+  !h
+
+let shard_for ~shards client =
+  if shards < 1 then invalid_arg "Service.shard_for: shards < 1";
+  fnv1a client mod shards
+
+let shards t = Array.length t.shards_
+let shard_of_client t client = shard_for ~shards:(shards t) client
+
+let sessions t =
+  Array.fold_left (fun n s -> n + Hashtbl.length s.sessions) 0 t.shards_
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+(* The per-message handle-latency histogram the loadgen SLO asserts
+   against.  The default decade bounds cannot resolve a logical-clock
+   p99 in the tens of ticks, so every shard pins these before the
+   first observation. *)
+let handle_ms_bounds =
+  [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
+
+let create ?options ?max_report_failures ?telemetry ~shards () =
+  if shards < 1 then invalid_arg "Service.create: shards < 1";
+  let tel_for =
+    match telemetry with Some f -> f | None -> fun _ -> Telemetry.off
+  in
+  let shards_ =
+    Array.init shards (fun i ->
+        let tel = tel_for i in
+        Telemetry.declare_histogram tel ~bounds:handle_ms_bounds
+          "server.handle_ms";
+        { tel; sessions = Hashtbl.create 64; persist = None })
+  in
+  { options; max_report_failures; shards_ }
+
+let shard_telemetry t i =
+  if i >= 0 && i < Array.length t.shards_ then t.shards_.(i).tel
+  else Telemetry.off
+
+let merged_telemetry t =
+  Telemetry.merged (Array.to_list (Array.map (fun s -> s.tel) t.shards_))
+
+let metrics t = Export.prometheus (merged_telemetry t)
+
+(* ------------------------------------------------------------------ *)
+(* Text codec                                                          *)
+
+(* Words that can never be client ids: single-session commands (so a
+   stray unprefixed server message reads as a protocol error, not as a
+   client called "query"), the deregister verb, the serve loop's
+   [quit], and the service's own command. *)
+let reserved =
+  [ "register"; "query"; "report"; "metrics"; "done"; "quit";
+    "service-metrics" ]
+
+let is_space c =
+  Char.equal c ' ' || Char.equal c '\t' || Char.equal c '\n'
+  || Char.equal c '\r'
+
+let valid_client id =
+  String.length id > 0
+  && (not (String.exists is_space id))
+  && not (List.exists (String.equal id) reserved)
+
+let parse_message text =
+  let text = String.trim text in
+  if String.equal text "service-metrics" then Ok Service_metrics
+  else
+    let first_line_end =
+      match String.index_opt text '\n' with
+      | Some i -> i
+      | None -> String.length text
+    in
+    match String.index_opt (String.sub text 0 first_line_end) ' ' with
+    | None -> Error ("missing client id: " ^ text)
+    | Some i -> (
+        let client = String.sub text 0 i in
+        let rest = String.sub text (i + 1) (String.length text - i - 1) in
+        if not (valid_client client) then Error ("bad client id: " ^ client)
+        else
+          match String.trim rest with
+          | "done" -> Ok (Deregister { client })
+          | _ -> (
+              match Server.parse_message rest with
+              | Ok payload -> Ok (Client { client; payload })
+              | Error e -> Error e))
+
+let message_to_string = function
+  | Client { client; payload } ->
+      client ^ " " ^ Server.message_to_string payload
+  | Deregister { client } -> client ^ " done"
+  | Service_metrics -> "service-metrics"
+
+let reply_to_string = function
+  | Client_reply { client; reply } ->
+      client ^ " " ^ Server.reply_to_string reply
+  | Deregistered { client } -> client ^ " bye"
+  | Service_stats text -> "stats\n" ^ String.trim text
+  | Service_error msg -> "error " ^ msg
+
+(* ------------------------------------------------------------------ *)
+(* Shard-local message application (no journaling)                     *)
+
+let unknown_client shard client =
+  Telemetry.incr shard.tel "service.unknown_client";
+  Server.Rejected ("unknown client " ^ client ^ ": register first")
+
+let apply t shard = function
+  | Service_metrics ->
+      (* Routed at the service level (it needs every shard's registry);
+         a shard only sees it through a corrupted journal, where a
+         deterministic error keeps replay total. *)
+      Service_error "service-metrics is not shard-local"
+  | Deregister { client } -> (
+      match Hashtbl.find_opt shard.sessions client with
+      | None ->
+          (match unknown_client shard client with
+          | Server.Rejected msg -> Service_error msg
+          | Server.Assign _ | Server.Done _ | Server.Stats _ ->
+              Service_error "unknown client")
+      | Some _ ->
+          Hashtbl.remove shard.sessions client;
+          Telemetry.incr shard.tel "service.deregisters";
+          Deregistered { client })
+  | Client { client; payload } -> (
+      match Hashtbl.find_opt shard.sessions client with
+      | Some server ->
+          Client_reply { client; reply = Server.handle server payload }
+      | None -> (
+          match payload with
+          | Server.Register _ ->
+              (* First contact: the client's dedicated session.  It
+                 shares the shard's telemetry handle and runs with
+                 [reject_reregister], so a duplicate register while
+                 tuning is a total error reply, never a silent reset. *)
+              let server =
+                Server.create ?options:t.options
+                  ?max_report_failures:t.max_report_failures
+                  ~reject_reregister:true ~telemetry:shard.tel ()
+              in
+              let reply = Server.handle server payload in
+              (match reply with
+              | Server.Rejected _ -> ()
+              | Server.Assign _ | Server.Done _ | Server.Stats _ ->
+                  Telemetry.incr shard.tel "service.registers";
+                  Hashtbl.add shard.sessions client server);
+              Client_reply { client; reply }
+          | Server.Query | Server.Report _ | Server.Report_failed
+          | Server.Metrics ->
+              Client_reply { client; reply = unknown_client shard client }))
+
+(* ------------------------------------------------------------------ *)
+(* Write-ahead journal: event codec                                    *)
+
+module Event = struct
+  type t = event = Recv of message | Reply of string
+
+  let encode ~seq = function
+    | Recv m -> Printf.sprintf "%d recv %s" seq (message_to_string m)
+    | Reply text -> Printf.sprintf "%d reply %s" seq text
+
+  let decode record =
+    match String.index_opt record ' ' with
+    | None -> None
+    | Some i -> (
+        match int_of_string_opt (String.sub record 0 i) with
+        | None -> None
+        | Some seq when seq < 1 -> None
+        | Some seq -> (
+            let rest =
+              String.sub record (i + 1) (String.length record - i - 1)
+            in
+            let payload_of tag =
+              if String.starts_with ~prefix:(tag ^ " ") rest then
+                Some
+                  (String.sub rest (String.length tag + 1)
+                     (String.length rest - String.length tag - 1))
+              else None
+            in
+            match payload_of "recv" with
+            | Some text -> (
+                match parse_message text with
+                | Ok m -> Some (seq, Recv m)
+                | Error _ -> None)
+            | None -> (
+                match payload_of "reply" with
+                | Some text -> Some (seq, Reply text)
+                | None -> None)))
+end
+
+(* ------------------------------------------------------------------ *)
+(* Journaling, snapshots, recovery                                     *)
+
+let shard_journal ~journal ~shard = journal ^ ".shard" ^ string_of_int shard
+let snapshot_path path = path ^ ".snapshot"
+let default_compact_every = 64
+let snapshot_magic = "harmony-service-snapshot"
+let snapshot_header seq = Printf.sprintf "%s 1 %d" snapshot_magic seq
+
+let parse_snapshot_header record =
+  match String.split_on_char ' ' record with
+  | [ magic; "1"; seq ] when String.equal magic snapshot_magic ->
+      int_of_string_opt seq
+  | _ -> None
+
+(* Only messages that can change shard state are journaled; queries
+   and metrics probes are read-only up to idempotent re-issue, which
+   deterministic replay regenerates for free. *)
+let journaled = function
+  | Client { payload = Server.Register _ | Server.Report _
+                       | Server.Report_failed; _ } -> true
+  | Client { payload = Server.Query | Server.Metrics; _ } -> false
+  | Deregister _ -> true
+  | Service_metrics -> false
+
+let log_client = function
+  | Client { client; _ } | Deregister { client } -> client
+  | Service_metrics -> ""  (* never journaled; no valid client is "" *)
+
+(* The multi-client replayable essence.  A successful deregister
+   removes the client's whole history (nothing to replay); an accepted
+   register replaces it with the fresh registration; everything else
+   (including rejected registers and failed deregisters, whose error
+   replies are still cross-checks) appends under its owner. *)
+let extend_log log ~seq message reply =
+  let client = log_client message in
+  let prune log =
+    List.filter (fun (_, c, _) -> not (String.equal c client)) log
+  in
+  match reply with
+  | Deregistered _ -> prune log
+  | Client_reply { reply = r; _ } ->
+      let recv = (seq, client, Recv message) in
+      let rep = (seq, client, Reply (reply_to_string reply)) in
+      let accepted_register =
+        (match message with
+        | Client { payload = Server.Register _; _ } -> true
+        | Client { payload = Server.Query | Server.Report _
+                             | Server.Report_failed | Server.Metrics; _ }
+        | Deregister _ | Service_metrics -> false)
+        && (match r with
+           | Server.Rejected _ -> false
+           | Server.Assign _ | Server.Done _ | Server.Stats _ -> true)
+      in
+      if accepted_register then rep :: recv :: prune log
+      else rep :: recv :: log
+  | Service_error _ | Service_stats _ ->
+      (seq, client, Reply (reply_to_string reply))
+      :: (seq, client, Recv message)
+      :: log
+
+let compact p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Frame.encode (snapshot_header p.seq));
+  List.iter
+    (fun (seq, _client, ev) ->
+      Buffer.add_string buf (Frame.encode (Event.encode ~seq ev)))
+    (List.rev p.session_log);
+  Persist.write_atomic ~path:p.snapshot (Buffer.contents buf);
+  Journal.reset p.journal
+
+let journal_append tel journal record =
+  Journal.append journal record;
+  Telemetry.incr tel "service.journal.appends";
+  Telemetry.incr tel "service.journal.fsyncs"
+
+(* ------------------------------------------------------------------ *)
+(* Handling                                                            *)
+
+let handle_in_shard t shard message =
+  Telemetry.incr shard.tel "service.messages";
+  (match shard.persist with
+  | Some p when journaled message ->
+      (* WAL discipline: the message is durable before any session
+         state changes; a crash loses at most the reply. *)
+      p.seq <- p.seq + 1;
+      journal_append shard.tel p.journal
+        (Event.encode ~seq:p.seq (Recv message))
+  | Some _ | None -> ());
+  let reply = apply t shard message in
+  (match shard.persist with
+  | Some p when journaled message ->
+      journal_append shard.tel p.journal
+        (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
+      p.session_log <- extend_log p.session_log ~seq:p.seq message reply;
+      if Journal.records p.journal > p.compact_every then begin
+        Telemetry.incr shard.tel "service.journal.compactions";
+        compact p
+      end
+  | Some _ | None -> ());
+  reply
+
+let handle t message =
+  match message with
+  | Service_metrics -> Service_stats (metrics t)
+  | Client { client; _ } | Deregister { client } ->
+      handle_in_shard t t.shards_.(shard_of_client t client) message
+
+let handle_batch ?pool t messages =
+  let msgs = Array.of_list messages in
+  let n = Array.length msgs in
+  let replies = Array.make n None in
+  let nshards = shards t in
+  (* Partition per shard, newest-first here, reversed to arrival order
+     below.  [Service_metrics] probes are answered after the batch
+     drains (their reply covers the whole batch). *)
+  let per_shard = Array.make nshards [] in
+  let metrics_slots = ref [] in
+  Array.iteri
+    (fun i m ->
+      match m with
+      | Service_metrics -> metrics_slots := i :: !metrics_slots
+      | Client { client; _ } | Deregister { client } ->
+          let s = shard_of_client t client in
+          per_shard.(s) <- i :: per_shard.(s))
+    msgs;
+  let run (shard_ix, ixs) =
+    let shard = t.shards_.(shard_ix) in
+    List.map (fun i -> (i, handle_in_shard t shard msgs.(i))) ixs
+  in
+  let inputs = Array.init nshards (fun s -> (s, List.rev per_shard.(s))) in
+  let outputs =
+    match pool with
+    | Some pool -> Pool.map_array pool run inputs
+    | None -> Array.map run inputs
+  in
+  Array.iter (List.iter (fun (i, r) -> replies.(i) <- Some r)) outputs;
+  List.iter
+    (fun i -> replies.(i) <- Some (Service_stats (metrics t)))
+    !metrics_slots;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         (* Unreachable: every index was routed to a shard or a metrics
+            slot; kept total for the T2 no-abort contract. *)
+         | None -> Service_error "internal: unanswered slot")
+       replies)
+
+(* ------------------------------------------------------------------ *)
+(* Attach / detach                                                     *)
+
+let attach_shard ?wrap shard ~path ~compact_every =
+  (match shard.persist with
+  | Some p -> Journal.close p.journal
+  | None -> ());
+  let _scan, journal = Journal.open_file ?wrap path in
+  Journal.reset journal;
+  Persist.remove_if_exists (snapshot_path path);
+  Persist.remove_if_exists (snapshot_path path ^ ".tmp");
+  shard.persist <-
+    Some
+      { journal; snapshot = snapshot_path path; compact_every; seq = 0;
+        session_log = [] }
+
+let attach_journals ?(compact_every = default_compact_every) ?wrap t
+    ~journal () =
+  if compact_every < 1 then
+    invalid_arg "Service.attach_journals: compact_every < 1";
+  Array.iteri
+    (fun i shard ->
+      let wrap = Option.map (fun w -> w ~shard:i) wrap in
+      attach_shard ?wrap shard
+        ~path:(shard_journal ~journal ~shard:i)
+        ~compact_every)
+    t.shards_
+
+let detach_journals t =
+  Array.iter
+    (fun shard ->
+      match shard.persist with
+      | None -> ()
+      | Some p ->
+          Journal.close p.journal;
+          shard.persist <- None)
+    t.shards_
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* Decode one shard's snapshot + journal into a seq-ordered event
+   list; mirrors [Server.load_events]. *)
+let load_events path =
+  let dropped = ref 0 in
+  let decode_record record =
+    match Event.decode record with
+    | Some ev -> Some ev
+    | None ->
+        incr dropped;
+        None
+  in
+  let snap = Journal.read (snapshot_path path) in
+  let snap_events, snap_seq =
+    match snap.Frame.records with
+    | [] -> ([], 0)
+    | header :: rest -> (
+        match parse_snapshot_header header with
+        | None ->
+            dropped := !dropped + 1 + List.length rest;
+            ([], 0)
+        | Some seq -> (List.filter_map decode_record rest, seq))
+  in
+  let journal_events =
+    List.filter_map
+      (fun record ->
+        match decode_record record with
+        | Some (seq, _) when seq <= snap_seq ->
+            incr dropped;
+            None
+        | Some ev -> Some ev
+        | None -> None)
+      (Journal.read path).Frame.records
+  in
+  (snap_events @ journal_events, !dropped)
+
+(* Re-apply one shard's recorded messages to its fresh sessions.  The
+   recorded replies are cross-checks deterministic replay must
+   regenerate byte-for-byte; the first divergence (or a non-monotone
+   seq) drops everything after it. *)
+let replay_shard t shard events =
+  let rec go events last_reply applied dropped log seq =
+    match events with
+    | [] -> (applied, dropped, log, seq)
+    | (s, Recv m) :: rest ->
+        if s <= seq then
+          (applied, dropped + 1 + List.length rest, log, seq)
+        else
+          let reply = apply t shard m in
+          let log = extend_log log ~seq:s m reply in
+          go rest (Some reply) (applied + 1) dropped log s
+    | (s, Reply text) :: rest ->
+        let consistent =
+          s = seq
+          &&
+          match last_reply with
+          | Some r -> String.equal (reply_to_string r) text
+          | None -> false
+        in
+        if consistent then go rest last_reply applied dropped log seq
+        else (applied, dropped + 1 + List.length rest, log, seq)
+  in
+  go events None 0 0 [] 0
+
+type shard_recovery = { shard : int; replayed : int; dropped : int }
+
+type recovery = {
+  service : t;
+  replayed : int;
+  dropped : int;
+  per_shard : shard_recovery list;
+}
+
+let recover ?options ?max_report_failures ?telemetry
+    ?(compact_every = default_compact_every) ~shards ~journal () =
+  if compact_every < 1 then
+    invalid_arg "Service.recover: compact_every < 1";
+  let t = create ?options ?max_report_failures ?telemetry ~shards () in
+  let per_shard =
+    List.init shards (fun i ->
+        let shard = t.shards_.(i) in
+        let path = shard_journal ~journal ~shard:i in
+        let events, dropped_load = load_events path in
+        let applied, dropped_replay, session_log, seq =
+          replay_shard t shard events
+        in
+        let _scan, j = Journal.open_file path in
+        let p =
+          { journal = j; snapshot = snapshot_path path; compact_every; seq;
+            session_log }
+        in
+        shard.persist <- Some p;
+        (* Checkpoint on the way up: torn tails, stale records and
+           diverged suffixes are durably gone after recovery. *)
+        compact p;
+        let dropped = dropped_load + dropped_replay in
+        Telemetry.incr shard.tel ~by:applied "service.recovery.replayed";
+        Telemetry.incr shard.tel ~by:dropped "service.recovery.dropped";
+        { shard = i; replayed = applied; dropped })
+  in
+  let replayed =
+    List.fold_left (fun a (r : shard_recovery) -> a + r.replayed) 0 per_shard
+  in
+  let dropped =
+    List.fold_left (fun a (r : shard_recovery) -> a + r.dropped) 0 per_shard
+  in
+  { service = t; replayed; dropped; per_shard }

@@ -1,0 +1,220 @@
+(** The sharded multi-session tuning service.
+
+    One {!Harmony.Server} holds one tuning conversation.  This module
+    turns it into a {e service}: a registry of thousands of concurrent
+    sessions keyed by client id, sharded by a deterministic hash of
+    the id, with every message routed to its client's session.  Each
+    shard owns its sessions, its own write-ahead journal (with
+    snapshot compaction), and its own telemetry handle, so shards
+    share nothing and a batch of messages can be handled with the
+    shards fanned across a {!Harmony_parallel.Pool} — replies come
+    back in input order and are byte-identical to the sequential path
+    at any domain count.
+
+    {v
+      client -> service              service -> client
+      ------------------             -----------------
+      c7 register max                c7 assign B=3 C=4
+      { harmonyBundle B ... }
+      c7 report 42.5                 c7 assign B=4 C=2
+      c9 register min                c9 assign N=1
+      c7 query                       c7 assign B=4 C=2
+      ...                            c7 done B=4 C=2 perf=57
+      c7 done                        c7 bye
+      service-metrics                stats
+                                     <merged Prometheus text>
+    v}
+
+    {b Protocol.}  Every client message is a {!Harmony.Server} message
+    prefixed by the client id; [<id> done] deregisters the client; the
+    unprefixed [service-metrics] dumps the merged per-shard registries
+    in Prometheus text form.  Sessions are created by the client's
+    first [register]; a duplicate [register] from an already-active
+    client id is a total error reply, never a silent session reset
+    (the per-client sessions run with [reject_reregister]).
+
+    {b Determinism.}  A client id always hashes to the same shard;
+    each shard handles its messages in arrival order through the
+    deterministic single-session stack; telemetry is per-shard with a
+    logical clock.  Hence the full reply stream, every metric, and
+    every journal byte are independent of the domain count.
+
+    {b Durability.}  {!attach_journals} gives every shard a
+    crash-safe write-ahead journal ([<path>.shard<i>]); {!recover}
+    re-opens all of them, replays each shard's messages through the
+    deterministic stack with byte-for-byte reply cross-checks, and
+    degrades shard-by-shard: one corrupt shard costs that shard's
+    tail, never the other shards' sessions. *)
+
+open Harmony
+
+(** {1 Messages and replies} *)
+
+type message =
+  | Client of { client : string; payload : Server.message }
+      (** a single-session protocol message addressed by client id *)
+  | Deregister of { client : string }
+      (** [<id> done]: drop the client's session (its slot is freed;
+          a later [register] from the same id starts fresh) *)
+  | Service_metrics
+      (** [service-metrics]: merged per-shard Prometheus registries
+          (read-only, never journaled) *)
+
+type reply =
+  | Client_reply of { client : string; reply : Server.reply }
+  | Deregistered of { client : string }  (** renders as ["<id> bye"] *)
+  | Service_stats of string  (** merged Prometheus text *)
+  | Service_error of string  (** service-level protocol error *)
+
+type t
+
+(** {1 Construction and routing} *)
+
+val create :
+  ?options:Simplex.options ->
+  ?max_report_failures:int ->
+  ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
+  shards:int ->
+  unit ->
+  t
+(** A service with [shards] empty shards.  [options] and
+    [max_report_failures] configure every per-client session exactly
+    like {!Server.create}.  [telemetry] supplies one handle per shard
+    index (default: all {!Harmony_telemetry.Telemetry.off}); handles
+    must be distinct per shard or parallel batches would contend and
+    interleave nondeterministically.  Each shard declares a
+    fine-grained [server.handle_ms] histogram on its handle so the
+    p99 handle-latency SLO has sub-decade resolution.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shards : t -> int
+
+val shard_for : shards:int -> string -> int
+(** The pure routing function: FNV-1a over the client id, mod
+    [shards].  Independent of any runtime state, so clients can be
+    routed without the service in hand.
+    @raise Invalid_argument when [shards < 1]. *)
+
+val shard_of_client : t -> string -> int
+val sessions : t -> int
+(** Live sessions across all shards. *)
+
+(** {1 Handling} *)
+
+val handle : t -> message -> reply
+(** Process one message through its shard.  Total: every protocol
+    error (unknown client, duplicate register, bad spec) is an error
+    reply, never an exception.  While a journal is attached, the
+    sink's I/O exceptions propagate exactly as in {!Server.handle} —
+    a service that cannot persist a message must not acknowledge it. *)
+
+val handle_batch :
+  ?pool:Harmony_parallel.Pool.t -> t -> message list -> reply list
+(** Handle a batch: messages are partitioned per shard {e preserving
+    arrival order within each shard}, the shard batches are drained
+    via [Pool.map_array] (or sequentially without a [pool]), and the
+    replies are reassembled in input order.  For client-addressed
+    messages the result is byte-identical to calling {!handle} on
+    each message in order, at any domain count.  A [Service_metrics]
+    inside a batch is answered {e after} the batch drains (its reply
+    reflects the whole batch — the one deliberate divergence from the
+    sequential reference, documented rather than paid for with a
+    barrier per metrics probe). *)
+
+(** {1 Telemetry} *)
+
+val shard_telemetry : t -> int -> Harmony_telemetry.Telemetry.t
+(** The handle shard [i] was created with ({!Harmony_telemetry.Telemetry.off}
+    when out of range — total). *)
+
+val merged_telemetry : t -> Harmony_telemetry.Telemetry.t
+(** {!Harmony_telemetry.Telemetry.merged} over all shard handles. *)
+
+val metrics : t -> string
+(** The merged registry in Prometheus text form — what
+    [Service_metrics] answers. *)
+
+(** {1 Text codec} *)
+
+val parse_message : string -> (message, string) result
+(** Total parser for the service line protocol: ["<id> <server
+    message>"] (register keeps its following specification lines),
+    ["<id> done"], ["service-metrics"].  Client ids are one
+    whitespace-free token that is not a protocol keyword. *)
+
+val message_to_string : message -> string
+(** Inverse of {!parse_message} (reports keep their exact float bits,
+    as in {!Server.message_to_string} — journal replay depends on
+    it). *)
+
+val reply_to_string : reply -> string
+
+(** {1 Durability & whole-service recovery} *)
+
+(** One shard-journal record: a message as received or the reply the
+    shard produced, both carrying the shard's sequence number (the
+    same WAL discipline as {!Server.Event}). *)
+module Event : sig
+  type t = Recv of message | Reply of string
+
+  val encode : seq:int -> t -> string
+  val decode : string -> (int * t) option
+  (** Total inverse of {!encode}; [None] on anything malformed. *)
+end
+
+val shard_journal : journal:string -> shard:int -> string
+(** [<journal>.shard<i>] — where shard [i] persists. *)
+
+val attach_journals :
+  ?compact_every:int ->
+  ?wrap:(shard:int -> Harmony_persist.Persist.sink -> Harmony_persist.Persist.sink) ->
+  t ->
+  journal:string ->
+  unit ->
+  unit
+(** Start write-ahead journaling on every shard (fresh files; use
+    {!recover} to resume).  State-changing messages ([register],
+    [report], [report failed], [done]) are fsync'd before they are
+    applied; each shard compacts independently once its journal
+    exceeds [compact_every] records (default 64), writing its live
+    sessions' replayable essence to [<shard path>.snapshot].  [wrap]
+    interposes per shard (the crash harness faults a single shard's
+    sink).
+    @raise Invalid_argument when [compact_every < 1]. *)
+
+val detach_journals : t -> unit
+(** Close every shard journal, leaving the files recoverable. *)
+
+type shard_recovery = { shard : int; replayed : int; dropped : int }
+
+type recovery = {
+  service : t;  (** rebuilt service, already journaling again *)
+  replayed : int;  (** client messages re-applied, all shards *)
+  dropped : int;  (** records discarded (stale, malformed, diverged) *)
+  per_shard : shard_recovery list;  (** ascending shard order *)
+}
+
+val recover :
+  ?options:Simplex.options ->
+  ?max_report_failures:int ->
+  ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
+  ?compact_every:int ->
+  shards:int ->
+  journal:string ->
+  unit ->
+  recovery
+(** Rebuild a service from its per-shard journals after a crash.
+    Every shard independently loads its snapshot + journal, replays
+    its messages through the deterministic stack cross-checking each
+    recorded reply byte-for-byte, keeps the longest self-consistent
+    prefix, and compacts on the way out.  Never raises on corrupt
+    input: a torn, stale or garbage shard degrades to that shard's
+    valid prefix (possibly empty) while the other shards recover in
+    full.  [options], [max_report_failures] and [shards] must match
+    the crashed service's for replay to be faithful.  Per-shard
+    totals surface on each shard's telemetry as
+    [service.recovery.replayed] / [service.recovery.dropped] counters
+    (so the merged registry sums them).
+    @raise Invalid_argument when [shards < 1] or [compact_every < 1]
+    (and [Sys_error] / [Unix.Unix_error] if the journal files cannot
+    be re-opened for writing). *)

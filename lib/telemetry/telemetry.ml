@@ -39,6 +39,13 @@ type hist = {
 type state = {
   lock : Mutex.t;
   clock : (unit -> float) option;
+  record_events : bool;
+      (* false = metrics-only handle: the logical clock and the event
+         count still advance identically (so byte-reproducibility of
+         every metric is preserved), but event payloads are not
+         retained — a service holding thousands of sessions on one
+         shard handle would otherwise accumulate unbounded trace
+         memory. *)
   mutable ticks : int;
   mutable rev_events : event list;
   mutable event_count : int;
@@ -52,11 +59,12 @@ type t = Off | On of state
 
 let off = Off
 
-let create ?clock () =
+let create ?clock ?(record_events = true) () =
   On
     {
       lock = Mutex.create ();
       clock;
+      record_events;
       ticks = 0;
       rev_events = [];
       event_count = 0;
@@ -84,7 +92,7 @@ let record s mk =
   Mutex.protect s.lock (fun () ->
       let ts = now_locked s in
       s.ticks <- s.ticks + 1;
-      s.rev_events <- mk ts :: s.rev_events;
+      if s.record_events then s.rev_events <- mk ts :: s.rev_events;
       s.event_count <- s.event_count + 1)
 
 let span_begin t ?(args = []) name =
@@ -176,45 +184,54 @@ let default_bounds =
      durations and wall-clock millisecond latencies. *)
   [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0; 1_000.0; 10_000.0; 100_000.0 |]
 
+(* Bucket bounds are fixed when the histogram is created — at
+   [declare_histogram] or at the first observation; a [bounds] passed
+   later is ignored. *)
+let hist_locked s ?bounds name =
+  match Hashtbl.find_opt s.histograms name with
+  | Some h -> h
+  | None ->
+      let bounds =
+        match bounds with
+        | Some b ->
+            let b = Array.copy b in
+            Array.sort Float.compare b;
+            b
+        | None -> default_bounds
+      in
+      let h =
+        {
+          h_count = 0;
+          h_sum = 0.0;
+          bounds;
+          occupancy = Array.make (Array.length bounds + 1) 0;
+        }
+      in
+      Hashtbl.replace s.histograms name h;
+      h
+
+let declare_histogram t ?bounds name =
+  match t with
+  | Off -> ()
+  | On s -> Mutex.protect s.lock (fun () -> ignore (hist_locked s ?bounds name))
+
+let observe_hist h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  let rec slot i =
+    if i >= Array.length h.bounds then i
+    else if v <= h.bounds.(i) then i
+    else slot (i + 1)
+  in
+  let i = slot 0 in
+  h.occupancy.(i) <- h.occupancy.(i) + 1
+
 let observe t ?bounds name v =
   match t with
   | Off -> ()
   | On s ->
       Mutex.protect s.lock (fun () ->
-          let h =
-            match Hashtbl.find_opt s.histograms name with
-            | Some h -> h
-            | None ->
-                (* Bucket bounds are fixed at first observation;
-                   a [bounds] passed later is ignored. *)
-                let bounds =
-                  match bounds with
-                  | Some b ->
-                      let b = Array.copy b in
-                      Array.sort Float.compare b;
-                      b
-                  | None -> default_bounds
-                in
-                let h =
-                  {
-                    h_count = 0;
-                    h_sum = 0.0;
-                    bounds;
-                    occupancy = Array.make (Array.length bounds + 1) 0;
-                  }
-                in
-                Hashtbl.replace s.histograms name h;
-                h
-          in
-          h.h_count <- h.h_count + 1;
-          h.h_sum <- h.h_sum +. v;
-          let rec slot i =
-            if i >= Array.length h.bounds then i
-            else if v <= h.bounds.(i) then i
-            else slot (i + 1)
-          in
-          let i = slot 0 in
-          h.occupancy.(i) <- h.occupancy.(i) + 1)
+          observe_hist (hist_locked s ?bounds name) v)
 
 let sorted_bindings table f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
@@ -243,3 +260,107 @@ let snapshot_hist h =
 let histograms = function
   | Off -> []
   | On s -> Mutex.protect s.lock (fun () -> sorted_bindings s.histograms snapshot_hist)
+
+(* ------------------------------------------------------------------ *)
+(* Cross-handle aggregation (the sharded service's merged registry)    *)
+
+let quantile snap q =
+  if snap.count = 0 || not (q >= 0.0 && q <= 1.0) then Float.nan
+  else
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int snap.count)) in
+      if r < 1 then 1 else if r > snap.count then snap.count else r
+    in
+    let rec go cumulative = function
+      | [] -> Float.nan
+      | (bound, occupancy) :: rest ->
+          if cumulative + occupancy >= rank then bound
+          else go (cumulative + occupancy) rest
+    in
+    go 0 snap.buckets
+
+let same_bounds a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.equal x y) a b
+
+(* Fold [src]'s buckets into [dst].  Identical bounds merge exactly
+   (pointwise occupancy addition); differing bounds degrade gracefully
+   by crediting each source bucket at its upper bound — conservative,
+   and still exact for count and sum. *)
+let merge_hist dst src =
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_sum <- dst.h_sum +. src.h_sum;
+  if same_bounds dst.bounds src.bounds then
+    Array.iteri
+      (fun i occupancy -> dst.occupancy.(i) <- dst.occupancy.(i) + occupancy)
+      src.occupancy
+  else
+    Array.iteri
+      (fun i occupancy ->
+        let v =
+          if i < Array.length src.bounds then src.bounds.(i) else infinity
+        in
+        let rec slot j =
+          if j >= Array.length dst.bounds then j
+          else if v <= dst.bounds.(j) then j
+          else slot (j + 1)
+        in
+        let j = slot 0 in
+        dst.occupancy.(j) <- dst.occupancy.(j) + occupancy)
+      src.occupancy
+
+let merged handles =
+  let dst =
+    {
+      lock = Mutex.create ();
+      clock = None;
+      record_events = true;
+      ticks = 0;
+      rev_events = [];
+      event_count = 0;
+      depth_now = 0;
+      counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 16;
+      histograms = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun t ->
+      match t with
+      | Off -> ()
+      | On src ->
+          Mutex.protect src.lock (fun () ->
+              Hashtbl.iter
+                (fun name r ->
+                  match Hashtbl.find_opt dst.counters name with
+                  | Some d -> d := !d + !r
+                  | None -> Hashtbl.replace dst.counters name (ref !r))
+                src.counters;
+              Hashtbl.iter
+                (fun name r ->
+                  match Hashtbl.find_opt dst.gauges name with
+                  | Some d -> d := Float.max !d !r
+                  | None -> Hashtbl.replace dst.gauges name (ref !r))
+                src.gauges;
+              Hashtbl.iter
+                (fun name h ->
+                  let d =
+                    match Hashtbl.find_opt dst.histograms name with
+                    | Some d -> d
+                    | None ->
+                        let d =
+                          {
+                            h_count = 0;
+                            h_sum = 0.0;
+                            bounds = Array.copy h.bounds;
+                            occupancy =
+                              Array.make (Array.length h.bounds + 1) 0;
+                          }
+                        in
+                        Hashtbl.replace dst.histograms name d;
+                        d
+                  in
+                  merge_hist d h)
+                src.histograms))
+    handles;
+  On dst

@@ -33,10 +33,18 @@ val off : t
 (** The disabled handle: every operation is a no-op, [events] is
     empty, every counter reads 0.  The default everywhere. *)
 
-val create : ?clock:(unit -> float) -> unit -> t
+val create : ?clock:(unit -> float) -> ?record_events:bool -> unit -> t
 (** A live handle.  Without [clock], timestamps are the logical event
     sequence number (deterministic); with [clock], every event calls
-    it for a timestamp (inject wall clocks only from [bin/]). *)
+    it for a timestamp (inject wall clocks only from [bin/]).
+
+    [record_events] (default [true]) controls whether span/instant
+    payloads are retained for export.  With [record_events:false] the
+    handle is {e metrics-only}: the logical clock, {!event_count} and
+    every counter/gauge/histogram advance exactly as they would with
+    recording on (so metric values are byte-identical either way), but
+    {!events} stays empty and memory stays O(registry) — what a
+    long-running sharded service wants for its per-shard handles. *)
 
 val enabled : t -> bool
 val now : t -> float
@@ -79,9 +87,17 @@ val gauge_max : t -> string -> float -> unit
 
 val observe : t -> ?bounds:float array -> string -> float -> unit
 (** Add an observation to a histogram.  Bucket upper bounds are fixed
-    at the first observation ([bounds] is sorted; later calls ignore
-    it); the default bounds are decades from 1e-3 to 1e5 plus an
-    overflow bucket. *)
+    when the histogram is created — by {!declare_histogram} or at the
+    first observation ([bounds] is sorted; later calls ignore it); the
+    default bounds are decades from 1e-3 to 1e5 plus an overflow
+    bucket. *)
+
+val declare_histogram : t -> ?bounds:float array -> string -> unit
+(** Create an empty histogram with the given bucket bounds without
+    recording an observation, so a caller can pin finer bounds than
+    the decade defaults before instrumented code observes into it
+    (e.g. the service pinning per-message handle-latency buckets).
+    No-op if the histogram already exists. *)
 
 val counter_value : t -> string -> int
 val gauge_value : t -> string -> float option
@@ -100,3 +116,26 @@ type histogram_snapshot = {
 }
 
 val histograms : t -> (string * histogram_snapshot) list
+
+(** {1 Cross-handle aggregation}
+
+    A sharded service gives every shard its own handle (so parallel
+    shards never contend on one mutex and per-shard traces stay
+    deterministic) and merges the registries on demand. *)
+
+val quantile : histogram_snapshot -> float -> float
+(** [quantile snap q] is a conservative upper estimate of the [q]-th
+    quantile ([0 <= q <= 1]): the smallest bucket upper bound whose
+    cumulative occupancy reaches [ceil (q * count)].  [infinity] when
+    the quantile lands in the overflow bucket; [nan] on an empty
+    histogram or an out-of-range [q]. *)
+
+val merged : t list -> t
+(** A fresh live handle whose registry aggregates the inputs:
+    counters sum, gauges combine by [Float.max] (service gauges are
+    high-water marks or recovery totals re-emitted as counters), and
+    histograms merge bucket-pointwise when their bounds agree (exact)
+    — otherwise each source bucket is credited at its upper bound
+    (count and sum stay exact, occupancies are conservative).
+    Disabled handles contribute nothing; events are not carried over.
+    The result is an ordinary handle: exporters accept it as-is. *)

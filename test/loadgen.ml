@@ -1,0 +1,285 @@
+(* Seeded, wall-clock-free load generator for the sharded service.
+
+   Drives N simulated clients (default 10,000) through their whole
+   lifecycle — register -> assign/report (with occasional idempotent
+   queries and transient report-failures) -> done -> deregister — over
+   interleaved schedules: every round each still-active client
+   contributes its next message in a seeded-shuffled order and the
+   whole round goes through [Service.handle_batch] on a domain pool.
+
+   Two assertions close the loop:
+
+   - Convergence/serializability: after the run, every client's
+     recorded message sequence is replayed against a dedicated
+     single-session [Server] and each reply must match the service's
+     byte-for-byte (so 10k interleaved conversations were exactly N
+     independent ones).
+
+   - SLO: the p99 of the merged [server.handle_ms] histogram — logical
+     ticks of search work per message, measured on the shards' logical
+     clocks, so the number is deterministic — must stay within the
+     budget checked into bench/service_slo.json.
+
+   Everything is seeded; there is no wall clock anywhere in the run
+   (wall time appears only in the human-readable summary). *)
+
+open Harmony
+module Service = Harmony_service.Service
+module Pool = Harmony_parallel.Pool
+module Rng = Harmony_numerics.Rng
+module Telemetry = Harmony_telemetry.Telemetry
+module Tjson = Harmony_telemetry.Tjson
+
+let paper_spec =
+  "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}"
+
+let options = { Simplex.default_options with Simplex.max_evaluations = 12 }
+
+type phase = Start | Tuning | Finishing | Finished
+
+type client = {
+  id : string;
+  rng : Rng.t;
+  direction : Server.direction;
+  peak_b : float;
+  peak_c : float;
+  mutable phase : phase;
+  mutable last_assign : (string * int) list option;
+  mutable fail_budget : int;
+  mutable sent : Server.message list;  (* newest first *)
+  mutable service_replies : string list;  (* newest first *)
+  mutable done_text : string option;
+}
+
+(* Performance is a pure function of (client, assignment): a bowl whose
+   peak/valley location is drawn from the client's seed, so every
+   client runs a different but perfectly reproducible search. *)
+let respond c assignment =
+  let v name = float_of_int (List.assoc name assignment) in
+  let db = v "B" -. c.peak_b and dc = v "C" -. c.peak_c in
+  let bowl = (db *. db) +. (dc *. dc) in
+  match c.direction with
+  | Server.Maximize -> 100.0 -. bowl
+  | Server.Minimize -> bowl
+
+let make_client master i =
+  let rng = Rng.split master in
+  {
+    id = Printf.sprintf "c%d" i;
+    direction = (if Rng.bool rng then Server.Maximize else Server.Minimize);
+    peak_b = float_of_int (Rng.int_in rng 1 8);
+    peak_c = float_of_int (Rng.int_in rng 1 4);
+    rng;
+    phase = Start;
+    last_assign = None;
+    fail_budget = 1;
+    sent = [];
+    service_replies = [];
+    done_text = None;
+  }
+
+(* The client's next message given where its conversation stands.
+   Server-protocol payloads are recorded for the reference replay;
+   the final deregister is service-level and is not. *)
+let next_message c =
+  let payload p =
+    c.sent <- p :: c.sent;
+    Service.Client { client = c.id; payload = p }
+  in
+  match c.phase with
+  | Start ->
+      c.phase <- Tuning;
+      payload (Server.Register { spec = paper_spec; direction = c.direction })
+  | Tuning -> (
+      match c.last_assign with
+      | None -> payload Server.Query
+      | Some a ->
+          let roll = Rng.int c.rng 20 in
+          if roll = 0 then payload Server.Query
+          else if roll = 1 && c.fail_budget > 0 then begin
+            c.fail_budget <- c.fail_budget - 1;
+            payload Server.Report_failed
+          end
+          else payload (Server.Report (respond c a)))
+  | Finishing | Finished -> Service.Deregister { client = c.id }
+
+let protocol_failure = ref None
+
+let fail_once fmt =
+  Printf.ksprintf
+    (fun msg -> if Option.is_none !protocol_failure then protocol_failure := Some msg)
+    fmt
+
+let on_reply c reply =
+  match (c.phase, reply) with
+  | (Start | Tuning), Service.Client_reply { client; reply } ->
+      if not (String.equal client c.id) then
+        fail_once "%s: reply routed to wrong client %s" c.id client;
+      c.service_replies <- Server.reply_to_string reply :: c.service_replies;
+      (match reply with
+      | Server.Assign a -> c.last_assign <- Some a
+      | Server.Done _ ->
+          c.phase <- Finishing;
+          c.done_text <- Some (Server.reply_to_string reply)
+      | Server.Rejected msg -> fail_once "%s: rejected: %s" c.id msg
+      | Server.Stats _ -> fail_once "%s: unexpected stats reply" c.id)
+  | Finishing, Service.Deregistered { client } ->
+      if not (String.equal client c.id) then
+        fail_once "%s: bye routed to wrong client %s" c.id client;
+      c.phase <- Finished
+  | ( (Start | Tuning | Finishing | Finished),
+      ( Service.Client_reply _ | Service.Deregistered _
+      | Service.Service_stats _ | Service.Service_error _ ) ) as pr ->
+      let _, r = pr in
+      fail_once "%s: unexpected reply %s" c.id
+        (String.concat " | "
+           (String.split_on_char '\n' (Service.reply_to_string r)))
+
+(* Replay the client's recorded conversation against a dedicated
+   single-session server; every reply must match what the service
+   said, byte for byte. *)
+let reference_mismatches c =
+  let server = Server.create ~options ~reject_reregister:true () in
+  let sent = List.rev c.sent and got = List.rev c.service_replies in
+  if List.length sent <> List.length got then 1
+  else
+    List.fold_left2
+      (fun bad m expected ->
+        let actual = Server.reply_to_string (Server.handle server m) in
+        if String.equal actual expected then bad else bad + 1)
+      0 sent got
+
+let load_slo path =
+  match Tjson.parse (In_channel.with_open_bin path In_channel.input_all) with
+  | Error e -> Error (path ^ ": " ^ e)
+  | Ok json -> (
+      let field name conv =
+        Option.bind (Tjson.member name json) conv
+      in
+      match
+        ( field "histogram" Tjson.to_str,
+          field "quantile" Tjson.to_float,
+          field "max_ticks" Tjson.to_float )
+      with
+      | Some h, Some q, Some m -> Ok (h, q, m)
+      | _ -> Error (path ^ ": missing histogram/quantile/max_ticks"))
+
+let () =
+  let clients = ref 10_000 in
+  let shards = ref 8 in
+  let domains = ref 4 in
+  let seed = ref 2004 in
+  let slo_path = ref "bench/service_slo.json" in
+  let max_rounds = ref 400 in
+  Arg.parse
+    [
+      ("--clients", Arg.Set_int clients, "N  simulated clients (default 10000)");
+      ("--shards", Arg.Set_int shards, "N  service shards (default 8)");
+      ("--domains", Arg.Set_int domains, "N  pool domains (default 4)");
+      ("--seed", Arg.Set_int seed, "N  master seed (default 2004)");
+      ("--slo", Arg.Set_string slo_path,
+       "PATH  SLO budget (default bench/service_slo.json)");
+      ("--max-rounds", Arg.Set_int max_rounds,
+       "N  abort if the run does not drain (default 400)");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "loadgen [options]: drive the sharded service and check the SLO";
+  let started = Unix.gettimeofday () in
+  let master = Rng.create !seed in
+  let fleet = Array.init !clients (make_client master) in
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~shards:!shards ()
+  in
+  let schedule_rng = Rng.split master in
+  let rounds = ref 0 in
+  let messages = ref 0 in
+  Pool.with_pool ~domains:!domains (fun pool ->
+      let remaining () =
+        let ixs = ref [] in
+        Array.iteri
+          (fun i c ->
+            match c.phase with
+            | Finished -> ()
+            | Start | Tuning | Finishing -> ixs := i :: !ixs)
+          fleet;
+        Array.of_list !ixs
+      in
+      let rec drive () =
+        let active = remaining () in
+        if Array.length active > 0 then begin
+          incr rounds;
+          if !rounds > !max_rounds then begin
+            Printf.eprintf "loadgen: %d clients still active after %d rounds\n"
+              (Array.length active) !max_rounds;
+            exit 1
+          end;
+          Rng.shuffle schedule_rng active;
+          let with_stats = !rounds mod 16 = 1 in
+          let batch =
+            Array.to_list (Array.map (fun i -> next_message fleet.(i)) active)
+          in
+          let batch = if with_stats then batch @ [ Service.Service_metrics ] else batch in
+          messages := !messages + List.length batch;
+          let replies = Service.handle_batch ~pool service batch in
+          List.iteri
+            (fun k reply ->
+              if k < Array.length active then
+                on_reply fleet.(active.(k)) reply
+              else
+                match reply with
+                | Service.Service_stats _ -> ()
+                | ( Service.Client_reply _ | Service.Deregistered _
+                  | Service.Service_error _ ) as r ->
+                    fail_once "service-metrics answered with %s"
+                      (Service.reply_to_string r))
+            replies;
+          drive ()
+        end
+      in
+      drive ();
+      (* Every conversation must have fully drained through [done]. *)
+      if Service.sessions service <> 0 then
+        fail_once "%d sessions survived deregistration"
+          (Service.sessions service);
+      Array.iter
+        (fun c -> if Option.is_none c.done_text then
+            fail_once "%s never converged" c.id)
+        fleet;
+      (* Convergence + serializability: reference replay, fanned over
+         the same pool. *)
+      let mismatches =
+        Array.fold_left ( + ) 0 (Pool.map_array pool reference_mismatches fleet)
+      in
+      let merged = Service.merged_telemetry service in
+      let slo =
+        match load_slo !slo_path with
+        | Ok slo -> slo
+        | Error msg ->
+            Printf.eprintf "loadgen: %s\n" msg;
+            exit 1
+      in
+      let hist_name, q, budget = slo in
+      let p_q, p50, count =
+        match List.assoc_opt hist_name (Telemetry.histograms merged) with
+        | None -> (nan, nan, 0)
+        | Some snap ->
+            (Telemetry.quantile snap q, Telemetry.quantile snap 0.5, snap.count)
+      in
+      let slo_ok = Float.is_finite p_q && p_q <= budget in
+      let elapsed = Unix.gettimeofday () -. started in
+      Printf.printf
+        "loadgen: clients=%d shards=%d domains=%d seed=%d rounds=%d \
+         messages=%d handled=%d\n"
+        !clients !shards !domains !seed !rounds !messages count;
+      Printf.printf "loadgen: %s p50=%g p%g=%g budget=%g -> %s\n" hist_name p50
+        (q *. 100.) p_q budget
+        (if slo_ok then "within SLO" else "SLO VIOLATED");
+      Printf.printf "loadgen: reference mismatches=%d (%.1fs wall)\n" mismatches
+        elapsed;
+      (match !protocol_failure with
+      | Some msg -> Printf.printf "loadgen: protocol failure: %s\n" msg
+      | None -> ());
+      if mismatches > 0 || (not slo_ok) || Option.is_some !protocol_failure
+      then exit 1)

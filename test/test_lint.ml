@@ -119,13 +119,22 @@ let t2_flags_partiality_in_handlers () =
   check_rules "failwith in session flagged" [ "T2" ]
     ~path:"lib/core/session.ml" {|let f () = failwith "boom"|};
   check_rules "raise Not_found in server flagged" [ "T2" ]
-    ~path:"lib/core/server.ml" "let f () = raise Not_found"
+    ~path:"lib/core/server.ml" "let f () = raise Not_found";
+  check_rules "assert false in the sharded service flagged" [ "T2" ]
+    ~path:"lib/service/service.ml" "let f () = assert false";
+  check_rules "failwith in the sharded service flagged" [ "T2" ]
+    ~path:"lib/service/service.ml" {|let f () = failwith "boom"|};
+  check_rules "exit in the sharded service flagged" [ "T2" ]
+    ~path:"lib/service/service.ml" "let f () = exit 1"
 
 let t2_scoped_to_message_paths () =
   check_rules "assert false elsewhere is not T2's business" []
     ~path:"lib/parallel/pool.ml" "let f () = assert false";
   check_rules "ordinary asserts stay legal" [] ~path:"lib/core/server.ml"
-    "let f x = assert (x > 0)"
+    "let f x = assert (x > 0)";
+  check_rules "invalid_arg at service API edges stays legal" []
+    ~path:"lib/service/service.ml"
+    {|let f shards = if shards < 1 then invalid_arg "shards" else shards|}
 
 (* ------------------------------------------------------------------ *)
 (* P1 — printing in hot paths *)

@@ -111,6 +111,69 @@ let test_reregister_resets () =
       | None -> Alcotest.fail "spec missing")
   | _ -> Alcotest.fail "expected an assignment"
 
+(* With [reject_reregister] a duplicate register is a total error
+   reply while a session is mid-tuning (bad fixture), but registering
+   after the session finished or aborted still works (good fixture) —
+   the behaviour the sharded service relies on per client. *)
+let test_reject_reregister_mid_session () =
+  let server = Server.create ~reject_reregister:true () in
+  let first =
+    match register server with
+    | Server.Assign a -> a
+    | _ -> Alcotest.fail "expected an assignment"
+  in
+  (* Bad: a second register while the first session is mid-tuning. *)
+  (match register server with
+  | Server.Rejected msg ->
+      Alcotest.(check bool) "error names the conflict" true
+        (String.starts_with ~prefix:"already registered" msg)
+  | _ -> Alcotest.fail "duplicate register was not rejected");
+  (* The live session is untouched: the same assignment is still
+     outstanding and tuning completes normally. *)
+  (match Server.handle server Server.Query with
+  | Server.Assign a -> Alcotest.(check bool) "assignment survived" true (a = first)
+  | _ -> Alcotest.fail "outstanding assignment lost");
+  let rec drive reply steps =
+    if steps > 200 then Alcotest.fail "session never finished"
+    else
+      match reply with
+      | Server.Assign a ->
+          drive (Server.handle server (Server.Report (respond a))) (steps + 1)
+      | Server.Done _ -> ()
+      | Server.Rejected msg -> Alcotest.fail ("unexpected rejection: " ^ msg)
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
+  in
+  drive (Server.handle server Server.Query) 0;
+  (* Good: the session is finished, so registering again starts a
+     fresh one. *)
+  match register server with
+  | Server.Assign _ -> ()
+  | _ -> Alcotest.fail "re-register after done was refused"
+
+let test_reject_reregister_after_abort () =
+  (* An aborted session (degenerate spec) must not wedge the client
+     forever: re-register is the documented way out. *)
+  let server = Server.create ~reject_reregister:true () in
+  let rec drive reply steps =
+    if steps > 10 then Alcotest.fail "degenerate session never aborted"
+    else
+      match reply with
+      | Server.Assign _ ->
+          drive (Server.handle server (Server.Report 1.0)) (steps + 1)
+      | Server.Rejected _ -> ()
+      | Server.Done _ -> Alcotest.fail "degenerate spec reported success"
+      | Server.Stats _ -> Alcotest.fail "unexpected stats reply"
+  in
+  drive
+    (Server.handle server
+       (Server.Register
+          { spec = "{ harmonyBundle B { int {3 3 1} }}";
+            direction = Server.Maximize }))
+    0;
+  match register server with
+  | Server.Assign _ -> ()
+  | _ -> Alcotest.fail "re-register after abort was refused"
+
 (* Fault tolerance: the [report failed] path *)
 
 let test_report_failed_reassigns () =
@@ -295,6 +358,10 @@ let suite =
     Alcotest.test_case "query idempotent" `Quick test_query_idempotent;
     Alcotest.test_case "assignments feasible" `Quick test_assignments_feasible;
     Alcotest.test_case "reregister resets" `Quick test_reregister_resets;
+    Alcotest.test_case "reject reregister mid-session" `Quick
+      test_reject_reregister_mid_session;
+    Alcotest.test_case "reject reregister after abort" `Quick
+      test_reject_reregister_after_abort;
     Alcotest.test_case "report failed reassigns" `Quick test_report_failed_reassigns;
     Alcotest.test_case "report failed unregistered" `Quick
       test_report_failed_without_registration;

@@ -1,0 +1,744 @@
+(* The sharded multi-session service: routing determinism, batched
+   vs sequential byte-identity at any shard/domain count, duplicate
+   registration, per-shard crash injection at every record boundary,
+   corrupt-shard degradation, and a QCheck serializability property
+   (any interleaving of k clients' messages gives each client exactly
+   the conversation it would have had alone). *)
+
+open Harmony
+module Service = Harmony_service.Service
+module Frame = Harmony_persist.Frame
+module Persist = Harmony_persist.Persist
+module Pool = Harmony_parallel.Pool
+module Telemetry = Harmony_telemetry.Telemetry
+module Gen = QCheck2.Gen
+
+let seed = [| 0x5eed; 7 |]
+let to_alcotest t = QCheck_alcotest.to_alcotest ~rand:(Random.State.make seed) t
+
+let paper_spec =
+  "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}"
+
+(* Deterministic client: performance is a pure function of the
+   assignment, so every resumed or re-registered run converges to the
+   same [done] as the uninterrupted one. *)
+let respond assignment =
+  let v name = float_of_int (List.assoc name assignment) in
+  let db = v "B" -. 3.0 and dc = v "C" -. 4.0 in
+  100.0 -. (db *. db) -. (dc *. dc)
+
+let options = { Simplex.default_options with Simplex.max_evaluations = 12 }
+
+let register_msg client =
+  Service.Client
+    { client; payload = Server.Register { spec = paper_spec; direction = Server.Maximize } }
+
+let report_msg client assignment =
+  Service.Client { client; payload = Server.Report (respond assignment) }
+
+let query_msg client = Service.Client { client; payload = Server.Query }
+
+(* Two ids per shard at [shards = 2] (checked by the routing test
+   below), so every shard journal interleaves two sessions. *)
+let fleet = [ "alpha"; "bravo"; "echo"; "india" ]
+
+let with_journal ~shards f =
+  let path = Filename.temp_file "harmony_service" ".journal" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      for s = 0 to shards - 1 do
+        let p = Service.shard_journal ~journal:path ~shard:s in
+        List.iter Persist.remove_if_exists
+          [ p; p ^ ".tmp"; p ^ ".snapshot"; p ^ ".snapshot.tmp" ]
+      done)
+    (fun () -> f path)
+
+(* Drive every client one message per round (register first, then one
+   report per round) until all sessions are done; returns each
+   client's final done-reply text. *)
+let drive_all service clients =
+  let state = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      match Service.handle service (register_msg c) with
+      | Service.Client_reply { reply = Server.Assign a; _ } ->
+          Hashtbl.replace state c (`Assign a)
+      | r -> Alcotest.fail ("register: unexpected " ^ Service.reply_to_string r))
+    clients;
+  let rec round steps =
+    if steps > 200 then Alcotest.fail "drive_all did not drain";
+    let active =
+      List.filter
+        (fun c ->
+          match Hashtbl.find_opt state c with
+          | Some (`Assign _) -> true
+          | _ -> false)
+        clients
+    in
+    if active <> [] then begin
+      List.iter
+        (fun c ->
+          match Hashtbl.find_opt state c with
+          | Some (`Assign a) -> (
+              match Service.handle service (report_msg c a) with
+              | Service.Client_reply { reply = Server.Assign a'; _ } ->
+                  Hashtbl.replace state c (`Assign a')
+              | Service.Client_reply { reply = Server.Done _ as d; _ } ->
+                  Hashtbl.replace state c (`Done (Server.reply_to_string d))
+              | r ->
+                  Alcotest.fail ("report: unexpected " ^ Service.reply_to_string r))
+          | _ -> ())
+        active;
+      round (steps + 1)
+    end
+  in
+  round 0;
+  List.map
+    (fun c ->
+      match Hashtbl.find_opt state c with
+      | Some (`Done text) -> (c, text)
+      | _ -> Alcotest.fail (c ^ " never finished"))
+    clients
+
+(* Where does this client's conversation stand after a recovery?  Ask;
+   a client the service no longer knows (or whose session was lost)
+   starts over — exactly like a real client reconnecting. *)
+let resume_to_done service client =
+  let first =
+    match Service.handle service (query_msg client) with
+    | Service.Client_reply { reply = Server.Rejected _; _ } ->
+        Service.handle service (register_msg client)
+    | r -> r
+  in
+  let rec go reply steps =
+    if steps > 300 then Alcotest.fail "resume did not reach done";
+    match reply with
+    | Service.Client_reply { reply = Server.Assign a; _ } ->
+        go (Service.handle service (report_msg client a)) (steps + 1)
+    | Service.Client_reply { reply = Server.Done _ as d; _ } ->
+        Server.reply_to_string d
+    | r -> Alcotest.fail ("resume: unexpected " ^ Service.reply_to_string r)
+  in
+  go first 0
+
+(* Uninterrupted journaled reference run: per-client done replies plus
+   each shard's journal bytes (compaction off so every record boundary
+   is present in one file). *)
+let reference ~shards () =
+  with_journal ~shards (fun path ->
+      let service = Service.create ~options ~shards () in
+      Service.attach_journals ~compact_every:1_000_000 service ~journal:path ();
+      let dones = drive_all service fleet in
+      Service.detach_journals service;
+      let bytes =
+        Array.init shards (fun s ->
+            Option.value ~default:""
+              (Persist.read_file (Service.shard_journal ~journal:path ~shard:s)))
+      in
+      (dones, bytes))
+
+let check_all_resume ~msg service dones_ref =
+  List.iter
+    (fun (c, done_ref) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s done byte-identical" msg c)
+        done_ref (resume_to_done service c))
+    dones_ref
+
+(* ------------------------------------------------------------------ *)
+(* Routing                                                             *)
+
+let test_routing_deterministic () =
+  List.iter
+    (fun c ->
+      Alcotest.(check int) (c ^ " routes stably")
+        (Service.shard_for ~shards:8 c) (Service.shard_for ~shards:8 c))
+    fleet;
+  let service = Service.create ~shards:8 () in
+  List.iter
+    (fun c ->
+      Alcotest.(check int) (c ^ " service routing matches pure routing")
+        (Service.shard_for ~shards:8 c)
+        (Service.shard_of_client service c))
+    fleet;
+  (* The journal layout depends on this exact split of the test fleet
+     at two shards: two clients per shard. *)
+  let split = List.map (Service.shard_for ~shards:2) fleet in
+  Alcotest.(check int) "fleet covers both shards (shard 0)" 2
+    (List.length (List.filter (fun s -> s = 0) split));
+  Alcotest.(check int) "fleet covers both shards (shard 1)" 2
+    (List.length (List.filter (fun s -> s = 1) split));
+  (* Dense ids spread over shards. *)
+  let hits = Array.make 4 0 in
+  for i = 0 to 99 do
+    let s = Service.shard_for ~shards:4 (Printf.sprintf "c%d" i) in
+    Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+    hits.(s) <- hits.(s) + 1
+  done;
+  Array.iteri
+    (fun s n ->
+      Alcotest.(check bool) (Printf.sprintf "shard %d used" s) true (n > 0))
+    hits;
+  Alcotest.check_raises "shards < 1 rejected"
+    (Invalid_argument "Service.shard_for: shards < 1") (fun () ->
+      ignore (Service.shard_for ~shards:0 "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Batched handling: byte-identity across domains, shards, and vs the
+   sequential reference                                                *)
+
+(* Adaptive driver over [handle_batch]: per round each live client
+   contributes its next message (register -> report* -> deregister),
+   optionally with a trailing service-metrics probe; returns the full
+   reply stream as one string. *)
+let batched_stream ?(probe = false) ~shards ~domains ids =
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~shards ()
+  in
+  let stream = Buffer.create 1024 in
+  let state = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace state c `Start) ids;
+  Pool.with_pool ~domains (fun pool ->
+      let rec round steps =
+        if steps > 200 then Alcotest.fail "batched run did not drain";
+        let live =
+          List.filter
+            (fun c ->
+              match Hashtbl.find_opt state c with
+              | Some `Gone -> false
+              | _ -> true)
+            ids
+        in
+        if live <> [] then begin
+          let batch =
+            List.map
+              (fun c ->
+                match Hashtbl.find_opt state c with
+                | Some `Start -> register_msg c
+                | Some (`Assign a) -> report_msg c a
+                | Some `Done -> Service.Deregister { client = c }
+                | _ -> Alcotest.fail "inactive client scheduled")
+              live
+          in
+          let batch =
+            if probe then batch @ [ Service.Service_metrics ] else batch
+          in
+          let replies = Service.handle_batch ~pool service batch in
+          List.iteri
+            (fun k r ->
+              Buffer.add_string stream (Service.reply_to_string r);
+              Buffer.add_char stream '\n';
+              if k < List.length live then
+                let c = List.nth live k in
+                match r with
+                | Service.Client_reply { reply = Server.Assign a; _ } ->
+                    Hashtbl.replace state c (`Assign a)
+                | Service.Client_reply { reply = Server.Done _; _ } ->
+                    Hashtbl.replace state c `Done
+                | Service.Deregistered _ -> Hashtbl.replace state c `Gone
+                | r ->
+                    Alcotest.fail
+                      ("batched run: unexpected " ^ Service.reply_to_string r))
+            replies;
+          round (steps + 1)
+        end
+      in
+      round 0);
+  Alcotest.(check int) "all sessions deregistered" 0 (Service.sessions service);
+  Buffer.contents stream
+
+(* The same rounds through [Service.handle] one message at a time (the
+   sequential reference the batched path must reproduce byte-for-byte;
+   the metrics probe sits at the end of each round, where batch-drain
+   and sequential semantics agree). *)
+let sequential_stream ?(probe = false) ~shards ids =
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~shards ()
+  in
+  let stream = Buffer.create 1024 in
+  let state = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace state c `Start) ids;
+  let rec round steps =
+    if steps > 200 then Alcotest.fail "sequential run did not drain";
+    let live =
+      List.filter
+        (fun c ->
+          match Hashtbl.find_opt state c with
+          | Some `Gone -> false
+          | _ -> true)
+        ids
+    in
+    if live <> [] then begin
+      List.iter
+        (fun c ->
+          let msg =
+            match Hashtbl.find_opt state c with
+            | Some `Start -> register_msg c
+            | Some (`Assign a) -> report_msg c a
+            | Some `Done -> Service.Deregister { client = c }
+            | _ -> Alcotest.fail "inactive client scheduled"
+          in
+          let r = Service.handle service msg in
+          Buffer.add_string stream (Service.reply_to_string r);
+          Buffer.add_char stream '\n';
+          match r with
+          | Service.Client_reply { reply = Server.Assign a; _ } ->
+              Hashtbl.replace state c (`Assign a)
+          | Service.Client_reply { reply = Server.Done _; _ } ->
+              Hashtbl.replace state c `Done
+          | Service.Deregistered _ -> Hashtbl.replace state c `Gone
+          | r ->
+              Alcotest.fail
+                ("sequential run: unexpected " ^ Service.reply_to_string r))
+        live;
+      if probe then begin
+        Buffer.add_string stream
+          (Service.reply_to_string (Service.handle service Service.Service_metrics));
+        Buffer.add_char stream '\n'
+      end;
+      round (steps + 1)
+    end
+  in
+  round 0;
+  Buffer.contents stream
+
+let ids_10 = List.init 10 (Printf.sprintf "c%d")
+
+let test_batch_identical_across_domains () =
+  let one = batched_stream ~probe:true ~shards:4 ~domains:1 ids_10 in
+  let four = batched_stream ~probe:true ~shards:4 ~domains:4 ids_10 in
+  Alcotest.(check string)
+    "full reply stream (metrics included) identical at 1 vs 4 domains" one four
+
+let test_batch_identical_to_sequential () =
+  let batched = batched_stream ~probe:true ~shards:4 ~domains:4 ids_10 in
+  let sequential = sequential_stream ~probe:true ~shards:4 ids_10 in
+  Alcotest.(check string) "batched == sequential reference, byte for byte"
+    sequential batched
+
+let test_client_replies_identical_across_shards () =
+  let one = batched_stream ~shards:1 ~domains:2 ids_10 in
+  let four = batched_stream ~shards:4 ~domains:2 ids_10 in
+  Alcotest.(check string) "client replies independent of shard count" one four
+
+(* ------------------------------------------------------------------ *)
+(* Protocol fixtures                                                   *)
+
+let test_duplicate_register_rejected () =
+  let service = Service.create ~options ~shards:2 () in
+  (match Service.handle service (register_msg "alpha") with
+  | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+  | r -> Alcotest.fail ("register: unexpected " ^ Service.reply_to_string r));
+  (* Bad: re-register while the session is mid-tuning. *)
+  (match Service.handle service (register_msg "alpha") with
+  | Service.Client_reply { client = "alpha"; reply = Server.Rejected msg } ->
+      Alcotest.(check bool) "total error reply names the conflict" true
+        (String.starts_with ~prefix:"already registered" msg)
+  | r -> Alcotest.fail ("duplicate register: " ^ Service.reply_to_string r));
+  (* The live session is untouched: the outstanding assignment is
+     still there and tuning completes. *)
+  (match Service.handle service (query_msg "alpha") with
+  | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+  | r -> Alcotest.fail ("query after dup register: " ^ Service.reply_to_string r));
+  let _done = resume_to_done service "alpha" in
+  (* Good: once the session finished, re-registering starts afresh. *)
+  (match Service.handle service (register_msg "alpha") with
+  | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+  | r -> Alcotest.fail ("re-register after done: " ^ Service.reply_to_string r));
+  (* Good: a deregistered id can register again too. *)
+  let _done = resume_to_done service "alpha" in
+  (match Service.handle service (Service.Deregister { client = "alpha" }) with
+  | Service.Deregistered { client = "alpha" } -> ()
+  | r -> Alcotest.fail ("deregister: " ^ Service.reply_to_string r));
+  match Service.handle service (register_msg "alpha") with
+  | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+  | r -> Alcotest.fail ("register after bye: " ^ Service.reply_to_string r)
+
+let test_unknown_client_is_total () =
+  let service = Service.create ~options ~shards:2 () in
+  (match Service.handle service (query_msg "ghost") with
+  | Service.Client_reply { client = "ghost"; reply = Server.Rejected msg } ->
+      Alcotest.(check bool) "names the client" true
+        (String.starts_with ~prefix:"unknown client ghost" msg)
+  | r -> Alcotest.fail ("query: " ^ Service.reply_to_string r));
+  match Service.handle service (Service.Deregister { client = "ghost" }) with
+  | Service.Service_error msg ->
+      Alcotest.(check bool) "deregister names the client" true
+        (String.starts_with ~prefix:"unknown client ghost" msg)
+  | r -> Alcotest.fail ("deregister: " ^ Service.reply_to_string r)
+
+let test_parse_message () =
+  (match Service.parse_message "c7 query" with
+  | Ok (Service.Client { client = "c7"; payload = Server.Query }) -> ()
+  | _ -> Alcotest.fail "c7 query");
+  (match Service.parse_message "c7 done" with
+  | Ok (Service.Deregister { client = "c7" }) -> ()
+  | _ -> Alcotest.fail "c7 done");
+  (match Service.parse_message "service-metrics" with
+  | Ok Service.Service_metrics -> ()
+  | _ -> Alcotest.fail "service-metrics");
+  (match Service.parse_message ("c7 register max\n" ^ paper_spec) with
+  | Ok (Service.Client { client = "c7"; payload = Server.Register _ }) -> ()
+  | _ -> Alcotest.fail "multi-line register keeps its spec");
+  (* Unprefixed server commands and reserved words are not client ids. *)
+  List.iter
+    (fun bad ->
+      match Service.parse_message bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ bad))
+    [ "query"; "report 1.5"; "query query"; "done c7"; "register max";
+      "quit now"; "" ];
+  (* Round trip. *)
+  List.iter
+    (fun m ->
+      match Service.parse_message (Service.message_to_string m) with
+      | Ok m' ->
+          Alcotest.(check string) "round trip"
+            (Service.message_to_string m)
+            (Service.message_to_string m')
+      | Error e -> Alcotest.fail e)
+    [
+      register_msg "alpha";
+      query_msg "z9";
+      Service.Client { client = "c1"; payload = Server.Report 0.125 };
+      Service.Client { client = "c1"; payload = Server.Report_failed };
+      Service.Deregister { client = "c2" };
+      Service.Service_metrics;
+    ]
+
+let test_event_codec () =
+  List.iter
+    (fun m ->
+      match Service.Event.decode (Service.Event.encode ~seq:7 (Service.Event.Recv m)) with
+      | Some (7, Service.Event.Recv m') ->
+          Alcotest.(check string) "recv round trip"
+            (Service.message_to_string m)
+            (Service.message_to_string m')
+      | _ -> Alcotest.fail "recv did not round trip")
+    [ register_msg "alpha"; query_msg "bravo";
+      Service.Client { client = "c1"; payload = Server.Report 3.5 };
+      Service.Deregister { client = "c2" } ];
+  (match Service.Event.decode "9 reply alpha assign B=3 C=4" with
+  | Some (9, Service.Event.Reply "alpha assign B=3 C=4") -> ()
+  | _ -> Alcotest.fail "reply decode");
+  List.iter
+    (fun garbage ->
+      match Service.Event.decode garbage with
+      | None -> ()
+      | Some _ -> Alcotest.fail ("decoded garbage: " ^ garbage))
+    [ ""; "junk"; "0 recv alpha query"; "5 recv query"; "5 recv done alpha";
+      "7 recvalpha query" ]
+
+let test_service_metrics_merges_shards () =
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~shards:2 ()
+  in
+  let _dones = drive_all service fleet in
+  let merged = Telemetry.counters (Service.merged_telemetry service) in
+  let total =
+    List.fold_left
+      (fun acc s ->
+        acc
+        + Telemetry.counter_value (Service.shard_telemetry service s)
+            "service.messages")
+      0 [ 0; 1 ]
+  in
+  Alcotest.(check bool) "both shards handled messages" true
+    (List.for_all
+       (fun s ->
+         Telemetry.counter_value (Service.shard_telemetry service s)
+           "service.messages"
+         > 0)
+       [ 0; 1 ]);
+  Alcotest.(check int) "merged counter sums the shards" total
+    (List.assoc "service.messages" merged);
+  match Service.handle service Service.Service_metrics with
+  | Service.Service_stats text ->
+      Alcotest.(check bool) "prometheus text mentions the service" true
+        (String.length text > 0)
+  | r -> Alcotest.fail ("service-metrics: " ^ Service.reply_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Crash injection: kill one shard at every record boundary            *)
+
+let test_kill_one_shard_at_every_boundary () =
+  let shards = 2 in
+  let dones_ref, bytes = reference ~shards () in
+  Array.iteri
+    (fun victim shard_bytes ->
+      let scan = Frame.scan shard_bytes in
+      Alcotest.(check bool) "reference shard journal is clean" false
+        scan.Frame.torn;
+      Alcotest.(check bool) "enough boundaries to mean something" true
+        (List.length scan.Frame.boundaries > 20);
+      List.iter
+        (fun cut ->
+          with_journal ~shards (fun path ->
+              Array.iteri
+                (fun s full ->
+                  let content =
+                    if s = victim then String.sub full 0 cut else full
+                  in
+                  let oc =
+                    open_out_bin (Service.shard_journal ~journal:path ~shard:s)
+                  in
+                  output_string oc content;
+                  close_out oc)
+                bytes;
+              let r = Service.recover ~options ~shards ~journal:path () in
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d cut %d: clean prefix, nothing dropped"
+                   victim cut)
+                0 r.Service.dropped;
+              check_all_resume
+                ~msg:(Printf.sprintf "shard %d killed at boundary %d" victim cut)
+                r.Service.service dones_ref;
+              Service.detach_journals r.Service.service))
+        (0 :: scan.Frame.boundaries))
+    bytes
+
+(* A few torn (mid-record) cuts per shard: the torn record is lost,
+   everything before it replays, every client still converges. *)
+let test_kill_one_shard_mid_record () =
+  let shards = 2 in
+  let dones_ref, bytes = reference ~shards () in
+  Array.iteri
+    (fun victim shard_bytes ->
+      let scan = Frame.scan shard_bytes in
+      let torn_cuts =
+        List.filteri
+          (fun i _ -> i mod 5 = 0)
+          (List.filter_map
+             (fun b ->
+               if b + 3 <= String.length shard_bytes then Some (b + 3) else None)
+             (0 :: scan.Frame.boundaries))
+      in
+      List.iter
+        (fun cut ->
+          with_journal ~shards (fun path ->
+              Array.iteri
+                (fun s full ->
+                  let content =
+                    if s = victim then String.sub full 0 cut else full
+                  in
+                  let oc =
+                    open_out_bin (Service.shard_journal ~journal:path ~shard:s)
+                  in
+                  output_string oc content;
+                  close_out oc)
+                bytes;
+              let r = Service.recover ~options ~shards ~journal:path () in
+              check_all_resume
+                ~msg:(Printf.sprintf "shard %d torn at byte %d" victim cut)
+                r.Service.service dones_ref;
+              Service.detach_journals r.Service.service))
+        torn_cuts)
+    bytes
+
+(* Live crash through the fault-injecting sink on exactly one shard,
+   compaction on, so crashes land inside snapshot/reset windows too. *)
+let test_live_crash_one_shard () =
+  let shards = 2 in
+  let dones_ref, bytes = reference ~shards () in
+  let victim = Service.shard_for ~shards "alpha" in
+  let total = String.length bytes.(victim) in
+  let limits = List.init 10 (fun i -> 1 + (i * total / 10)) in
+  List.iter
+    (fun limit ->
+      with_journal ~shards (fun path ->
+          let service = Service.create ~options ~shards () in
+          Service.attach_journals ~compact_every:4
+            ~wrap:(fun ~shard sink ->
+              if shard = victim then Persist.fault_sink ~limit_bytes:limit sink
+              else sink)
+            service ~journal:path ();
+          let crashed =
+            match drive_all service fleet with
+            | _ -> false
+            | exception Persist.Crashed -> true
+          in
+          if crashed then begin
+            let r =
+              Service.recover ~options ~compact_every:4 ~shards ~journal:path ()
+            in
+            check_all_resume
+              ~msg:(Printf.sprintf "live crash at %d bytes" limit)
+              r.Service.service dones_ref;
+            Service.detach_journals r.Service.service
+          end))
+    limits
+
+(* One shard's files replaced by garbage: that shard recovers empty
+   (its clients start over), the other shard's sessions survive in
+   full — and recovery itself never raises. *)
+let test_corrupt_one_shard_salvages_the_rest () =
+  let shards = 2 in
+  let dones_ref, bytes = reference ~shards () in
+  let victim = 0 in
+  with_journal ~shards (fun path ->
+      Array.iteri
+        (fun s full ->
+          let p = Service.shard_journal ~journal:path ~shard:s in
+          (* A well-framed record of garbage plus torn bytes: the
+             record decodes to nothing (counted as dropped), the tail
+             is discarded by the frame scan. *)
+          let content =
+            if s = victim then Frame.encode "not a service event" ^ String.make 64 '\xde'
+            else full
+          in
+          let oc = open_out_bin p in
+          output_string oc content;
+          close_out oc;
+          if s = victim then
+            Persist.write_atomic ~path:(p ^ ".snapshot") "\x00garbage\xff")
+        bytes;
+      let r = Service.recover ~options ~shards ~journal:path () in
+      List.iter
+        (fun (pr : Service.shard_recovery) ->
+          if pr.shard = victim then begin
+            Alcotest.(check int) "corrupt shard replays nothing" 0 pr.replayed;
+            Alcotest.(check bool) "corrupt shard counted dropped input" true
+              (pr.dropped > 0)
+          end
+          else
+            Alcotest.(check bool) "healthy shard replays its sessions" true
+              (pr.replayed > 0))
+        r.Service.per_shard;
+      (* Healthy-shard clients resume where they stood; corrupt-shard
+         clients re-register — everyone converges to the reference. *)
+      check_all_resume ~msg:"corrupt shard 0" r.Service.service dones_ref;
+      Service.detach_journals r.Service.service)
+
+(* Whole-service recovery cross-checks: recovering an intact two-shard
+   run replays everything, drops nothing, and the merged telemetry
+   carries the per-shard totals. *)
+let test_recover_intact_service () =
+  let shards = 2 in
+  let dones_ref, bytes = reference ~shards () in
+  with_journal ~shards (fun path ->
+      Array.iteri
+        (fun s full ->
+          let oc = open_out_bin (Service.shard_journal ~journal:path ~shard:s) in
+          output_string oc full;
+          close_out oc)
+        bytes;
+      let r =
+        Service.recover ~options ~shards
+          ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+          ~journal:path ()
+      in
+      Alcotest.(check int) "nothing dropped" 0 r.Service.dropped;
+      Alcotest.(check int) "every client message replayed"
+        (List.fold_left
+           (fun acc (pr : Service.shard_recovery) -> acc + pr.replayed)
+           0 r.Service.per_shard)
+        r.Service.replayed;
+      Alcotest.(check int) "all sessions back" (List.length fleet)
+        (Service.sessions r.Service.service);
+      Alcotest.(check int) "merged recovery counter sums shards"
+        r.Service.replayed
+        (Telemetry.counter_value
+           (Service.merged_telemetry r.Service.service)
+           "service.recovery.replayed");
+      check_all_resume ~msg:"intact recovery" r.Service.service dones_ref;
+      Service.detach_journals r.Service.service)
+
+(* ------------------------------------------------------------------ *)
+(* Serializability (QCheck)                                            *)
+
+let script_ids = [| "p"; "q"; "r" |]
+
+let gen_step client : Service.message Gen.t =
+  Gen.oneof
+    [
+      Gen.return (register_msg client);
+      Gen.return (query_msg client);
+      Gen.map
+        (fun i -> Service.Client { client; payload = Server.Report (float_of_int i) })
+        (Gen.int_bound 100);
+      Gen.return (Service.Client { client; payload = Server.Report_failed });
+      Gen.return (Service.Deregister { client });
+    ]
+
+let gen_scripts : (Service.message array array * int list) Gen.t =
+  let gen_script c = Gen.list_size (Gen.int_range 1 8) (gen_step c) in
+  Gen.bind
+    (Gen.triple (gen_script script_ids.(0)) (gen_script script_ids.(1))
+       (gen_script script_ids.(2)))
+    (fun (a, b, c) ->
+      let tokens =
+        List.concat
+          [
+            List.map (fun _ -> 0) a;
+            List.map (fun _ -> 1) b;
+            List.map (fun _ -> 2) c;
+          ]
+      in
+      Gen.map
+        (fun order ->
+          ([| Array.of_list a; Array.of_list b; Array.of_list c |], order))
+        (Gen.shuffle_l tokens))
+
+(* Any interleaving of k clients' messages gives each client, as its
+   reply subsequence, byte-for-byte the conversation it would have had
+   alone against a fresh service. *)
+let prop_serializable =
+  QCheck2.Test.make ~name:"interleaving serializes per client" ~count:120
+    gen_scripts (fun (scripts, order) ->
+      let service = Service.create ~options ~shards:3 () in
+      let next = Array.make (Array.length scripts) 0 in
+      let observed = Array.make (Array.length scripts) [] in
+      List.iter
+        (fun ci ->
+          let msg = scripts.(ci).(next.(ci)) in
+          next.(ci) <- next.(ci) + 1;
+          let r = Service.handle service msg in
+          observed.(ci) <- Service.reply_to_string r :: observed.(ci))
+        order;
+      let isolated ci =
+        let alone = Service.create ~options ~shards:1 () in
+        Array.to_list
+          (Array.map
+             (fun m -> Service.reply_to_string (Service.handle alone m))
+             scripts.(ci))
+      in
+      let ok = ref true in
+      Array.iteri
+        (fun ci replies ->
+          if List.rev replies <> isolated ci then ok := false)
+        observed;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
+    Alcotest.test_case "batch identical across domains" `Quick
+      test_batch_identical_across_domains;
+    Alcotest.test_case "batch identical to sequential" `Quick
+      test_batch_identical_to_sequential;
+    Alcotest.test_case "client replies identical across shards" `Quick
+      test_client_replies_identical_across_shards;
+    Alcotest.test_case "duplicate register rejected" `Quick
+      test_duplicate_register_rejected;
+    Alcotest.test_case "unknown client total" `Quick test_unknown_client_is_total;
+    Alcotest.test_case "parse message" `Quick test_parse_message;
+    Alcotest.test_case "event codec" `Quick test_event_codec;
+    Alcotest.test_case "metrics merge shards" `Quick
+      test_service_metrics_merges_shards;
+    Alcotest.test_case "kill one shard at every boundary" `Slow
+      test_kill_one_shard_at_every_boundary;
+    Alcotest.test_case "kill one shard mid-record" `Quick
+      test_kill_one_shard_mid_record;
+    Alcotest.test_case "live crash one shard" `Quick test_live_crash_one_shard;
+    Alcotest.test_case "corrupt one shard salvages rest" `Quick
+      test_corrupt_one_shard_salvages_the_rest;
+    Alcotest.test_case "recover intact service" `Quick test_recover_intact_service;
+    to_alcotest prop_serializable;
+  ]

@@ -115,6 +115,107 @@ let test_registry () =
         snap.Telemetry.buckets
   | _ -> Alcotest.fail "expected one histogram"
 
+let test_declare_histogram () =
+  let t = Telemetry.create () in
+  Telemetry.declare_histogram t ~bounds:[| 1.0; 5.0; 20.0 |] "lat";
+  (* Bounds at a later observe are ignored: the declaration fixed them. *)
+  Telemetry.observe t ~bounds:[| 1000.0 |] "lat" 3.0;
+  Telemetry.observe t "lat" 0.5;
+  Telemetry.observe t "lat" 99.0;
+  (match Telemetry.histograms t with
+  | [ ("lat", snap) ] ->
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "declared bounds stick"
+        [ (1.0, 1); (5.0, 1); (20.0, 0); (infinity, 1) ]
+        snap.Telemetry.buckets
+  | _ -> Alcotest.fail "expected one histogram");
+  (* Re-declaring an existing histogram is a no-op. *)
+  Telemetry.declare_histogram t ~bounds:[| 7.0 |] "lat";
+  match Telemetry.histograms t with
+  | [ ("lat", snap) ] ->
+      Alcotest.(check int) "observations survive re-declare" 3
+        snap.Telemetry.count
+  | _ -> Alcotest.fail "expected one histogram"
+
+let test_record_events_off () =
+  let t = Telemetry.create ~record_events:false () in
+  Alcotest.(check bool) "handle still enabled" true (Telemetry.enabled t);
+  let r = Telemetry.span t "s" (fun () -> Telemetry.incr t "inside"; 11) in
+  Alcotest.(check int) "span still runs f" 11 r;
+  Telemetry.instant t "i";
+  Telemetry.observe t "h" 2.0;
+  Alcotest.(check int) "no event payloads retained" 0
+    (List.length (Telemetry.events t));
+  (* The logical clock still ticks so span latencies stay measurable. *)
+  Alcotest.(check bool) "event_count still advances" true
+    (Telemetry.event_count t > 0);
+  Alcotest.(check int) "counters still live" 1 (Telemetry.counter_value t "inside");
+  Alcotest.(check int) "histograms still live" 1
+    (List.length (Telemetry.histograms t))
+
+let test_quantile () =
+  let snap count buckets = { Telemetry.count; sum = 0.0; buckets } in
+  let b = [ (1.0, 5); (10.0, 4); (100.0, 1); (infinity, 0) ] in
+  Alcotest.(check (float 1e-9)) "p50 in first bucket" 1.0
+    (Telemetry.quantile (snap 10 b) 0.5);
+  Alcotest.(check (float 1e-9)) "p90 in second bucket" 10.0
+    (Telemetry.quantile (snap 10 b) 0.9);
+  Alcotest.(check (float 1e-9)) "p99 rounds up to the last occupied" 100.0
+    (Telemetry.quantile (snap 10 b) 0.99);
+  Alcotest.(check (float 1e-9)) "q=0 is the smallest bound" 1.0
+    (Telemetry.quantile (snap 10 b) 0.0);
+  Alcotest.(check bool) "overflow lands at infinity" true
+    (Telemetry.quantile (snap 1 [ (1.0, 0); (infinity, 1) ]) 0.99 = infinity);
+  Alcotest.(check bool) "empty histogram is nan" true
+    (Float.is_nan (Telemetry.quantile (snap 0 b) 0.5));
+  Alcotest.(check bool) "out-of-range q is nan" true
+    (Float.is_nan (Telemetry.quantile (snap 10 b) 1.5))
+
+let test_merged () =
+  let a = Telemetry.create () in
+  let b = Telemetry.create () in
+  Telemetry.incr a ~by:3 "msgs";
+  Telemetry.incr b ~by:4 "msgs";
+  Telemetry.incr b "only_b";
+  Telemetry.gauge a "hw" 2.0;
+  Telemetry.gauge b "hw" 5.0;
+  let bounds = [| 1.0; 10.0 |] in
+  Telemetry.observe a ~bounds "lat" 0.5;
+  Telemetry.observe a ~bounds "lat" 40.0;
+  Telemetry.observe b ~bounds "lat" 7.0;
+  let m = Telemetry.merged [ a; b; Telemetry.off ] in
+  Alcotest.(check int) "counters sum" 7 (Telemetry.counter_value m "msgs");
+  Alcotest.(check int) "singleton counter kept" 1
+    (Telemetry.counter_value m "only_b");
+  Alcotest.(check bool) "gauges take the max" true
+    (Telemetry.gauge_value m "hw" = Some 5.0);
+  (match List.assoc_opt "lat" (Telemetry.histograms m) with
+  | Some snap ->
+      Alcotest.(check int) "histogram count sums" 3 snap.Telemetry.count;
+      Alcotest.(check (float 1e-9)) "histogram sum sums" 47.5
+        snap.Telemetry.sum;
+      Alcotest.(check (list (pair (float 1e-9) int)))
+        "same bounds merge pointwise"
+        [ (1.0, 1); (10.0, 1); (infinity, 1) ]
+        snap.Telemetry.buckets
+  | None -> Alcotest.fail "merged histogram missing");
+  (* Sources with disagreeing bounds still merge conservatively:
+     count/sum exact, occupancies credited at source upper bounds. *)
+  let c = Telemetry.create () in
+  Telemetry.observe c ~bounds:[| 5.0 |] "lat" 2.0;
+  (match List.assoc_opt "lat" (Telemetry.histograms (Telemetry.merged [ a; c ]))
+   with
+  | Some snap ->
+      Alcotest.(check int) "mismatched-bounds count exact" 3
+        snap.Telemetry.count;
+      Alcotest.(check (float 1e-9)) "mismatched-bounds sum exact" 42.5
+        snap.Telemetry.sum
+  | None -> Alcotest.fail "merged histogram missing");
+  (* The merged handle is an ordinary handle: exporters accept it. *)
+  let text = Export.prometheus m in
+  Alcotest.(check bool) "prometheus export of merged registry" true
+    (String.length text > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Exporters *)
 
@@ -381,6 +482,10 @@ let suite =
     ("injected clock", `Quick, test_injected_clock);
     ("off handle is a no-op", `Quick, test_off_is_noop);
     ("metrics registry", `Quick, test_registry);
+    ("declare_histogram pins bounds", `Quick, test_declare_histogram);
+    ("record_events:false keeps metrics only", `Quick, test_record_events_off);
+    ("quantile is a conservative upper bound", `Quick, test_quantile);
+    ("merged aggregates registries", `Quick, test_merged);
     ("jsonl round-trips through Summary", `Quick, test_jsonl_roundtrip);
     ("summary rejects malformed lines", `Quick, test_summary_rejects_garbage);
     ("chrome export is valid trace JSON", `Quick, test_chrome_valid);

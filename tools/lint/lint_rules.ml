@@ -324,16 +324,20 @@ let rec t2 =
   {
     id = "T2";
     severity = Lint_diag.Error;
-    summary = "no assert false / failwith / exit in Server and Session message paths";
+    summary =
+      "no assert false / failwith / exit in Server, Session and Service \
+       message paths";
     doc =
       "PR 2's fuzzer crashed the server with degenerate specs; `handle` is \
-       now total and must stay that way. Reply with Rejected (or thread a \
-       result) instead of asserting or raising; exhaustiveness itself is \
-       enforced by warning 8 as an error.";
+       now total and must stay that way — and the sharded service's \
+       handle/handle_batch inherit the same contract. Reply with Rejected \
+       (or thread a result) instead of asserting or raising; exhaustiveness \
+       itself is enforced by warning 8 as an error.";
     applies =
       (fun path ->
-        under "lib" path
-        && (basename path = "server.ml" || basename path = "session.ml"));
+        under "lib/service" path
+        || (under "lib" path
+           && (basename path = "server.ml" || basename path = "session.ml")));
     check =
       (fun ~path:_ structure ->
         walk_expressions structure (fun e ->
@@ -408,6 +412,7 @@ let rec p1 =
         under "lib/objective" path || under "lib/parallel" path
         || under "lib/telemetry" path || under "lib/persist" path
         || under "lib/des" path || under "lib/webservice" path
+        || under "lib/service" path
         || (under "lib/core" path
            && List.mem (basename path)
                 [
