@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint test test-fast test-crash test-service trace-smoke bench bench-quick bench-evals experiments examples clean
+.PHONY: all build lint lint-sem test test-fast test-crash test-service trace-smoke bench bench-quick bench-evals experiments examples clean
 
 all: build
 
@@ -13,15 +13,25 @@ build:
 lint:
 	dune exec tools/lint/harmony_lint.exe -- --allowlist tools/lint/allowlist lib bin bench
 
+# Semantic analysis over the typedtree (DESIGN.md §14): races on
+# pool-submitted closures, lock-order cycles, float comparisons at
+# inferred types, handler totality.  Reads the .cmt files the build
+# just produced; gates on the committed findings baseline.
+lint-sem: build
+	dune exec tools/sem/harmony_sem.exe -- \
+	  --allowlist tools/lint/allowlist \
+	  --baseline tools/sem/baseline --check-baseline lib
+
 # Includes the parallel-engine determinism test (registry tables at 1
 # vs 4 domains must be byte-identical).
 test:
 	dune runtest
 
-# What CI runs: lint preflight, then a full build plus the
-# unit/property suite (which includes the crash suite).
+# What CI runs: lint + semantic-analysis preflight, then a full build
+# plus the unit/property suite (which includes the crash suite).
 test-fast: lint
 	dune build @all
+	$(MAKE) lint-sem
 	dune runtest
 
 # Durability only (DESIGN.md §10): the framing/sink/journal unit+property

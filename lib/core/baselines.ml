@@ -188,7 +188,9 @@ let powell ?(max_evaluations = 400) ?(line_points = 9) obj =
         directions.(!biggest_idx) <- disp
       end
     end;
-    if Space.config_equal round_start !current && round_start_value = !current_value
+    if
+      Space.config_equal round_start !current
+      && Float.equal round_start_value !current_value
     then improved := false
   done;
   outcome_of_recorder obj recorder

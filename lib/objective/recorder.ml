@@ -46,7 +46,7 @@ let best obj r =
       | Some b ->
           if
             Objective.better obj e.performance b.performance
-            || (e.performance = b.performance && e.index < b.index)
+            || (Float.equal e.performance b.performance && e.index < b.index)
           then Some e
           else acc)
     None r.rev_entries

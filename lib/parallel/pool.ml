@@ -98,11 +98,10 @@ let try_map_array t f a =
       let finished = Condition.create () in
       let task i () =
         let r = try Ok (f a.(i)) with e -> Error e in
-        Mutex.lock t.mutex;
-        results.(i) <- Some r;
-        decr pending;
-        if !pending = 0 then Condition.broadcast finished;
-        Mutex.unlock t.mutex
+        Mutex.protect t.mutex (fun () ->
+            results.(i) <- Some r;
+            decr pending;
+            if !pending = 0 then Condition.broadcast finished)
       in
       Mutex.lock t.mutex;
       for i = 0 to n - 1 do

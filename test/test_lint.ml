@@ -193,6 +193,27 @@ let allow_comment_multiple_rules () =
   let src = "(* lint: allow T1 N1 *)\nlet f xs = List.hd (List.sort compare xs)" in
   check_rules "one comment, several rules" [] ~path:"lib/core/x.ml" src
 
+(* Unified semantics (shared with harmony_sem): a same-line waiver
+   covers exactly its own line; comment-only waiver lines accumulate
+   and all land on the next code line. *)
+let allow_comment_does_not_bleed () =
+  let src =
+    "let f xs = List.hd xs (* lint: allow T1 *)\nlet g xs = List.hd xs"
+  in
+  check_rules "same-line waiver stops at its line" [ "T1" ]
+    ~path:"lib/core/x.ml" src
+
+let allow_comment_stacked_lines () =
+  let src =
+    "(* lint: allow T1 — head is guarded *)\n\
+     (* lint: allow N1 — ints compared *)\n\
+     let f xs = List.hd (List.sort compare xs)"
+  in
+  check_rules "stacked comment-only waivers all apply" [] ~path:"lib/core/x.ml"
+    src;
+  check_rules "stack is consumed by the first code line" [ "T1" ]
+    ~path:"lib/core/x.ml" (src ^ "\nlet g xs = List.hd xs")
+
 let allowlist_waives_by_path () =
   let allowlist =
     match Lint_allow.allowlist_of_string "lib/core/x.ml T1  # legacy" with
@@ -310,6 +331,8 @@ let suite =
     ("allow comment previous line", `Quick, allow_comment_previous_line);
     ("allow comment wrong rule", `Quick, allow_comment_wrong_rule);
     ("allow comment multiple rules", `Quick, allow_comment_multiple_rules);
+    ("allow comment does not bleed", `Quick, allow_comment_does_not_bleed);
+    ("allow comment stacked lines", `Quick, allow_comment_stacked_lines);
     ("allowlist waives by path", `Quick, allowlist_waives_by_path);
     ("allowlist rejects garbage", `Quick, allowlist_rejects_garbage);
     ("diagnostics carry positions", `Quick, diagnostics_carry_positions);

@@ -1,7 +1,7 @@
 (* harmony_lint — project-specific static analysis for the harmony
    tree.  See DESIGN.md §8 for the rule catalogue.
 
-     harmony_lint [--format text|json] [--allowlist FILE]
+     harmony_lint [--format text|json|sarif] [--allowlist FILE]
                   [--rules D1,N1,...] [--strict] [--list-rules] PATH...
 
    Exit status 0 when every finding is waived (inline allow-comment or
@@ -19,7 +19,7 @@ let () =
   let paths = ref [] in
   let spec =
     [
-      ("--format", Arg.Set_string format, "FMT  output format: text (default) or json");
+      ("--format", Arg.Set_string format, "FMT  output format: text (default), json or sarif");
       ("--allowlist", Arg.Set_string allowlist_file, "FILE  repo allowlist ('<path> <rule>' per line)");
       ("--rules", Arg.Set_string rules_filter, "IDS  comma-separated rule ids to run (default: all)");
       ("--strict", Arg.Set strict, "  treat warnings as failures");
@@ -77,6 +77,19 @@ let () =
   (match !format with
   | "json" -> Lint_driver.render_json Format.std_formatter result
   | "text" -> Lint_driver.render_text Format.std_formatter result
+  | "sarif" ->
+      let rule_metas =
+        List.map
+          (fun r ->
+            {
+              Lint_sarif.id = r.Lint_rules.id;
+              summary = r.Lint_rules.summary;
+              doc = r.Lint_rules.doc;
+            })
+          rules
+      in
+      Lint_sarif.render Format.std_formatter ~tool_name:"harmony_lint"
+        ~rules:rule_metas result.Lint_driver.kept
   | other ->
       Printf.eprintf "harmony_lint: unknown format %s\n" other;
       exit 2);

@@ -1,14 +1,33 @@
 (* Suppression machinery: inline [(* lint: allow RULE ... *)] comments
-   and a repo-level allowlist file.
+   and a repo-level allowlist file.  Shared by the parsetree linter
+   (harmony_lint) and the typedtree analyzer (harmony_sem), so both
+   tools waive findings with identical semantics.
 
-   An inline comment waives findings of the named rule(s) on the line
-   it appears on and on the line directly below it, so both styles
-   work:
+   Unified same-line / previous-line semantics:
 
-     let x = List.hd items (* lint: allow T1 *)
+   - a waiver written on a line that contains code waives findings of
+     the named rule(s) on that line only:
 
-     (* lint: allow T1 — justified because ... *)
-     let x = List.hd items
+       let x = List.hd items (* lint: allow T1 *)
+
+   - a waiver written on a line with no code (a comment-only or blank
+     line) waives findings on the next line that contains code;
+     consecutive comment-only lines stack onto that same code line,
+     so a multi-rule justification block reads naturally:
+
+       (* lint: allow T1 — head is guarded by the match above *)
+       (* lint: allow N1 — comparator is resolved at int type *)
+       let x = List.hd (List.sort compare items)
+
+   Earlier versions waived line n *and* line n+1 unconditionally,
+   which both over-suppressed (a same-line waiver silently covered an
+   unrelated finding on the next line) and under-suppressed (stacked
+   comment-only waivers never reached the code line below them).
+
+   Code detection is a light scanner: it tracks (* *) nesting across
+   lines and calls a line "code" when any non-space character appears
+   outside a comment.  Comment openers inside string literals are not
+   recognized — an acceptable corner for a suppression heuristic.
 
    The allowlist file holds one waiver per line, [<path> <rule>],
    matched against the linted path by suffix so it is robust to
@@ -47,6 +66,30 @@ let rules_allowed_on_line line =
   done;
   !out
 
+(* Does [line] contain any code, entering with [depth] open comments?
+   Returns (has_code, exit depth). *)
+let scan_code ~depth line =
+  let n = String.length line in
+  let depth = ref depth in
+  let has_code = ref false in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !depth = 0 && c = '(' && !i + 1 < n && line.[!i + 1] = '*' then begin
+      incr depth;
+      i := !i + 2
+    end
+    else if !depth > 0 && c = '*' && !i + 1 < n && line.[!i + 1] = ')' then begin
+      decr depth;
+      i := !i + 2
+    end
+    else begin
+      if !depth = 0 && c <> ' ' && c <> '\t' && c <> '\r' then has_code := true;
+      incr i
+    end
+  done;
+  (!has_code, !depth)
+
 type t = {
   (* line number (1-based) -> rule ids waived on that line *)
   by_line : (int, string list) Hashtbl.t;
@@ -54,21 +97,27 @@ type t = {
 
 let of_source src =
   let by_line = Hashtbl.create 8 in
+  let depth = ref 0 in
+  let pending = ref [] in
   List.iteri
     (fun idx line ->
-      match rules_allowed_on_line line with
-      | [] -> ()
-      | rules -> Hashtbl.replace by_line (idx + 1) rules)
+      let rules = rules_allowed_on_line line in
+      let has_code, depth' = scan_code ~depth:!depth line in
+      depth := depth';
+      if has_code then begin
+        (match rules @ !pending with
+        | [] -> ()
+        | waived -> Hashtbl.replace by_line (idx + 1) waived);
+        pending := []
+      end
+      else pending := !pending @ rules)
     (String.split_on_char '\n' src);
   { by_line }
 
 let suppresses t ~rule ~line =
-  let on l =
-    match Hashtbl.find_opt t.by_line l with
-    | None -> false
-    | Some rules -> List.mem rule rules
-  in
-  on line || on (line - 1)
+  match Hashtbl.find_opt t.by_line line with
+  | None -> false
+  | Some rules -> List.mem rule rules
 
 (* ------------------------------------------------------------------ *)
 (* Allowlist file                                                      *)

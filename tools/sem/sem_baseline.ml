@@ -1,0 +1,83 @@
+(* Findings baseline: a committed snapshot of known findings, so CI
+   can gate on *new* findings while legacy ones are burned down
+   incrementally.  Format, one entry per line, sorted:
+
+       <path> <rule> <count>
+
+   [--check-baseline] fails only when some (path, rule) pair has more
+   findings than the baseline records; fixed findings simply leave the
+   baseline stale-but-harmless until [--write-baseline] refreshes it. *)
+
+type entry = { path : string; rule : string; count : int }
+
+let compare_entry a b =
+  match String.compare a.path b.path with
+  | 0 -> String.compare a.rule b.rule
+  | c -> c
+
+let of_string src =
+  let entries, errors =
+    List.fold_left
+      (fun (entries, errors) line ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        match
+          List.filter (fun s -> s <> "")
+            (String.split_on_char ' ' (String.trim line))
+        with
+        | [] -> (entries, errors)
+        | [ path; rule; count ] -> (
+            match int_of_string_opt count with
+            | Some count -> ({ path; rule; count } :: entries, errors)
+            | None -> (entries, ("bad count in baseline line: " ^ line) :: errors))
+        | _ ->
+            (entries, ("malformed baseline line (want '<path> <rule> <count>'): " ^ line) :: errors)
+      )
+      ([], [])
+      (String.split_on_char '\n' src)
+  in
+  match errors with
+  | [] -> Ok (List.sort compare_entry entries)
+  | e :: _ -> Error e
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+let of_diags diags =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Lint_diag.t) ->
+      let key = (d.file, d.rule) in
+      Hashtbl.replace counts key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+    diags;
+  Hashtbl.fold
+    (fun (path, rule) count acc -> { path; rule; count } :: acc)
+    counts []
+  |> List.sort compare_entry
+
+let render entries =
+  String.concat ""
+    (List.map
+       (fun e -> Printf.sprintf "%s %s %d\n" e.path e.rule e.count)
+       (List.sort compare_entry entries))
+
+(* (path, rule, baseline count, current count) for every pair that
+   grew beyond the baseline. *)
+let regressions ~baseline current =
+  let base = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace base (e.path, e.rule) e.count) baseline;
+  List.filter_map
+    (fun e ->
+      let allowed =
+        Option.value ~default:0 (Hashtbl.find_opt base (e.path, e.rule))
+      in
+      if e.count > allowed then Some (e.path, e.rule, allowed, e.count)
+      else None)
+    current

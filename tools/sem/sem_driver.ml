@@ -1,0 +1,65 @@
+(* Orchestration: run the semantic rules over loaded units, then
+   filter the diagnostics through the same inline-waiver and allowlist
+   machinery as harmony_lint, reusing its renderers via
+   [Lint_driver.result]. *)
+
+type result = Lint_driver.result = {
+  kept : Lint_diag.t list;
+  suppressed : Lint_diag.t list;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let default_source_of path =
+  if Sys.file_exists path && not (Sys.is_directory path) then
+    Some (read_file path)
+  else None
+
+(* [source_of] maps a diagnostic's file to its source text so inline
+   [(* lint: allow S1 *)] comments apply; tests inject in-memory
+   fixtures, the CLI reads from disk. *)
+let analyze ?rules ?(allowlist = Lint_allow.empty_allowlist)
+    ?(source_of = default_source_of) (units : Sem_cmt.unit_info list) =
+  let summary = Sem_summary.create () in
+  let diags =
+    Sem_rules.run ?rules ~summary (List.map Sem_cmt.as_tuple units)
+  in
+  let allow_cache = Hashtbl.create 8 in
+  let allow_for file =
+    match Hashtbl.find_opt allow_cache file with
+    | Some a -> a
+    | None ->
+        let a = Option.map Lint_allow.of_source (source_of file) in
+        Hashtbl.replace allow_cache file a;
+        a
+  in
+  let kept, suppressed =
+    List.partition
+      (fun (d : Lint_diag.t) ->
+        let inline =
+          match allow_for d.file with
+          | Some allow ->
+              Lint_allow.suppresses allow ~rule:d.rule ~line:d.line
+          | None -> false
+        in
+        not
+          (inline
+          || Lint_allow.allowlist_suppresses allowlist ~rule:d.rule
+               ~file:d.file))
+      diags
+  in
+  { kept; suppressed }
+
+let rule_metas rules =
+  List.map
+    (fun (r : Sem_rules.rule) ->
+      { Lint_sarif.id = r.id; summary = r.summary; doc = r.doc })
+    rules
+
+let render_sarif ppf ?(rules = Sem_rules.all) result =
+  Lint_sarif.render ppf ~tool_name:"harmony_sem" ~rules:(rule_metas rules)
+    result.kept

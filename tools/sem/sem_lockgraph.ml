@@ -1,0 +1,100 @@
+(* The static lock-acquisition graph: an edge a→b means some code path
+   acquires b while holding a.  Deadlock freedom requires the graph to
+   be acyclic; the repo's documented order additionally requires the
+   telemetry lock to be a leaf (no outgoing edges).
+
+   Cycle detection is a deterministic colored DFS over sorted
+   adjacency lists, so the reported cycle is stable across runs.  The
+   pure [cycle_of_edges] entry point exists for the QCheck property
+   that pits it against an independent reference detector. *)
+
+type edge = { src : string; dst : string; file : string; loc : Location.t }
+
+type t = { mutable edges : edge list }
+
+let create () = { edges = [] }
+
+(* One representative edge per (src, dst) pair keeps diagnostics
+   deduplicated; the first acquisition site wins. *)
+let add t e =
+  if not (List.exists (fun e' -> e'.src = e.src && e'.dst = e.dst) t.edges)
+  then t.edges <- e :: t.edges
+
+(* Find a cycle in a directed graph given as (src, dst) pairs.
+   Returns the cycle as a node list [n0; n1; ...; nk] standing for
+   n0→n1→...→nk→n0, or None.  Deterministic: roots and neighbors are
+   visited in sorted order. *)
+let cycle_of_edges pairs =
+  let adj = Hashtbl.create 16 in
+  let nodes = Hashtbl.create 16 in
+  List.iter
+    (fun (a, b) ->
+      Hashtbl.replace nodes a ();
+      Hashtbl.replace nodes b ();
+      let cur = Option.value ~default:[] (Hashtbl.find_opt adj a) in
+      if not (List.mem b cur) then Hashtbl.replace adj a (b :: cur))
+    pairs;
+  let neighbors n =
+    List.sort String.compare (Option.value ~default:[] (Hashtbl.find_opt adj n))
+  in
+  let roots =
+    List.sort String.compare (Hashtbl.fold (fun n () acc -> n :: acc) nodes [])
+  in
+  let color = Hashtbl.create 16 in
+  (* colors: absent = white, `Gray = on stack, `Black = done *)
+  let found = ref None in
+  let rec visit stack n =
+    match Hashtbl.find_opt color n with
+    | Some `Black -> ()
+    | Some `Gray ->
+        if !found = None then begin
+          (* stack holds the path root..parent, most recent first;
+             the cycle is n ... back to n. *)
+          let rec take acc = function
+            | [] -> acc
+            | x :: _ when x = n -> x :: acc
+            | x :: rest -> take (x :: acc) rest
+          in
+          found := Some (take [] stack)
+        end
+    | None ->
+        Hashtbl.replace color n `Gray;
+        List.iter
+          (fun m -> if !found = None then visit (n :: stack) m)
+          (neighbors n);
+        Hashtbl.replace color n `Black
+  in
+  List.iter (fun n -> if !found = None then visit [] n) roots;
+  !found
+
+let find_cycle t =
+  match cycle_of_edges (List.map (fun e -> (e.src, e.dst)) t.edges) with
+  | None -> None
+  | Some cycle ->
+      (* Locate a representative edge (the first cycle edge) for the
+         diagnostic position. *)
+      let pairs =
+        match cycle with
+        | [] -> []
+        | first :: _ ->
+            let rec link = function
+              | [ last ] -> [ (last, first) ]
+              | a :: (b :: _ as rest) -> (a, b) :: link rest
+              | [] -> []
+            in
+            link cycle
+      in
+      let edge =
+        List.find_map
+          (fun (a, b) ->
+            List.find_opt (fun e -> e.src = a && e.dst = b) t.edges)
+          pairs
+      in
+      Some (cycle, edge)
+
+(* Edges whose source is the telemetry lock: the telemetry lock must
+   be a leaf of the order (DESIGN.md §11 documents that callers may
+   hold their own lock while calling Telemetry, never the reverse). *)
+let leaf_violations t ~leaf_prefix =
+  List.filter (fun e -> String.starts_with ~prefix:leaf_prefix e.src)
+    (List.rev t.edges)

@@ -1,0 +1,82 @@
+(* Shared helpers for the typedtree analyses: path normalization,
+   type-expression destructors, and location plumbing.  Everything
+   here is pure and total. *)
+
+open Types
+
+(* dune names compilation units [Harmony_parallel__Pool]; the analyses
+   and the diagnostics both want the bare [Pool]. *)
+let normalize_modname name =
+  let n = String.length name in
+  let rec last_sep i best =
+    if i + 1 >= n then best
+    else if name.[i] = '_' && name.[i + 1] = '_' then last_sep (i + 1) (Some (i + 2))
+    else last_sep (i + 1) best
+  in
+  match last_sep 0 None with
+  | Some i when i < n -> String.sub name i (n - i)
+  | _ -> name
+
+let rec path_flatten = function
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> path_flatten p @ [ s ]
+  | Path.Papply (p, _) -> path_flatten p
+  | Path.Pextra_ty (p, _) -> path_flatten p
+
+(* Components with the [Stdlib] head dropped and dune prefixes
+   stripped, so [Stdlib.Mutex.lock] and a local [Mutex.lock] agree and
+   [Harmony_parallel__Pool.map_array] reads [Pool.map_array]. *)
+let norm_path p =
+  let l = List.map normalize_modname (path_flatten p) in
+  match l with "Stdlib" :: (_ :: _ as rest) -> rest | l -> l
+
+let dotted l = String.concat "." l
+
+(* The last two components as ["Mod.name"] (or just ["name"] for a
+   bare ident) — the matching currency for operation tables, which
+   must be robust to how deeply a path happens to be qualified. *)
+let last2 l =
+  match List.rev l with
+  | a :: b :: _ -> b ^ "." ^ a
+  | [ a ] -> a
+  | [] -> ""
+
+let key_of_path p = last2 (norm_path p)
+
+(* ------------------------------------------------------------------ *)
+(* Type expressions *)
+
+let rec head_desc ty =
+  match get_desc ty with Tpoly (ty, _) -> head_desc ty | d -> d
+
+let constr_path ty =
+  match head_desc ty with Tconstr (p, _, _) -> Some p | _ -> None
+
+let is_arrow ty = match head_desc ty with Tarrow _ -> true | _ -> false
+
+(* Argument types of an arrow type, left to right. *)
+let rec arrow_args ty =
+  match head_desc ty with
+  | Tarrow (_, a, b, _) -> a :: arrow_args b
+  | _ -> []
+
+let is_float_path p = Path.same p Predef.path_float
+
+(* ------------------------------------------------------------------ *)
+(* Expressions *)
+
+let expr_path (e : Typedtree.expression) =
+  match e.exp_desc with Texp_ident (p, _, _) -> Some p | _ -> None
+
+let expr_key e = Option.map key_of_path (expr_path e)
+
+let diag ~rule ~severity ~(file : string) ~(loc : Location.t) fmt =
+  Format.kasprintf
+    (fun message ->
+      let d = Lint_diag.make ~rule ~severity ~loc message in
+      (* cmt locations carry the repo-relative source path already,
+         but fall back to the unit's path for ghost locations. *)
+      if d.Lint_diag.file = "_none_" || d.Lint_diag.file = "" then
+        { d with Lint_diag.file }
+      else d)
+    fmt
