@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint lint-sem test test-fast test-crash test-service trace-smoke bench bench-quick bench-evals experiments examples clean
+.PHONY: all build lint lint-sem test test-fast test-crash test-service test-chaos trace-smoke bench bench-quick bench-evals experiments examples clean
 
 all: build
 
@@ -44,12 +44,27 @@ test-crash:
 # Sharded-service load tier (DESIGN.md §13): the service unit/property
 # suite, then the seeded load generator driving 1k clients through the
 # sharded service — every client's conversation must match a dedicated
-# single-session server byte-for-byte, and the p99 handle-latency SLO
-# (bench/service_slo.json, logical ticks) must hold.  The full 10k
+# single-session server byte-for-byte, and the SLO budgets
+# (bench/service_slo.json, logical ticks: p99 handle latency, p99
+# admission queue delay, rejection rate) must hold.  The full 10k
 # tier is the same binary with --clients 10000.
 test-service:
 	dune exec test/test_main.exe -- test service
 	dune exec test/loadgen.exe -- --clients 1000 --shards 8 --domains 4
+
+# Overload + chaos tier (DESIGN.md §15): the admission unit suite, then
+# a 1k-client open-loop burst offering 10x the admission capacity —
+# seeded bursts, slow-client stalls, poisoned deadlines — with every
+# shard journaled and a seeded fault schedule crashing the journal
+# mid-burst.  The service must never raise, rejected clients must retry
+# to completion, accepted replies must stay byte-identical to dedicated
+# single-session servers across recoveries, and the overload SLOs
+# (queue-delay p99 scaled by the overload factor, excess rejection
+# rate) must hold.
+test-chaos:
+	dune exec test/test_main.exe -- test admission
+	dune exec test/loadgen.exe -- --clients 1000 --shards 4 --domains 4 \
+	  --open-loop 10 --max-inflight 8 --chaos
 
 # Telemetry end-to-end (DESIGN.md §11): a seeded tune records a JSONL
 # trace, `stats` summarizes it back, and the same run exports a Chrome

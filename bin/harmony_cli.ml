@@ -18,6 +18,7 @@ module Telemetry = Harmony_telemetry.Telemetry
 module Export = Harmony_telemetry.Export
 module Summary = Harmony_telemetry.Summary
 module Service = Harmony_service.Service
+module Admission = Harmony_service.Admission
 
 (* ------------------------------------------------------------------ *)
 (* Shared arguments                                                    *)
@@ -467,9 +468,54 @@ let serve_cmd =
     in
     Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
   in
-  let run budget shards journal recover =
+  let max_inflight_arg =
+    let doc =
+      "Admission control: at most $(docv) messages in flight per shard \
+       (0 = unlimited).  Excess work is answered with a total \
+       $(b,overloaded: retry-after=N) rejection, never dropped.  Giving \
+       any of $(b,--max-inflight), $(b,--rate) or $(b,--deadline-ticks) \
+       turns edge policing on (remaining knobs at their defaults)."
+    in
+    Arg.(value & opt (some int) None & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc =
+      "Admission control: per-client token bucket of $(docv) tokens per \
+       logical tick (burst capacity $(docv); 0 = unlimited).  The logical \
+       clock ticks once per handled line."
+    in
+    Arg.(value & opt (some int) None & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let deadline_arg =
+    let doc =
+      "Admission control: every message carries a logical deadline \
+       $(docv) ticks after arrival; work that misses it is shed with \
+       $(b,deadline-expired: retry-after=0) before it touches a session."
+    in
+    Arg.(
+      value & opt (some int) None & info [ "deadline-ticks" ] ~docv:"D" ~doc)
+  in
+  let run budget shards journal recover max_inflight rate deadline_ticks =
     let options =
       { Simplex.default_options with Simplex.max_evaluations = budget }
+    in
+    (* Any admission flag turns edge policing on; the rest of the
+       config keeps the library defaults (hysteretic degraded mode
+       included). *)
+    let admission_config =
+      match (max_inflight, rate, deadline_ticks) with
+      | None, None, None -> None
+      | _ ->
+          let base = Admission.default_config in
+          Some
+            {
+              base with
+              Admission.max_inflight =
+                Option.value ~default:base.Admission.max_inflight max_inflight;
+              rate = Option.value ~default:0 rate;
+              burst = Option.value ~default:0 rate;
+              refill_every = 1;
+            }
     in
     (* The serve loop is the one place a wall clock is injected: span
        timestamps and handle latencies are milliseconds since startup.
@@ -481,6 +527,15 @@ let serve_cmd =
     (* Line protocol on stdin/stdout.  `register min|max` keeps reading
        specification lines until a blank line or EOF. *)
     let serve server =
+      (* Single-session edge policing: one shard, one implicit client.
+         Rejections are journaled as shed records (when the message
+         class is journaled at all) so recovery replays them
+         byte-for-byte, exactly like the sharded service. *)
+      let admission =
+        Option.map
+          (Admission.create ~telemetry:(fun _ -> telemetry) ~shards:1)
+          admission_config
+      in
       let rec read_spec acc =
         match In_channel.input_line stdin with
         | None -> List.rev acc
@@ -490,6 +545,42 @@ let serve_cmd =
       let respond reply =
         print_endline (Server.reply_to_string reply);
         flush stdout
+      in
+      let handle message =
+        match admission with
+        | None -> Server.handle server message
+        | Some adm -> (
+            Admission.tick adm;
+            let enqueued_at = Admission.now adm in
+            let deadline =
+              Option.map (fun d -> enqueued_at + d) deadline_ticks
+            in
+            let priority =
+              match message with
+              | Server.Register _ -> Admission.Critical
+              | Server.Report _ | Server.Report_failed -> Admission.Normal
+              | Server.Query | Server.Metrics -> Admission.Low
+            in
+            match
+              Admission.check adm ~shard:0 ~client:"client" ~priority
+                ~enqueued_at ?deadline ()
+            with
+            | Admission.Admit ->
+                let reply = Server.handle server message in
+                Admission.complete adm ~shard:0;
+                reply
+            | Admission.Reject { reason; retry_after; degraded } ->
+                let reply =
+                  Server.Rejected
+                    (Admission.reject_text ~reason ~retry_after ~degraded)
+                in
+                (match message with
+                | Server.Query | Server.Metrics -> ()
+                | Server.Register _ | Server.Report _ | Server.Report_failed
+                  ->
+                    Server.journal_shed server message
+                      ~reply:(Server.reply_to_string reply));
+                reply)
       in
       let rec loop () =
         match In_channel.input_line stdin with
@@ -506,7 +597,7 @@ let serve_cmd =
                 | _ -> line
               in
               (match Server.parse_message text with
-              | Ok message -> respond (Server.handle server message)
+              | Ok message -> respond (handle message)
               | Error msg -> respond (Server.Rejected msg));
               loop ()
             end)
@@ -547,7 +638,19 @@ let serve_cmd =
                 | _ -> line
               in
               (match Service.parse_message text with
-              | Ok message -> respond (Service.handle service message)
+              | Ok message ->
+                  (* Deadline stamping happens at the edge, against the
+                     tick this message will be handled at (the clock
+                     ticks once per handled message): --deadline-ticks 0
+                     means "handle at arrival", which a synchronous
+                     loop always meets. *)
+                  let enqueued_at = Service.admission_now service + 1 in
+                  let deadline =
+                    Option.map (fun d -> enqueued_at + d) deadline_ticks
+                  in
+                  respond
+                    (Service.handle_env service
+                       (Service.envelope ~enqueued_at ?deadline message))
               | Error msg -> respond (Service.Service_error msg));
               loop ()
             end)
@@ -585,17 +688,19 @@ let serve_cmd =
         serve r.Server.server
     | Some n, None, false ->
         serve_service
-          (Service.create ~options ~telemetry:shard_telemetry ~shards:n ())
+          (Service.create ~options ~telemetry:shard_telemetry
+             ?admission:admission_config ~shards:n ())
     | Some n, Some path, false ->
         let service =
-          Service.create ~options ~telemetry:shard_telemetry ~shards:n ()
+          Service.create ~options ~telemetry:shard_telemetry
+            ?admission:admission_config ~shards:n ()
         in
         Service.attach_journals service ~journal:path ();
         serve_service service
     | Some n, Some path, true ->
         let r =
-          Service.recover ~options ~telemetry:shard_telemetry ~shards:n
-            ~journal:path ()
+          Service.recover ~options ~telemetry:shard_telemetry
+            ?admission:admission_config ~shards:n ~journal:path ()
         in
         Format.printf
           "recovered %d shard(s) from %s: %d message(s) replayed, %d dropped@."
@@ -612,7 +717,10 @@ let serve_cmd =
      crash-safe via a write-ahead journal."
   in
   Cmd.v (Cmd.info "serve" ~doc)
-    Term.(ret (const run $ budget_arg $ shards_arg $ journal_arg $ recover_arg))
+    Term.(
+      ret
+        (const run $ budget_arg $ shards_arg $ journal_arg $ recover_arg
+       $ max_inflight_arg $ rate_arg $ deadline_arg))
 
 (* ------------------------------------------------------------------ *)
 (* rules                                                               *)

@@ -40,8 +40,11 @@ type session = {
    snapshot rename and journal reset) is detected by seq alone.
    [session_log] is the replayable essence of the current session —
    everything since the last accepted [Register] — which is what a
-   snapshot persists. *)
-type event = Recv of message | Reply of string
+   snapshot persists.  [Shed] records a message the admission layer
+   rejected before it could touch state: replay must not re-apply it
+   (admission state is not replayable), so its paired [Reply] is taken
+   literally rather than regenerated. *)
+type event = Recv of message | Reply of string | Shed of message
 
 type persist = {
   journal : Journal.t;
@@ -295,11 +298,12 @@ let message_to_string = function
 (* Write-ahead journal: event codec                                    *)
 
 module Event = struct
-  type t = event = Recv of message | Reply of string
+  type t = event = Recv of message | Reply of string | Shed of message
 
   let encode ~seq = function
     | Recv m -> Printf.sprintf "%d recv %s" seq (message_to_string m)
     | Reply text -> Printf.sprintf "%d reply %s" seq text
+    | Shed m -> Printf.sprintf "%d shed %s" seq (message_to_string m)
 
   let decode record =
     match String.index_opt record ' ' with
@@ -327,7 +331,13 @@ module Event = struct
             | None -> (
                 match payload_of "reply" with
                 | Some text -> Some (seq, Reply text)
-                | None -> None)))
+                | None -> (
+                    match payload_of "shed" with
+                    | Some text -> (
+                        match parse_message text with
+                        | Ok m -> Some (seq, Shed m)
+                        | Error _ -> None)
+                    | None -> None))))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -423,6 +433,31 @@ let handle t message =
   Telemetry.span_end t.telemetry "server.handle";
   reply
 
+(* Record an admission-layer rejection: the message never reached
+   [handle], but the decision must survive a crash so recovery can
+   replay the whole reply stream — including rejections —
+   byte-for-byte.  The reply is journaled verbatim (admission state is
+   not replayable, so replay re-emits it literally).  No-op without an
+   attached journal: an undurable rejection loses nothing. *)
+let journal_shed t message ~reply =
+  match t.persist with
+  | None -> ()
+  | Some p ->
+      (match message with
+      | Register _ | Report _ | Report_failed -> ()
+      | Query | Metrics ->
+          invalid_arg "Server.journal_shed: message is never journaled");
+      let tel = t.telemetry in
+      p.seq <- p.seq + 1;
+      journal_append tel p.journal (Event.encode ~seq:p.seq (Shed message));
+      journal_append tel p.journal (Event.encode ~seq:p.seq (Reply reply));
+      p.session_log <-
+        (p.seq, Reply reply) :: (p.seq, Shed message) :: p.session_log;
+      if Journal.records p.journal > p.compact_every then begin
+        Telemetry.incr tel "server.journal.compactions";
+        compact p
+      end
+
 let attach_journal ?(compact_every = default_compact_every) ?wrap t ~journal:path
     () =
   if compact_every < 1 then invalid_arg "Server.attach_journal: compact_every < 1";
@@ -489,9 +524,12 @@ let load_events path =
    are cross-checks: deterministic replay must regenerate the recorded
    reply byte-for-byte, and the first divergence (or a non-monotone
    seq) invalidates everything after it — recovery degrades to the
-   longest self-consistent prefix. *)
+   longest self-consistent prefix.  A [Shed] record is not re-applied
+   (the message never touched state); its paired reply is accepted
+   literally, which is exactly what makes journaled rejections replay
+   byte-for-byte.  [literal] is the pending shed reply's seq. *)
 let replay_events server events =
-  let rec go events last_reply applied dropped log seq =
+  let rec go events last_reply literal applied dropped log seq =
     match events with
     | [] -> (last_reply, applied, dropped, log, seq)
     | (s, Recv m) :: rest ->
@@ -499,19 +537,28 @@ let replay_events server events =
         else
           let reply = handle_total server m in
           let log = extend_session_log log ~seq:s m reply in
-          go rest (Some reply) (applied + 1) dropped log s
-    | (s, Reply text) :: rest ->
-        let consistent =
-          s = seq
-          &&
-          match last_reply with
-          | Some r -> String.equal (reply_to_string r) text
-          | None -> false
-        in
-        if consistent then go rest last_reply applied dropped log seq
-        else (last_reply, applied, dropped + 1 + List.length rest, log, seq)
+          go rest (Some reply) None (applied + 1) dropped log s
+    | (s, Shed m) :: rest ->
+        if s <= seq then (last_reply, applied, dropped + 1 + List.length rest, log, seq)
+        else go rest last_reply (Some s) (applied + 1) dropped ((s, Shed m) :: log) s
+    | (s, Reply text) :: rest -> (
+        match literal with
+        | Some ls ->
+            if s = ls then
+              go rest last_reply None applied dropped ((s, Reply text) :: log) seq
+            else (last_reply, applied, dropped + 1 + List.length rest, log, seq)
+        | None ->
+            let consistent =
+              s = seq
+              &&
+              match last_reply with
+              | Some r -> String.equal (reply_to_string r) text
+              | None -> false
+            in
+            if consistent then go rest last_reply None applied dropped log seq
+            else (last_reply, applied, dropped + 1 + List.length rest, log, seq))
   in
-  go events None 0 0 [] 0
+  go events None None 0 0 [] 0
 
 type recovery = {
   server : t;
@@ -590,6 +637,10 @@ let journal_evaluations path =
           | Some assignment -> current := (assignment, performance) :: !current
           | None -> ())
       | Recv Report_failed | Recv Query | Recv Metrics -> ()
+      (* A shed message was never applied: it contributes no
+         evaluation, and its literal "error ..." reply matches no
+         pending register (sheds never set [pending]). *)
+      | Shed _ -> ()
       | Reply text -> (
           if String.starts_with ~prefix:"error" text then (
             match !pending with

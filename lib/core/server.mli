@@ -138,16 +138,20 @@ val message_to_string : message -> string
 
 (** {1 Durability & crash recovery} *)
 
-(** One journal record: a client message as received, or the reply the
-    server produced for it (rendered with {!reply_to_string}).  Both
-    carry the message's sequence number; replies are cross-checks that
-    deterministic replay must regenerate byte-for-byte. *)
+(** One journal record: a client message as received, the reply the
+    server produced for it (rendered with {!reply_to_string}), or a
+    message the admission layer shed before it reached the server.
+    All carry the message's sequence number; replies to received
+    messages are cross-checks that deterministic replay must
+    regenerate byte-for-byte, while a shed message's reply is replayed
+    literally (the message never touched state, and admission state is
+    not replayable). *)
 module Event : sig
-  type t = Recv of message | Reply of string
+  type t = Recv of message | Reply of string | Shed of message
 
   val encode : seq:int -> t -> string
-  (** The journal-record payload: ["<seq> recv <message>"] or
-      ["<seq> reply <reply>"]. *)
+  (** The journal-record payload: ["<seq> recv <message>"],
+      ["<seq> reply <reply>"] or ["<seq> shed <message>"]. *)
 
   val decode : string -> (int * t) option
   (** Total inverse of {!encode}; [None] on anything malformed. *)
@@ -180,6 +184,16 @@ val attach_journal :
 val detach_journal : t -> unit
 (** Stop journaling and close the file; the journal and snapshot are
     left on disk exactly as last written (recoverable). *)
+
+val journal_shed : t -> message -> reply:string -> unit
+(** Make an admission-layer rejection durable: journal
+    [Event.Shed message] plus the literal [reply] text under the next
+    sequence number, without applying the message.  Recovery replays
+    the recorded reply byte-for-byte.  No-op when no journal is
+    attached; only meaningful for messages that would be journaled
+    ([Register] / [Report] / [Report_failed]).
+    @raise Invalid_argument for [Query]/[Metrics] with a journal
+    attached (those are never journaled, shed or not). *)
 
 type recovery = {
   server : t;  (** rebuilt server, already journaling to the same path *)

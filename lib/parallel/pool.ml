@@ -1,5 +1,19 @@
 module Telemetry = Harmony_telemetry.Telemetry
 
+(* A cooperative-cancellation token: one atomic flag, checked at task
+   boundaries.  [none] is represented as [None] so that cancelling a
+   caller's own token can never affect callers that passed no token. *)
+module Cancel = struct
+  type t = bool Atomic.t option
+
+  let none : t = None
+  let create () = Some (Atomic.make false)
+  let cancel = function None -> () | Some flag -> Atomic.set flag true
+  let cancelled = function None -> false | Some flag -> Atomic.get flag
+end
+
+exception Cancelled
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -75,16 +89,24 @@ let with_pool ?telemetry ~domains f =
   let t = create ?telemetry ~domains () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let sequential_try f a = Array.map (fun x -> try Ok (f x) with e -> Error e) a
+(* Every task slot checks the token once, immediately before running:
+   a cancelled batch still returns one result per input (Error
+   Cancelled in the slots that never ran), so callers can tell shed
+   work from finished work deterministically. *)
+let run_one cancel f x =
+  if Cancel.cancelled cancel then Error Cancelled
+  else try Ok (f x) with e -> Error e
 
-let try_map_array t f a =
+let sequential_try cancel f a = Array.map (run_one cancel f) a
+
+let try_map_array ?(cancel = Cancel.none) t f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
     Telemetry.incr t.telemetry ~by:n c_tasks;
     if t.size = 1 || n = 1 then begin
       Telemetry.incr t.telemetry ~by:n (domain_counter 0);
-      sequential_try f a
+      sequential_try cancel f a
     end
     else begin
       (* Results land by input index, so ordering is independent of
@@ -97,7 +119,7 @@ let try_map_array t f a =
       let pending = ref n in
       let finished = Condition.create () in
       let task i () =
-        let r = try Ok (f a.(i)) with e -> Error e in
+        let r = run_one cancel f a.(i) in
         Mutex.protect t.mutex (fun () ->
             results.(i) <- Some r;
             decr pending;
@@ -128,9 +150,10 @@ let try_map_array t f a =
     end
   end
 
-let map_array t f a =
-  let results = try_map_array t f a in
+let map_array ?cancel t f a =
+  let results = try_map_array ?cancel t f a in
   Array.iter (function Error e -> raise e | Ok _ -> ()) results;
   Array.map (function Ok v -> v | Error _ -> assert false) results
 
-let map t f xs = Array.to_list (map_array t f (Array.of_list xs))
+let map ?cancel t f xs =
+  Array.to_list (map_array ?cancel t f (Array.of_list xs))

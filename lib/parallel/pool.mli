@@ -26,6 +26,29 @@
 
 type t
 
+(** Cooperative cancellation.  A token is a single atomic flag shared
+    between the caller and the pool: once {!Cancel.cancel}led, every
+    task that has not yet started resolves to [Error Cancelled]
+    instead of running.  Tasks already running are never interrupted
+    (results stay deterministic per slot: a task either ran to
+    completion or did not run at all), so cancellation is checked only
+    at task boundaries — a long task should poll
+    {!Cancel.cancelled} itself if it wants to stop early. *)
+module Cancel : sig
+  type t
+
+  val none : t
+  (** The never-cancelled token; [cancel none] is a no-op, so sharing
+      it is safe. *)
+
+  val create : unit -> t
+  val cancel : t -> unit
+  val cancelled : t -> bool
+end
+
+exception Cancelled
+(** The [Error] payload filled into slots shed by cancellation. *)
+
 val create : ?telemetry:Harmony_telemetry.Telemetry.t -> domains:int -> unit -> t
 (** [create ~domains ()] starts a pool that runs at most [domains]
     tasks in parallel: [domains - 1] worker domains plus the
@@ -45,18 +68,22 @@ val default_domains : unit -> int
 (** [Domain.recommended_domain_count ()] — the hardware parallelism
     the runtime suggests; the CLI's [--jobs] default. *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** [map t f xs] evaluates [f] over [xs] in parallel and returns the
     results in input order.  If any task raised, the first exception
-    by input index is re-raised once every task has finished. *)
+    by input index is re-raised once every task has finished.  With
+    [cancel], slots shed by cancellation carry {!Cancelled} (and so
+    re-raise it here). *)
 
-val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+val map_array : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Array analogue of [map]. *)
 
-val try_map_array : t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
+val try_map_array :
+  ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array -> ('b, exn) result array
 (** Like [map_array] but every per-task exception is captured in its
     slot instead of re-raised, so one failing task cannot lose the
-    others' results. *)
+    others' results.  Slots whose task had not started when [cancel]
+    fired hold [Error Cancelled]. *)
 
 val shutdown : t -> unit
 (** Stop and join the worker domains.  Idempotent.  Tasks submitted

@@ -17,7 +17,19 @@ type reply =
   | Service_stats of string
   | Service_error of string
 
-type event = Recv of message | Reply of string
+type event = Recv of message | Reply of string | Shed of message
+
+(* A batch entry with its admission metadata: when the work was
+   enqueued (for the queue-delay histogram) and the logical tick after
+   which it is not worth doing.  Both are on the admission clock
+   ([Admission.now]); [None] means unknown/none. *)
+type envelope = {
+  message : message;
+  enqueued_at : int option;
+  deadline : int option;
+}
+
+let envelope ?enqueued_at ?deadline message = { message; enqueued_at; deadline }
 
 (* Per-shard durability plumbing: the same WAL discipline as
    [Server.persist], except the replayable essence interleaves many
@@ -42,6 +54,7 @@ type t = {
   options : Simplex.options option;
   max_report_failures : int option;
   shards_ : shard array;
+  admission : Admission.t option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -79,7 +92,7 @@ let sessions t =
 let handle_ms_bounds =
   [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
 
-let create ?options ?max_report_failures ?telemetry ~shards () =
+let create ?options ?max_report_failures ?telemetry ?admission ~shards () =
   if shards < 1 then invalid_arg "Service.create: shards < 1";
   let tel_for =
     match telemetry with Some f -> f | None -> fun _ -> Telemetry.off
@@ -91,7 +104,20 @@ let create ?options ?max_report_failures ?telemetry ~shards () =
           "server.handle_ms";
         { tel; sessions = Hashtbl.create 64; persist = None })
   in
-  { options; max_report_failures; shards_ }
+  let admission =
+    (* The admission state shares the shard telemetry handles, so its
+       counters and queue-delay histogram land in the merged registry
+       (and in [Service_metrics] replies) for free. *)
+    Option.map
+      (fun config ->
+        Admission.create ~telemetry:(fun i -> shards_.(i).tel) ~shards config)
+      admission
+  in
+  { options; max_report_failures; shards_; admission }
+
+let admission t = t.admission
+let admission_now t =
+  match t.admission with Some a -> Admission.now a | None -> 0
 
 let shard_telemetry t i =
   if i >= 0 && i < Array.length t.shards_ then t.shards_.(i).tel
@@ -213,11 +239,12 @@ let apply t shard = function
 (* Write-ahead journal: event codec                                    *)
 
 module Event = struct
-  type t = event = Recv of message | Reply of string
+  type t = event = Recv of message | Reply of string | Shed of message
 
   let encode ~seq = function
     | Recv m -> Printf.sprintf "%d recv %s" seq (message_to_string m)
     | Reply text -> Printf.sprintf "%d reply %s" seq text
+    | Shed m -> Printf.sprintf "%d shed %s" seq (message_to_string m)
 
   let decode record =
     match String.index_opt record ' ' with
@@ -245,7 +272,13 @@ module Event = struct
             | None -> (
                 match payload_of "reply" with
                 | Some text -> Some (seq, Reply text)
-                | None -> None)))
+                | None -> (
+                    match payload_of "shed" with
+                    | Some text -> (
+                        match parse_message text with
+                        | Ok m -> Some (seq, Shed m)
+                        | Error _ -> None)
+                    | None -> None))))
 end
 
 (* ------------------------------------------------------------------ *)
@@ -350,52 +383,208 @@ let handle_in_shard t shard message =
   | Some _ | None -> ());
   reply
 
-let handle t message =
-  match message with
-  | Service_metrics -> Service_stats (metrics t)
-  | Client { client; _ } | Deregister { client } ->
-      handle_in_shard t t.shards_.(shard_of_client t client) message
+(* Priority classes for the admission layer: a session's lifecycle
+   messages must always land (a completed tuning run that cannot
+   deregister leaks its slot forever), measurements matter next, and
+   read-only probes are shed first. *)
+let priority_of_message = function
+  | Client { payload = Server.Register _; _ } | Deregister _ ->
+      Admission.Critical
+  | Client { payload = Server.Report _ | Server.Report_failed; _ } ->
+      Admission.Normal
+  | Client { payload = Server.Query | Server.Metrics; _ } | Service_metrics ->
+      Admission.Low
 
-let handle_batch ?pool t messages =
-  let msgs = Array.of_list messages in
+(* A rejection is a total, client-addressed reply: the caller can
+   route it back to exactly the client whose message was shed. *)
+let shed_reply message text =
+  match message with
+  | Client { client; _ } | Deregister { client } ->
+      Client_reply { client; reply = Server.Rejected text }
+  | Service_metrics -> Service_error text
+
+(* An admission rejection of a state-changing message is journaled
+   (shed + literal reply, same seq) so recovery replays the full reply
+   stream — rejections included — byte-for-byte.  Runs only from the
+   submitting domain, before the batch dispatches, so it never races
+   the shard tasks' own appends. *)
+let journal_shed_in_shard shard message reply_text =
+  match shard.persist with
+  | Some p when journaled message ->
+      p.seq <- p.seq + 1;
+      journal_append shard.tel p.journal
+        (Event.encode ~seq:p.seq (Shed message));
+      journal_append shard.tel p.journal
+        (Event.encode ~seq:p.seq (Reply reply_text));
+      let client = log_client message in
+      p.session_log <-
+        (p.seq, client, Reply reply_text)
+        :: (p.seq, client, Shed message)
+        :: p.session_log;
+      if Journal.records p.journal > p.compact_every then begin
+        Telemetry.incr shard.tel "service.journal.compactions";
+        compact p
+      end
+  | Some _ | None -> ()
+
+(* Cancellation sheds work that was already admitted but not yet run.
+   It is never journaled (the message was never acknowledged, so a
+   recovering client re-sends it) and counted directly on the shard
+   handle — [Telemetry] has its own lock, so this is safe from inside
+   a pool task, unlike the single-owner admission state. *)
+let cancelled_text =
+  Admission.reject_text ~reason:Admission.Cancelled ~retry_after:0
+    ~degraded:false
+
+let cancelled_reply shard message =
+  Telemetry.incr shard.tel Admission.c_rejected;
+  Telemetry.incr shard.tel Admission.c_cancelled;
+  shed_reply message cancelled_text
+
+let admission_check t ~shard env =
+  match t.admission with
+  | None -> Admission.Admit
+  | Some a -> (
+      match env.message with
+      | Service_metrics -> Admission.check_service a
+      | Client { client; _ } | Deregister { client } ->
+          Admission.check a ~shard ~client
+            ~priority:(priority_of_message env.message)
+            ?enqueued_at:env.enqueued_at ?deadline:env.deadline ())
+
+let handle_env t env =
+  (match t.admission with Some a -> Admission.tick a | None -> ());
+  match env.message with
+  | Service_metrics -> (
+      match Admission.verdict_text (admission_check t ~shard:0 env) with
+      | None -> Service_stats (metrics t)
+      | Some text -> Service_error text)
+  | Client { client; _ } | Deregister { client } -> (
+      let s = shard_of_client t client in
+      match Admission.verdict_text (admission_check t ~shard:s env) with
+      | None ->
+          let reply = handle_in_shard t t.shards_.(s) env.message in
+          (match t.admission with
+          | Some a -> Admission.complete a ~shard:s
+          | None -> ());
+          reply
+      | Some text ->
+          let reply = shed_reply env.message text in
+          journal_shed_in_shard t.shards_.(s) env.message
+            (reply_to_string reply);
+          reply)
+
+let handle t message = handle_env t (envelope message)
+
+let handle_batch_env ?pool ?(cancel = Pool.Cancel.none) t envelopes =
+  let msgs = Array.of_list envelopes in
   let n = Array.length msgs in
   let replies = Array.make n None in
   let nshards = shards t in
-  (* Partition per shard, newest-first here, reversed to arrival order
-     below.  [Service_metrics] probes are answered after the batch
-     drains (their reply covers the whole batch). *)
+  (match t.admission with Some a -> Admission.tick a | None -> ());
+  (* [Service_metrics] probes are answered at their arrival index
+     against the pre-batch snapshot: computed once before any of this
+     batch's decisions or messages can touch the registry, so the
+     probe's position inside the batch does not change its reply. *)
+  let has_probe =
+    Array.exists
+      (fun e ->
+        match e.message with
+        | Service_metrics -> true
+        | Client _ | Deregister _ -> false)
+      msgs
+  in
+  let pre_metrics = if has_probe then metrics t else "" in
+  (* Admission runs sequentially, in arrival order, before anything is
+     dispatched: decisions (and their journaled sheds) are a
+     deterministic function of the batch alone.  [admitted] counts
+     per-shard slots to release once the round joins. *)
   let per_shard = Array.make nshards [] in
-  let metrics_slots = ref [] in
+  let admitted = Array.make nshards 0 in
   Array.iteri
-    (fun i m ->
-      match m with
-      | Service_metrics -> metrics_slots := i :: !metrics_slots
-      | Client { client; _ } | Deregister { client } ->
+    (fun i env ->
+      match env.message with
+      | Service_metrics -> (
+          match Admission.verdict_text (admission_check t ~shard:0 env) with
+          | None -> replies.(i) <- Some (Service_stats pre_metrics)
+          | Some text -> replies.(i) <- Some (Service_error text))
+      | Client { client; _ } | Deregister { client } -> (
           let s = shard_of_client t client in
-          per_shard.(s) <- i :: per_shard.(s))
+          match Admission.verdict_text (admission_check t ~shard:s env) with
+          | None ->
+              admitted.(s) <- admitted.(s) + 1;
+              per_shard.(s) <- i :: per_shard.(s)
+          | Some text ->
+              let reply = shed_reply env.message text in
+              journal_shed_in_shard t.shards_.(s) env.message
+                (reply_to_string reply);
+              replies.(i) <- Some reply))
     msgs;
   let run (shard_ix, ixs) =
     let shard = t.shards_.(shard_ix) in
-    List.map (fun i -> (i, handle_in_shard t shard msgs.(i))) ixs
+    List.map
+      (fun i ->
+        (* Task-boundary cancellation check: a cancelled round sheds
+           the not-yet-run suffix of each shard batch with total,
+           retryable replies instead of occupying the domain. *)
+        if Pool.Cancel.cancelled cancel then
+          (i, cancelled_reply shard msgs.(i).message)
+        else (i, handle_in_shard t shard msgs.(i).message))
+      ixs
   in
   let inputs = Array.init nshards (fun s -> (s, List.rev per_shard.(s))) in
   let outputs =
     match pool with
-    | Some pool -> Pool.map_array pool run inputs
-    | None -> Array.map run inputs
+    | Some pool -> Pool.try_map_array ~cancel pool run inputs
+    | None ->
+        (* Sequential path: [run] itself honors the token per message,
+           so only real exceptions land in [Error]. *)
+        Array.map
+          (fun input -> try Ok (run input) with e -> Error e)
+          inputs
   in
-  Array.iter (List.iter (fun (i, r) -> replies.(i) <- Some r)) outputs;
-  List.iter
-    (fun i -> replies.(i) <- Some (Service_stats (metrics t)))
-    !metrics_slots;
+  (* Release the round's inflight slots before any re-raise, so a
+     crashed round cannot leak budget. *)
+  (match t.admission with
+  | Some a ->
+      Array.iteri
+        (fun s k ->
+          for _ = 1 to k do
+            Admission.complete a ~shard:s
+          done)
+        admitted
+  | None -> ());
+  (* Non-cancellation task failures (journal sink I/O, chaos faults)
+     re-raise exactly as [Pool.map_array] would: first by shard
+     index, after every task has finished. *)
+  Array.iter
+    (function
+      | Error Pool.Cancelled | Ok _ -> ()
+      | Error e -> raise e)
+    outputs;
+  Array.iteri
+    (fun shard_ix result ->
+      match result with
+      | Ok pairs -> List.iter (fun (i, r) -> replies.(i) <- Some r) pairs
+      | Error _ ->
+          (* The whole shard task was shed before it started. *)
+          let shard = t.shards_.(shard_ix) in
+          List.iter
+            (fun i -> replies.(i) <- Some (cancelled_reply shard msgs.(i).message))
+            (snd inputs.(shard_ix)))
+    outputs;
   Array.to_list
     (Array.map
        (function
          | Some r -> r
-         (* Unreachable: every index was routed to a shard or a metrics
-            slot; kept total for the T2 no-abort contract. *)
+         (* Unreachable: every index was routed to a shard, rejected,
+            or answered as a metrics slot; kept total for the T2
+            no-abort contract. *)
          | None -> Service_error "internal: unanswered slot")
        replies)
+
+let handle_batch ?pool ?cancel t messages =
+  handle_batch_env ?pool ?cancel t (List.map (fun m -> envelope m) messages)
 
 (* ------------------------------------------------------------------ *)
 (* Attach / detach                                                     *)
@@ -476,9 +665,14 @@ let load_events path =
 (* Re-apply one shard's recorded messages to its fresh sessions.  The
    recorded replies are cross-checks deterministic replay must
    regenerate byte-for-byte; the first divergence (or a non-monotone
-   seq) drops everything after it. *)
+   seq) drops everything after it.  A [Shed] record is not re-applied
+   (the message never touched state — the admission layer rejected it)
+   and its paired reply is kept literally: that is what makes
+   journaled rejections replay byte-for-byte without the admission
+   state being replayable.  [literal] holds the pending shed's
+   (seq, client). *)
 let replay_shard t shard events =
-  let rec go events last_reply applied dropped log seq =
+  let rec go events last_reply literal applied dropped log seq =
     match events with
     | [] -> (applied, dropped, log, seq)
     | (s, Recv m) :: rest ->
@@ -487,19 +681,37 @@ let replay_shard t shard events =
         else
           let reply = apply t shard m in
           let log = extend_log log ~seq:s m reply in
-          go rest (Some reply) (applied + 1) dropped log s
-    | (s, Reply text) :: rest ->
-        let consistent =
-          s = seq
-          &&
-          match last_reply with
-          | Some r -> String.equal (reply_to_string r) text
-          | None -> false
-        in
-        if consistent then go rest last_reply applied dropped log seq
-        else (applied, dropped + 1 + List.length rest, log, seq)
+          go rest (Some reply) None (applied + 1) dropped log s
+    | (s, Shed m) :: rest ->
+        if s <= seq then
+          (applied, dropped + 1 + List.length rest, log, seq)
+        else
+          let client = log_client m in
+          go rest last_reply
+            (Some (s, client))
+            (applied + 1) dropped
+            ((s, client, Shed m) :: log)
+            s
+    | (s, Reply text) :: rest -> (
+        match literal with
+        | Some (ls, client) ->
+            if s = ls then
+              go rest last_reply None applied dropped
+                ((s, client, Reply text) :: log)
+                seq
+            else (applied, dropped + 1 + List.length rest, log, seq)
+        | None ->
+            let consistent =
+              s = seq
+              &&
+              match last_reply with
+              | Some r -> String.equal (reply_to_string r) text
+              | None -> false
+            in
+            if consistent then go rest last_reply None applied dropped log seq
+            else (applied, dropped + 1 + List.length rest, log, seq))
   in
-  go events None 0 0 [] 0
+  go events None None 0 0 [] 0
 
 type shard_recovery = { shard : int; replayed : int; dropped : int }
 
@@ -510,11 +722,13 @@ type recovery = {
   per_shard : shard_recovery list;
 }
 
-let recover ?options ?max_report_failures ?telemetry
+let recover ?options ?max_report_failures ?telemetry ?admission ?wrap
     ?(compact_every = default_compact_every) ~shards ~journal () =
   if compact_every < 1 then
     invalid_arg "Service.recover: compact_every < 1";
-  let t = create ?options ?max_report_failures ?telemetry ~shards () in
+  let t =
+    create ?options ?max_report_failures ?telemetry ?admission ~shards ()
+  in
   let per_shard =
     List.init shards (fun i ->
         let shard = t.shards_.(i) in
@@ -523,7 +737,8 @@ let recover ?options ?max_report_failures ?telemetry
         let applied, dropped_replay, session_log, seq =
           replay_shard t shard events
         in
-        let _scan, j = Journal.open_file path in
+        let wrap = Option.map (fun w -> w ~shard:i) wrap in
+        let _scan, j = Journal.open_file ?wrap path in
         let p =
           { journal = j; snapshot = snapshot_path path; compact_every; seq;
             session_log }

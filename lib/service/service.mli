@@ -44,7 +44,17 @@
     re-opens all of them, replays each shard's messages through the
     deterministic stack with byte-for-byte reply cross-checks, and
     degrades shard-by-shard: one corrupt shard costs that shard's
-    tail, never the other shards' sessions. *)
+    tail, never the other shards' sessions.
+
+    {b Overload.}  With an {!Admission} config the service polices its
+    edge: per-shard inflight budgets, per-client token buckets,
+    logical deadlines, and hysteretic degraded-mode shedding by
+    priority class.  Rejections are total [Rejected] replies carrying
+    a [retry-after=N] hint (see {!Admission.reject_text}); they are
+    journaled as [shed] records so recovery replays them byte-for-byte
+    — and because a rejected message never touches its session, the
+    accepted-reply subsequence stays byte-identical to a dedicated
+    single-session server.  DESIGN.md §15 has the full argument. *)
 
 open Harmony
 
@@ -68,12 +78,25 @@ type reply =
 
 type t
 
+(** An envelope carries one batch entry's admission metadata, both on
+    the admission logical clock ({!admission_now}): when the work was
+    enqueued (queue-delay histogram) and the last tick at which it is
+    still worth doing. *)
+type envelope = {
+  message : message;
+  enqueued_at : int option;
+  deadline : int option;
+}
+
+val envelope : ?enqueued_at:int -> ?deadline:int -> message -> envelope
+
 (** {1 Construction and routing} *)
 
 val create :
   ?options:Simplex.options ->
   ?max_report_failures:int ->
   ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
+  ?admission:Admission.config ->
   shards:int ->
   unit ->
   t
@@ -84,8 +107,22 @@ val create :
     must be distinct per shard or parallel batches would contend and
     interleave nondeterministically.  Each shard declares a
     fine-grained [server.handle_ms] histogram on its handle so the
-    p99 handle-latency SLO has sub-decade resolution.
-    @raise Invalid_argument when [shards < 1]. *)
+    p99 handle-latency SLO has sub-decade resolution.  [admission]
+    turns on edge policing (see {!Admission}); its state shares the
+    shard telemetry handles, so decision counters and the queue-delay
+    histogram appear in the merged registry.
+    @raise Invalid_argument when [shards < 1] (or the config is
+    invalid, as in {!Admission.create}). *)
+
+val admission : t -> Admission.t option
+(** The live admission state, when the service was created with one
+    (tests inspect degraded flags and the logical clock through
+    this). *)
+
+val admission_now : t -> int
+(** The admission logical clock: ticks once per {!handle} /
+    {!handle_batch} call.  [0] when admission is off — with no
+    admission state there are no deadlines to compare against. *)
 
 val shards : t -> int
 
@@ -106,20 +143,51 @@ val handle : t -> message -> reply
     error (unknown client, duplicate register, bad spec) is an error
     reply, never an exception.  While a journal is attached, the
     sink's I/O exceptions propagate exactly as in {!Server.handle} —
-    a service that cannot persist a message must not acknowledge it. *)
+    a service that cannot persist a message must not acknowledge it.
+    Equivalent to {!handle_env} on a bare envelope. *)
+
+val handle_env : t -> envelope -> reply
+(** {!handle} with admission metadata: the admission layer (when
+    configured) decides before the shard sees the message; a rejection
+    is a total [Rejected] reply with a [retry-after=N] hint, journaled
+    as a [shed] record when the message class is journaled. *)
 
 val handle_batch :
-  ?pool:Harmony_parallel.Pool.t -> t -> message list -> reply list
+  ?pool:Harmony_parallel.Pool.t ->
+  ?cancel:Harmony_parallel.Pool.Cancel.t ->
+  t ->
+  message list ->
+  reply list
 (** Handle a batch: messages are partitioned per shard {e preserving
     arrival order within each shard}, the shard batches are drained
-    via [Pool.map_array] (or sequentially without a [pool]), and the
-    replies are reassembled in input order.  For client-addressed
-    messages the result is byte-identical to calling {!handle} on
-    each message in order, at any domain count.  A [Service_metrics]
-    inside a batch is answered {e after} the batch drains (its reply
-    reflects the whole batch — the one deliberate divergence from the
-    sequential reference, documented rather than paid for with a
-    barrier per metrics probe). *)
+    via the pool (or sequentially without a [pool]), and the replies
+    are reassembled in input order.  For client-addressed messages the
+    result is byte-identical to calling {!handle} on each message in
+    order, at any domain count.  A [Service_metrics] inside a batch is
+    answered {e at its arrival index against the pre-batch snapshot}:
+    the registry as of batch start, computed before any of the batch's
+    messages apply, so the probe's position within the batch cannot
+    change its reply and the batched stream matches a sequential run
+    that answers each probe before its round.  [cancel] is checked at
+    task boundaries: once fired, not-yet-run messages answer with
+    total, retryable [cancelled: retry-after=0] rejections (never
+    journaled — an unacknowledged message is a lost message, which the
+    WAL contract already covers). *)
+
+val handle_batch_env :
+  ?pool:Harmony_parallel.Pool.t ->
+  ?cancel:Harmony_parallel.Pool.Cancel.t ->
+  t ->
+  envelope list ->
+  reply list
+(** {!handle_batch} with per-entry admission metadata.  Admission runs
+    sequentially in arrival order {e before} anything dispatches, so
+    decisions (and journaled sheds) are a deterministic function of
+    the batch alone: expired deadlines are shed first, then degraded
+    shards shed [Low]-priority work, then per-client token buckets and
+    the per-shard inflight budget apply (Critical lifecycle messages
+    are exempt from budget and degraded shedding — a finished run must
+    always be able to deregister).  One clock tick per call. *)
 
 (** {1 Telemetry} *)
 
@@ -151,11 +219,14 @@ val reply_to_string : reply -> string
 
 (** {1 Durability & whole-service recovery} *)
 
-(** One shard-journal record: a message as received or the reply the
-    shard produced, both carrying the shard's sequence number (the
-    same WAL discipline as {!Server.Event}). *)
+(** One shard-journal record: a message as received, the reply the
+    shard produced, or a message the admission layer shed — all
+    carrying the shard's sequence number (the same WAL discipline as
+    {!Server.Event}).  A [Shed] message was never applied; on replay
+    its paired reply is taken literally instead of regenerated, which
+    is what makes journaled rejections replay byte-for-byte. *)
 module Event : sig
-  type t = Recv of message | Reply of string
+  type t = Recv of message | Reply of string | Shed of message
 
   val encode : seq:int -> t -> string
   val decode : string -> (int * t) option
@@ -198,6 +269,8 @@ val recover :
   ?options:Simplex.options ->
   ?max_report_failures:int ->
   ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
+  ?admission:Admission.config ->
+  ?wrap:(shard:int -> Harmony_persist.Persist.sink -> Harmony_persist.Persist.sink) ->
   ?compact_every:int ->
   shards:int ->
   journal:string ->
@@ -214,7 +287,12 @@ val recover :
     the crashed service's for replay to be faithful.  Per-shard
     totals surface on each shard's telemetry as
     [service.recovery.replayed] / [service.recovery.dropped] counters
-    (so the merged registry sums them).
+    (so the merged registry sums them).  [shed] records replay
+    literally (see {!Event}); [admission] recreates edge policing on
+    the recovered service with fresh state — admission decisions are
+    recorded, not replayed, so the clock restarting at 0 cannot
+    diverge the replay.  [wrap] interposes per shard on the re-opened
+    journal sinks (the chaos harness arms the next fault here).
     @raise Invalid_argument when [shards < 1] or [compact_every < 1]
     (and [Sys_error] / [Unix.Unix_error] if the journal files cannot
     be re-opened for writing). *)

@@ -1,32 +1,56 @@
-(* Seeded, wall-clock-free load generator for the sharded service.
+(* Seeded, wall-clock-free load and chaos generator for the sharded
+   service.
 
-   Drives N simulated clients (default 10,000) through their whole
-   lifecycle — register -> assign/report (with occasional idempotent
-   queries and transient report-failures) -> done -> deregister — over
-   interleaved schedules: every round each still-active client
-   contributes its next message in a seeded-shuffled order and the
-   whole round goes through [Service.handle_batch] on a domain pool.
+   Closed-loop mode (default) drives N simulated clients (10,000 by
+   default) through their whole lifecycle — register -> assign/report
+   (with occasional idempotent queries and transient report-failures)
+   -> done -> deregister — every still-active client contributing its
+   next message each round through [Service.handle_batch_env] on a
+   domain pool.
 
-   Two assertions close the loop:
+   Open-loop mode (--open-loop L) instead offers a sustained L x the
+   service's admission capacity (shards x --max-inflight): a seeded
+   arrival process keeps ~L x capacity conversations live regardless
+   of how fast the service drains them, with seeded bursts, slow-client
+   stalls, and a fraction of poisoned evaluations carrying deadlines
+   tight enough to expire once the edge starts pushing back.  Rejected
+   clients honor the [retry-after=N] hint and re-offer the same
+   message; every client must still converge.
 
-   - Convergence/serializability: after the run, every client's
-     recorded message sequence is replayed against a dedicated
-     single-session [Server] and each reply must match the service's
-     byte-for-byte (so 10k interleaved conversations were exactly N
-     independent ones).
+   Chaos mode (--chaos, open-loop only) additionally journals every
+   shard and arms a fault-injecting sink on a seeded victim shard, so
+   the journal crashes mid-burst; the driver recovers with
+   [Service.recover], re-arms the next fault, resynchronizes every
+   client whose message was in flight (an idempotent query against the
+   per-client reference decides whether the lost message was applied),
+   and keeps driving.
 
-   - SLO: the p99 of the merged [server.handle_ms] histogram — logical
-     ticks of search work per message, measured on the shards' logical
-     clocks, so the number is deterministic — must stay within the
-     budget checked into bench/service_slo.json.
+   Three assertions close the loop:
+
+   - Totality: the service never raises (in chaos mode, the armed
+     [Persist.Crashed] is the one expected exception, and only while a
+     fault is armed).
+
+   - Convergence/serializability: every accepted reply must match, byte
+     for byte, what a dedicated single-session [Server] says to the
+     same conversation — admission rejections leave no trace on it.
+     The reference is maintained incrementally per client, which is
+     what lets a crashed round be disambiguated after recovery.
+
+   - SLO: the p99 of the merged [server.handle_ms] histogram, the p99
+     admission queue delay, and the rejection rate (relative to the
+     floor the offered overload forces) must stay within the budgets
+     checked into bench/service_slo.json.
 
    Everything is seeded; there is no wall clock anywhere in the run
    (wall time appears only in the human-readable summary). *)
 
 open Harmony
 module Service = Harmony_service.Service
+module Admission = Harmony_service.Admission
 module Pool = Harmony_parallel.Pool
 module Rng = Harmony_numerics.Rng
+module Persist = Harmony_persist.Persist
 module Telemetry = Harmony_telemetry.Telemetry
 module Tjson = Harmony_telemetry.Tjson
 
@@ -35,7 +59,18 @@ let paper_spec =
 
 let options = { Simplex.default_options with Simplex.max_evaluations = 12 }
 
-type phase = Start | Tuning | Finishing | Finished
+type phase = Idle | Start | Tuning | Finishing | Finished
+
+(* One message offered to the service, with its admission metadata.
+   [enqueued_at] survives retries, so the queue-delay histogram
+   measures time-to-acceptance end to end; a poisoned message's
+   [deadline] does too, which is how poison expires under load. *)
+type pending = {
+  msg : Service.message;
+  payload : Server.message option;  (* None for the service-level deregister *)
+  mutable enqueued_at : int;
+  mutable deadline : int option;
+}
 
 type client = {
   id : string;
@@ -44,10 +79,15 @@ type client = {
   peak_b : float;
   peak_c : float;
   mutable phase : phase;
+  mutable reference : Server.t option;  (* created at the first applied register *)
   mutable last_assign : (string * int) list option;
   mutable fail_budget : int;
-  mutable sent : Server.message list;  (* newest first *)
-  mutable service_replies : string list;  (* newest first *)
+  mutable pending : pending option;
+  mutable inflight : bool;  (* pending was offered in the current batch *)
+  mutable backoff : int;  (* rounds left to honor a retry-after hint *)
+  mutable stall : int;  (* rounds left of a seeded slow-client stall *)
+  mutable rejections : int;
+  mutable acked_muts : int;  (* acknowledged mutating messages, = journal Recvs *)
   mutable done_text : string option;
 }
 
@@ -70,38 +110,18 @@ let make_client master i =
     peak_b = float_of_int (Rng.int_in rng 1 8);
     peak_c = float_of_int (Rng.int_in rng 1 4);
     rng;
-    phase = Start;
+    phase = Idle;
+    reference = None;
     last_assign = None;
     fail_budget = 1;
-    sent = [];
-    service_replies = [];
+    pending = None;
+    inflight = false;
+    backoff = 0;
+    stall = 0;
+    rejections = 0;
+    acked_muts = 0;
     done_text = None;
   }
-
-(* The client's next message given where its conversation stands.
-   Server-protocol payloads are recorded for the reference replay;
-   the final deregister is service-level and is not. *)
-let next_message c =
-  let payload p =
-    c.sent <- p :: c.sent;
-    Service.Client { client = c.id; payload = p }
-  in
-  match c.phase with
-  | Start ->
-      c.phase <- Tuning;
-      payload (Server.Register { spec = paper_spec; direction = c.direction })
-  | Tuning -> (
-      match c.last_assign with
-      | None -> payload Server.Query
-      | Some a ->
-          let roll = Rng.int c.rng 20 in
-          if roll = 0 then payload Server.Query
-          else if roll = 1 && c.fail_budget > 0 then begin
-            c.fail_budget <- c.fail_budget - 1;
-            payload Server.Report_failed
-          end
-          else payload (Server.Report (respond c a)))
-  | Finishing | Finished -> Service.Deregister { client = c.id }
 
 let protocol_failure = ref None
 
@@ -110,59 +130,263 @@ let fail_once fmt =
     (fun msg -> if Option.is_none !protocol_failure then protocol_failure := Some msg)
     fmt
 
-let on_reply c reply =
-  match (c.phase, reply) with
-  | (Start | Tuning), Service.Client_reply { client; reply } ->
+let mismatches = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* The incremental reference: one dedicated single-session server per
+   client, fed exactly the messages the service acknowledged.          *)
+
+let reference_of c =
+  match c.reference with
+  | Some r -> r
+  | None ->
+      let r = Server.create ~options ~reject_reregister:true () in
+      c.reference <- Some r;
+      r
+
+let cross_check c ~actual p =
+  let expect = Server.reply_to_string (Server.handle (reference_of c) p) in
+  if not (String.equal expect actual) then begin
+    incr mismatches;
+    fail_once "%s: service said %S, reference says %S" c.id actual expect
+  end
+
+(* Advance the conversation from an accepted reply. *)
+let advance c (sr : Server.reply) =
+  match sr with
+  | Server.Assign a -> c.last_assign <- Some a
+  | Server.Done _ ->
+      c.phase <- Finishing;
+      c.done_text <- Some (Server.reply_to_string sr)
+  | Server.Rejected _ ->
+      (* A protocol-level rejection the reference agreed with would be
+         a driver bug — the schedule never sends an invalid message. *)
+      fail_once "%s: unexpected protocol rejection" c.id
+  | Server.Stats _ -> fail_once "%s: unexpected stats reply" c.id
+
+(* The client's next message given where its conversation stands. *)
+let fresh_pending ~now ~poison c =
+  match c.phase with
+  | Idle | Finished -> None
+  | Finishing ->
+      Some
+        {
+          msg = Service.Deregister { client = c.id };
+          payload = None;
+          enqueued_at = now;
+          deadline = None;
+        }
+  | Start ->
+      c.phase <- Tuning;
+      let p = Server.Register { spec = paper_spec; direction = c.direction } in
+      Some
+        {
+          msg = Service.Client { client = c.id; payload = p };
+          payload = Some p;
+          enqueued_at = now;
+          deadline = None;
+        }
+  | Tuning ->
+      let p =
+        match c.last_assign with
+        | None -> Server.Query
+        | Some a ->
+            let roll = Rng.int c.rng 20 in
+            if roll = 0 then Server.Query
+            else if roll = 1 && c.fail_budget > 0 then begin
+              c.fail_budget <- c.fail_budget - 1;
+              Server.Report_failed
+            end
+            else Server.Report (respond c a)
+      in
+      (* Poison: a deadline met only when the work is handled promptly
+         — one retry-after round is enough to expire it. *)
+      let deadline =
+        match p with
+        | Server.Report _ when poison > 0. && Rng.float c.rng 1.0 < poison ->
+            Some (now + 1)
+        | Server.Register _ | Server.Report _ | Server.Report_failed
+        | Server.Query | Server.Metrics ->
+            None
+      in
+      Some
+        {
+          msg = Service.Client { client = c.id; payload = p };
+          payload = Some p;
+          enqueued_at = now;
+          deadline;
+        }
+
+(* Seeded slow-client stalls: after an accepted reply a tuning client
+   occasionally goes quiet for a few rounds mid-conversation. *)
+let maybe_stall ~stalls c =
+  match c.phase with
+  | Tuning -> if stalls && Rng.int c.rng 40 = 0 then c.stall <- Rng.int_in c.rng 1 5
+  | Idle | Start | Finishing | Finished -> ()
+
+let on_reply ~now ~stalls c reply =
+  c.inflight <- false;
+  match (c.pending, reply) with
+  | ( None,
+      ( Service.Client_reply _ | Service.Deregistered _ | Service.Service_stats _
+      | Service.Service_error _ ) ) ->
+      fail_once "%s: reply with nothing pending" c.id
+  | Some pend, Service.Client_reply { client; reply = sr } -> (
       if not (String.equal client c.id) then
         fail_once "%s: reply routed to wrong client %s" c.id client;
-      c.service_replies <- Server.reply_to_string reply :: c.service_replies;
-      (match reply with
-      | Server.Assign a -> c.last_assign <- Some a
-      | Server.Done _ ->
-          c.phase <- Finishing;
-          c.done_text <- Some (Server.reply_to_string reply)
-      | Server.Rejected msg -> fail_once "%s: rejected: %s" c.id msg
-      | Server.Stats _ -> fail_once "%s: unexpected stats reply" c.id)
-  | Finishing, Service.Deregistered { client } ->
+      match sr with
+      | Server.Rejected m when Admission.is_rejection_text m ->
+          c.rejections <- c.rejections + 1;
+          if String.starts_with ~prefix:"deadline-expired" m then begin
+            (* The poisoned evaluation is dead; retry it clean. *)
+            pend.enqueued_at <- now;
+            pend.deadline <- None
+          end
+          else
+            c.backoff <-
+              (match Admission.retry_after_of_text m with
+              | Some n -> max 1 n
+              | None -> 1)
+      | Server.Assign _ | Server.Done _ | Server.Rejected _ | Server.Stats _
+        -> (
+          match pend.payload with
+          | Some p ->
+              cross_check c ~actual:(Server.reply_to_string sr) p;
+              (match p with
+              | Server.Register _ | Server.Report _ | Server.Report_failed ->
+                  c.acked_muts <- c.acked_muts + 1
+              | Server.Query | Server.Metrics -> ());
+              advance c sr;
+              c.pending <- None;
+              maybe_stall ~stalls c
+          | None -> fail_once "%s: client reply to a deregister" c.id))
+  | Some pend, Service.Deregistered { client } ->
       if not (String.equal client c.id) then
         fail_once "%s: bye routed to wrong client %s" c.id client;
-      c.phase <- Finished
-  | ( (Start | Tuning | Finishing | Finished),
-      ( Service.Client_reply _ | Service.Deregistered _
-      | Service.Service_stats _ | Service.Service_error _ ) ) as pr ->
-      let _, r = pr in
-      fail_once "%s: unexpected reply %s" c.id
-        (String.concat " | "
-           (String.split_on_char '\n' (Service.reply_to_string r)))
+      if Option.is_some pend.payload then
+        fail_once "%s: bye while a client message was pending" c.id;
+      c.phase <- Finished;
+      c.pending <- None
+  | Some _, (Service.Service_stats _ | Service.Service_error _) ->
+      fail_once "%s: service-level reply to a client message" c.id
 
-(* Replay the client's recorded conversation against a dedicated
-   single-session server; every reply must match what the service
-   said, byte for byte. *)
-let reference_mismatches c =
-  let server = Server.create ~options ~reject_reregister:true () in
-  let sent = List.rev c.sent and got = List.rev c.service_replies in
-  if List.length sent <> List.length got then 1
-  else
-    List.fold_left2
-      (fun bad m expected ->
-        let actual = Server.reply_to_string (Server.handle server m) in
-        if String.equal actual expected then bad else bad + 1)
-      0 sent got
+(* ------------------------------------------------------------------ *)
+(* Post-crash resynchronization.
+
+   The journal is the exact record of what applied: recovery compacts
+   every shard on its way out, so afterwards the snapshot (plus any
+   journal tail) holds one [Recv] record per applied mutating message
+   of every live session, and a deregistered client's history is
+   dropped whole.  Comparing that per-client count with the driver's
+   own count of acknowledged mutations decides an in-flight message's
+   fate with no heuristics; and because replies are a deterministic
+   function of the applied prefix, re-running an applied message on
+   the client's reference regenerates, byte for byte, the reply the
+   crash swallowed. *)
+
+let applied_counts ~journal ~shards =
+  let counts = Hashtbl.create 1024 in
+  for s = 0 to shards - 1 do
+    let shard_path = Service.shard_journal ~journal ~shard:s in
+    List.iter
+      (fun source ->
+        List.iter
+          (fun record ->
+            match Service.Event.decode record with
+            | Some (_seq, Service.Event.Recv m) -> (
+                match m with
+                | Service.Client { client; _ } | Service.Deregister { client }
+                  ->
+                    Hashtbl.replace counts client
+                      (1
+                      + Option.value ~default:0 (Hashtbl.find_opt counts client))
+                | Service.Service_metrics -> ())
+            | Some (_, (Service.Event.Reply _ | Service.Event.Shed _)) | None
+              ->
+                ())
+          (Harmony_persist.Journal.read source).Harmony_persist.Frame.records)
+      [ shard_path ^ ".snapshot"; shard_path ]
+  done;
+  counts
+
+let resync_client counts c =
+  if c.inflight then begin
+    c.inflight <- false;
+    match c.pending with
+    | None -> ()
+    | Some pend -> (
+        let on_disk =
+          Option.value ~default:0 (Hashtbl.find_opt counts c.id)
+        in
+        match pend.payload with
+        | None ->
+            (* In-flight deregister: applying it dropped the client's
+               whole history, so any surviving record means it did not
+               apply and the deregister is re-offered. *)
+            if on_disk = 0 then begin
+              c.phase <- Finished;
+              c.pending <- None
+            end
+        | Some (Server.Query | Server.Metrics) ->
+            (* Read-only and never journaled: re-offering is free. *)
+            ()
+        | Some ((Server.Register _ | Server.Report _ | Server.Report_failed)
+                as p) ->
+            if on_disk = c.acked_muts then ()  (* lost before apply *)
+            else if on_disk = c.acked_muts + 1 then begin
+              (* Applied; the reference regenerates the lost reply. *)
+              c.acked_muts <- c.acked_muts + 1;
+              advance c (Server.handle (reference_of c) p);
+              c.pending <- None
+            end
+            else
+              fail_once "%s: journal shows %d applied mutations, driver %d"
+                c.id on_disk c.acked_muts)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* SLO budget                                                          *)
+
+type slo = {
+  handle_hist : string;
+  handle_q : float;
+  handle_max : float;
+  delay_hist : string;
+  delay_max : float;
+  excess_rejection_max : float;
+}
 
 let load_slo path =
   match Tjson.parse (In_channel.with_open_bin path In_channel.input_all) with
   | Error e -> Error (path ^ ": " ^ e)
   | Ok json -> (
-      let field name conv =
-        Option.bind (Tjson.member name json) conv
-      in
+      let field name conv = Option.bind (Tjson.member name json) conv in
       match
         ( field "histogram" Tjson.to_str,
           field "quantile" Tjson.to_float,
-          field "max_ticks" Tjson.to_float )
+          field "max_ticks" Tjson.to_float,
+          field "queue_delay_histogram" Tjson.to_str,
+          field "max_p99_queue_delay_ticks" Tjson.to_float,
+          field "max_excess_rejection_rate" Tjson.to_float )
       with
-      | Some h, Some q, Some m -> Ok (h, q, m)
-      | _ -> Error (path ^ ": missing histogram/quantile/max_ticks"))
+      | Some h, Some q, Some m, Some dh, Some dm, Some rm ->
+          Ok
+            {
+              handle_hist = h;
+              handle_q = q;
+              handle_max = m;
+              delay_hist = dh;
+              delay_max = dm;
+              excess_rejection_max = rm;
+            }
+      | _ ->
+          Error
+            (path
+           ^ ": missing histogram/quantile/max_ticks/queue_delay_histogram/\
+              max_p99_queue_delay_ticks/max_excess_rejection_rate"))
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
 
 let () =
   let clients = ref 10_000 in
@@ -170,7 +394,13 @@ let () =
   let domains = ref 4 in
   let seed = ref 2004 in
   let slo_path = ref "bench/service_slo.json" in
-  let max_rounds = ref 400 in
+  let max_rounds = ref (-1) in
+  let open_loop = ref 0.0 in
+  let max_inflight = ref (-1) in
+  let rate = ref 0 in
+  let poison = ref (-1.0) in
+  let chaos = ref false in
+  let crashes_wanted = ref 3 in
   Arg.parse
     [
       ("--clients", Arg.Set_int clients, "N  simulated clients (default 10000)");
@@ -180,106 +410,388 @@ let () =
       ("--slo", Arg.Set_string slo_path,
        "PATH  SLO budget (default bench/service_slo.json)");
       ("--max-rounds", Arg.Set_int max_rounds,
-       "N  abort if the run does not drain (default 400)");
+       "N  abort if the run does not drain (default: 400 closed-loop, \
+        scaled to clients/capacity open-loop)");
+      ("--open-loop", Arg.Set_float open_loop,
+       "L  offer L x admission capacity regardless of completions \
+        (0 = closed loop, the default)");
+      ("--max-inflight", Arg.Set_int max_inflight,
+       "N  per-shard admission budget (default: unlimited closed-loop, \
+        16 open-loop)");
+      ("--rate", Arg.Set_int rate,
+       "R  per-client token bucket, R tokens per round (default 0 = off)");
+      ("--poison", Arg.Set_float poison,
+       "P  fraction of evaluations carrying a too-tight deadline \
+        (default: 0 closed-loop, 0.05 open-loop)");
+      ("--chaos", Arg.Set chaos,
+       "  journal every shard and crash it mid-burst on a seeded schedule \
+        (open-loop only)");
+      ("--crashes", Arg.Set_int crashes_wanted,
+       "N  chaos faults to arm (default 3)");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "loadgen [options]: drive the sharded service and check the SLO";
+    "loadgen [options]: drive the sharded service and check the SLOs";
+  let open_loop_on = !open_loop > 0.0 in
+  if !chaos && not open_loop_on then begin
+    Printf.eprintf "loadgen: --chaos requires --open-loop\n";
+    exit 1
+  end;
+  let max_inflight =
+    match !max_inflight with
+    | -1 -> if open_loop_on then 16 else 0
+    | n when n >= 0 -> n
+    | _ ->
+        Printf.eprintf "loadgen: --max-inflight must be >= 0\n";
+        exit 1
+  in
+  if open_loop_on && max_inflight = 0 then begin
+    Printf.eprintf "loadgen: --open-loop needs a finite --max-inflight\n";
+    exit 1
+  end;
+  let poison =
+    match !poison with
+    | p when p >= 0.0 -> p
+    | _ -> if open_loop_on then 0.05 else 0.0
+  in
+  let slo =
+    match load_slo !slo_path with
+    | Ok slo -> slo
+    | Error msg ->
+        Printf.eprintf "loadgen: %s\n" msg;
+        exit 1
+  in
   let started = Unix.gettimeofday () in
   let master = Rng.create !seed in
   let fleet = Array.init !clients (make_client master) in
-  let service =
-    Service.create ~options
-      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
-      ~shards:!shards ()
+  let n = Array.length fleet in
+  let capacity = !shards * max_inflight in
+  let max_rounds =
+    match !max_rounds with
+    | -1 ->
+        if open_loop_on then
+          (* Total work scales with messages-per-conversation (~16) over
+             per-round admission capacity; 4x headroom absorbs rejection
+             backoff and seeded stalls. *)
+          max 400 (4 * n * 16 / max 1 capacity)
+        else 400
+    | m -> m
   in
+  let target_ready =
+    if open_loop_on then max 1 (int_of_float (!open_loop *. float_of_int capacity))
+    else n
+  in
+  (* The admission edge is always on so the decision counters and the
+     queue-delay histogram exist; closed-loop defaults police
+     nothing. *)
+  let admission =
+    {
+      Admission.default_config with
+      Admission.max_inflight;
+      rate = !rate;
+      burst = !rate;
+      refill_every = 1;
+    }
+  in
+  let fresh_telemetry _ = Telemetry.create ~record_events:false () in
+  let service =
+    ref
+      (Service.create ~options ~telemetry:fresh_telemetry ~admission
+         ~shards:!shards ())
+  in
+  let retired_telemetry = ref [] in
+  let shard_handles () = List.init !shards (Service.shard_telemetry !service) in
+  (* Chaos plumbing: every fault is a byte budget on one seeded victim
+     shard's re-opened sink, with enough margin above the journal's
+     current size to survive recovery's own compaction and land
+     mid-burst. *)
+  let chaos_rng = Rng.split master in
+  let faults_left = ref (if !chaos then !crashes_wanted else 0) in
+  let crashes = ref 0 in
+  let resyncs = ref 0 in
+  let journal =
+    if !chaos then begin
+      let path = Filename.temp_file "harmony_chaos" ".journal" in
+      Sys.remove path;
+      Some path
+    end
+    else None
+  in
+  let next_wrap () =
+    if !faults_left <= 0 then fun ~shard:_ sink -> sink
+    else begin
+      decr faults_left;
+      let victim = Rng.int chaos_rng !shards in
+      let current =
+        match journal with
+        | None -> 0
+        | Some path ->
+            String.length
+              (Option.value ~default:""
+                 (Persist.read_file
+                    (Service.shard_journal ~journal:path ~shard:victim)))
+      in
+      let limit = current + Rng.int_in chaos_rng 4_000 40_000 in
+      fun ~shard sink ->
+        if shard = victim then Persist.fault_sink ~limit_bytes:limit sink
+        else sink
+    end
+  in
+  (match journal with
+  | Some path ->
+      Service.attach_journals ~wrap:(next_wrap ()) !service ~journal:path ()
+  | None -> ());
+  let cleanup_journal () =
+    match journal with
+    | None -> ()
+    | Some path ->
+        for s = 0 to !shards - 1 do
+          let p = Service.shard_journal ~journal:path ~shard:s in
+          List.iter Persist.remove_if_exists
+            [ p; p ^ ".tmp"; p ^ ".snapshot"; p ^ ".snapshot.tmp" ]
+        done
+  in
+  let arrival_rng = Rng.split master in
   let schedule_rng = Rng.split master in
   let rounds = ref 0 in
-  let messages = ref 0 in
+  let offered = ref 0 in
+  let frontier = ref 0 in
   Pool.with_pool ~domains:!domains (fun pool ->
-      let remaining () =
-        let ixs = ref [] in
-        Array.iteri
-          (fun i c ->
+      let live () =
+        Array.exists
+          (fun c ->
             match c.phase with
-            | Finished -> ()
-            | Start | Tuning | Finishing -> ixs := i :: !ixs)
-          fleet;
-        Array.of_list !ixs
+            | Finished -> false
+            | Idle | Start | Tuning | Finishing -> true)
+          fleet
+        || !frontier < n
+      in
+      let active_count () =
+        Array.fold_left
+          (fun acc c ->
+            match c.phase with
+            | Idle | Finished -> acc
+            | Start | Tuning | Finishing -> acc + 1)
+          0 fleet
+      in
+      let activate () =
+        let deficit = target_ready - active_count () in
+        if deficit > 0 && !frontier < n then begin
+          (* Seeded bursts: some rounds overshoot the deficit, some
+             under-fill it, so arrivals clump the way open-loop traffic
+             does. *)
+          let want =
+            if not open_loop_on then deficit
+            else
+              match Rng.int arrival_rng 4 with
+              | 0 -> 2 * deficit
+              | 1 -> (deficit + 1) / 2
+              | _ -> deficit
+          in
+          let k = min want (n - !frontier) in
+          for _ = 1 to k do
+            fleet.(!frontier).phase <- Start;
+            incr frontier
+          done
+        end
       in
       let rec drive () =
-        let active = remaining () in
-        if Array.length active > 0 then begin
+        if live () then begin
           incr rounds;
-          if !rounds > !max_rounds then begin
-            Printf.eprintf "loadgen: %d clients still active after %d rounds\n"
-              (Array.length active) !max_rounds;
+          if !rounds > max_rounds then begin
+            Printf.eprintf "loadgen: run did not drain after %d rounds\n"
+              max_rounds;
+            cleanup_journal ();
             exit 1
           end;
-          Rng.shuffle schedule_rng active;
+          activate ();
+          (if Sys.getenv_opt "LOADGEN_DEBUG" <> None && !rounds mod 10 = 0 then
+             let count p = Array.fold_left (fun a c -> if c.phase = p then a + 1 else a) 0 fleet in
+             Printf.eprintf "round %d: idle=%d start=%d tuning=%d finishing=%d finished=%d inflight=%d backoff=%d stall=%d pending=%d\n%!"
+               !rounds (count Idle) (count Start) (count Tuning) (count Finishing) (count Finished)
+               (Array.fold_left (fun a c -> if c.inflight then a + 1 else a) 0 fleet)
+               (Array.fold_left (fun a c -> if c.backoff > 0 then a + 1 else a) 0 fleet)
+               (Array.fold_left (fun a c -> if c.stall > 0 then a + 1 else a) 0 fleet)
+               (Array.fold_left (fun a c -> if Option.is_some c.pending then a + 1 else a) 0 fleet);
+             let m = Telemetry.merged (shard_handles () @ !retired_telemetry) in
+             Printf.eprintf "  admitted=%d rejected=%d cap=%d rate=%d dead=%d shed=%d degr=%d\n%!"
+               (Telemetry.counter_value m Admission.c_admitted)
+               (Telemetry.counter_value m Admission.c_rejected)
+               (Telemetry.counter_value m Admission.c_over_capacity)
+               (Telemetry.counter_value m Admission.c_rate_limited)
+               (Telemetry.counter_value m Admission.c_deadline_expired)
+               (Telemetry.counter_value m Admission.c_shed)
+               (Telemetry.counter_value m Admission.c_degrade_transitions));
+          let now = Service.admission_now !service + 1 in
+          let senders = ref [] in
+          Array.iter
+            (fun c ->
+              if c.backoff > 0 then c.backoff <- c.backoff - 1
+              else if c.stall > 0 then c.stall <- c.stall - 1
+              else if not c.inflight then begin
+                (match c.pending with
+                | Some _ -> ()
+                | None -> c.pending <- fresh_pending ~now ~poison c);
+                match c.pending with
+                | Some _ -> senders := c :: !senders
+                | None -> ()
+              end)
+            fleet;
+          let senders = Array.of_list !senders in
+          Rng.shuffle schedule_rng senders;
           let with_stats = !rounds mod 16 = 1 in
-          let batch =
-            Array.to_list (Array.map (fun i -> next_message fleet.(i)) active)
+          let envelopes =
+            Array.to_list
+              (Array.map
+                 (fun c ->
+                   match c.pending with
+                   | Some pend ->
+                       c.inflight <- true;
+                       Service.envelope ~enqueued_at:pend.enqueued_at
+                         ?deadline:pend.deadline pend.msg
+                   | None -> Service.envelope Service.Service_metrics)
+                 senders)
           in
-          let batch = if with_stats then batch @ [ Service.Service_metrics ] else batch in
-          messages := !messages + List.length batch;
-          let replies = Service.handle_batch ~pool service batch in
-          List.iteri
-            (fun k reply ->
-              if k < Array.length active then
-                on_reply fleet.(active.(k)) reply
-              else
-                match reply with
-                | Service.Service_stats _ -> ()
-                | ( Service.Client_reply _ | Service.Deregistered _
-                  | Service.Service_error _ ) as r ->
-                    fail_once "service-metrics answered with %s"
-                      (Service.reply_to_string r))
-            replies;
+          let envelopes =
+            if with_stats then
+              envelopes @ [ Service.envelope Service.Service_metrics ]
+            else envelopes
+          in
+          offered := !offered + List.length envelopes;
+          (match Service.handle_batch_env ~pool !service envelopes with
+          | replies ->
+              List.iteri
+                (fun k reply ->
+                  if k < Array.length senders then
+                    on_reply ~now ~stalls:open_loop_on senders.(k) reply
+                  else
+                    match reply with
+                    | Service.Service_stats _ -> ()
+                    | Service.Service_error m
+                      when Admission.is_rejection_text m ->
+                        (* A degraded shard sheds the probe itself. *)
+                        ()
+                    | ( Service.Client_reply _ | Service.Deregistered _
+                      | Service.Service_error _ ) as r ->
+                        fail_once "service-metrics answered with %s"
+                          (Service.reply_to_string r))
+                replies
+          | exception Persist.Crashed when !chaos -> (
+              match journal with
+              | None -> fail_once "crash without a journal"
+              | Some path ->
+                  incr crashes;
+                  retired_telemetry := shard_handles () @ !retired_telemetry;
+                  let r =
+                    Service.recover ~options ~telemetry:fresh_telemetry
+                      ~admission ~wrap:(next_wrap ()) ~shards:!shards
+                      ~journal:path ()
+                  in
+                  service := r.Service.service;
+                  let counts = applied_counts ~journal:path ~shards:!shards in
+                  Array.iter
+                    (fun c ->
+                      if c.inflight then begin
+                        incr resyncs;
+                        resync_client counts c
+                      end)
+                    fleet)
+          | exception e ->
+              fail_once "the service raised %s" (Printexc.to_string e);
+              raise e);
           drive ()
         end
       in
-      drive ();
-      (* Every conversation must have fully drained through [done]. *)
-      if Service.sessions service <> 0 then
-        fail_once "%d sessions survived deregistration"
-          (Service.sessions service);
-      Array.iter
-        (fun c -> if Option.is_none c.done_text then
-            fail_once "%s never converged" c.id)
-        fleet;
-      (* Convergence + serializability: reference replay, fanned over
-         the same pool. *)
-      let mismatches =
-        Array.fold_left ( + ) 0 (Pool.map_array pool reference_mismatches fleet)
-      in
-      let merged = Service.merged_telemetry service in
-      let slo =
-        match load_slo !slo_path with
-        | Ok slo -> slo
-        | Error msg ->
-            Printf.eprintf "loadgen: %s\n" msg;
-            exit 1
-      in
-      let hist_name, q, budget = slo in
-      let p_q, p50, count =
-        match List.assoc_opt hist_name (Telemetry.histograms merged) with
-        | None -> (nan, nan, 0)
-        | Some snap ->
-            (Telemetry.quantile snap q, Telemetry.quantile snap 0.5, snap.count)
-      in
-      let slo_ok = Float.is_finite p_q && p_q <= budget in
-      let elapsed = Unix.gettimeofday () -. started in
-      Printf.printf
-        "loadgen: clients=%d shards=%d domains=%d seed=%d rounds=%d \
-         messages=%d handled=%d\n"
-        !clients !shards !domains !seed !rounds !messages count;
-      Printf.printf "loadgen: %s p50=%g p%g=%g budget=%g -> %s\n" hist_name p50
-        (q *. 100.) p_q budget
-        (if slo_ok then "within SLO" else "SLO VIOLATED");
-      Printf.printf "loadgen: reference mismatches=%d (%.1fs wall)\n" mismatches
-        elapsed;
-      (match !protocol_failure with
-      | Some msg -> Printf.printf "loadgen: protocol failure: %s\n" msg
-      | None -> ());
-      if mismatches > 0 || (not slo_ok) || Option.is_some !protocol_failure
-      then exit 1)
+      drive ());
+  (* Every conversation must have fully drained through [done] —
+     rejected clients included. *)
+  if Service.sessions !service <> 0 then
+    fail_once "%d sessions survived deregistration" (Service.sessions !service);
+  Array.iter
+    (fun c ->
+      if Option.is_none c.done_text then fail_once "%s never converged" c.id)
+    fleet;
+  let rejected_clients =
+    Array.fold_left
+      (fun acc c -> if c.rejections > 0 then acc + 1 else acc)
+      0 fleet
+  in
+  let merged = Telemetry.merged (shard_handles () @ !retired_telemetry) in
+  let counter = Telemetry.counter_value merged in
+  let admitted = counter Admission.c_admitted in
+  let rejected = counter Admission.c_rejected in
+  let decisions = admitted + rejected in
+  let rejection_rate =
+    if decisions = 0 then 0.0
+    else float_of_int rejected /. float_of_int decisions
+  in
+  (* The offered overload itself forces rejections: at L x capacity at
+     most 1/L of the offers fit, so only the excess above that floor is
+     the service's to answer for. *)
+  let rejection_floor =
+    if open_loop_on && !open_loop > 1.0 then 1.0 -. (1.0 /. !open_loop)
+    else 0.0
+  in
+  let rejection_bound = rejection_floor +. slo.excess_rejection_max in
+  let quantiles name q =
+    match List.assoc_opt name (Telemetry.histograms merged) with
+    | None -> (nan, nan, 0)
+    | Some snap -> (Telemetry.quantile snap q, Telemetry.quantile snap 0.5, snap.Telemetry.count)
+  in
+  let p_handle, p50_handle, handled = quantiles slo.handle_hist slo.handle_q in
+  let p_delay, p50_delay, delays = quantiles slo.delay_hist 0.99 in
+  let handle_ok = Float.is_finite p_handle && p_handle <= slo.handle_max in
+  (* Time-to-acceptance scales at least linearly with the offered
+     overload (at L x capacity an accepted message waits through ~L
+     rejected attempts), so the budget does too. *)
+  let delay_budget = slo.delay_max *. Float.max 1.0 !open_loop in
+  (* No admitted work at all would be its own failure; an empty
+     histogram otherwise means stamping broke. *)
+  let delay_ok = Float.is_finite p_delay && p_delay <= delay_budget && delays > 0 in
+  let rejection_ok = rejection_rate <= rejection_bound in
+  let elapsed = Unix.gettimeofday () -. started in
+  Printf.printf
+    "loadgen: clients=%d shards=%d domains=%d seed=%d rounds=%d offered=%d \
+     handled=%d mode=%s\n"
+    !clients !shards !domains !seed !rounds !offered handled
+    (if open_loop_on then
+       Printf.sprintf "open-loop x%g (capacity %d/round)" !open_loop capacity
+     else "closed-loop");
+  Printf.printf "loadgen: %s p50=%g p%g=%g budget=%g -> %s\n" slo.handle_hist
+    p50_handle (slo.handle_q *. 100.) p_handle slo.handle_max
+    (if handle_ok then "within SLO" else "SLO VIOLATED");
+  Printf.printf "loadgen: %s p50=%g p99=%g budget=%g (n=%d) -> %s\n"
+    slo.delay_hist p50_delay p_delay delay_budget delays
+    (if delay_ok then "within SLO" else "SLO VIOLATED");
+  Printf.printf
+    "loadgen: admitted=%d rejected=%d rejection-rate=%.3f floor=%.3f \
+     bound=%.3f -> %s\n"
+    admitted rejected rejection_rate rejection_floor rejection_bound
+    (if rejection_ok then "within SLO" else "SLO VIOLATED");
+  Printf.printf
+    "loadgen: goodput=%.1f/round deadline-expired=%d shed=%d rate-limited=%d \
+     over-capacity=%d degrade-transitions=%d\n"
+    (if !rounds = 0 then 0.0 else float_of_int admitted /. float_of_int !rounds)
+    (counter Admission.c_deadline_expired)
+    (counter Admission.c_shed)
+    (counter Admission.c_rate_limited)
+    (counter Admission.c_over_capacity)
+    (counter Admission.c_degrade_transitions);
+  Printf.printf
+    "loadgen: rejected-then-converged clients=%d%s reference mismatches=%d \
+     (%.1fs wall)\n"
+    rejected_clients
+    (if !chaos then
+       Printf.sprintf " crashes=%d resyncs=%d" !crashes !resyncs
+     else "")
+    !mismatches elapsed;
+  (match !protocol_failure with
+  | Some msg -> Printf.printf "loadgen: protocol failure: %s\n" msg
+  | None -> ());
+  (* A chaos run that never crashed did not test what it claims to. *)
+  if !chaos && !crashes = 0 then
+    fail_once "chaos schedule armed %d faults but none fired" !crashes_wanted;
+  cleanup_journal ();
+  if
+    !mismatches > 0 || (not handle_ok) || (not delay_ok) || (not rejection_ok)
+    || Option.is_some !protocol_failure
+  then exit 1

@@ -12,6 +12,7 @@
 open Harmony
 module Frame = Harmony_persist.Frame
 module Persist = Harmony_persist.Persist
+module Journal = Harmony_persist.Journal
 module Gen = QCheck2.Gen
 
 let seed = [| 0x5eed; 2004 |]
@@ -334,15 +335,18 @@ let prop_event_roundtrip =
               && String.equal
                    (Server.message_to_string m2)
                    (Server.message_to_string m1)
-          | Some (_, Server.Event.Reply _) | None -> false)
-      | Some (_, Server.Event.Reply _) | None -> false)
+          | Some (_, (Server.Event.Reply _ | Server.Event.Shed _)) | None ->
+              false)
+      | Some (_, (Server.Event.Reply _ | Server.Event.Shed _)) | None -> false)
 
 let prop_event_decode_total =
   QCheck2.Test.make ~name:"Event.decode is total on arbitrary bytes" ~count:500
     Gen.(string_size ~gen:char (int_bound 80))
     (fun s ->
       match Server.Event.decode s with
-      | Some (seq, Server.Event.Recv _) | Some (seq, Server.Event.Reply _) ->
+      | Some (seq, Server.Event.Recv _)
+      | Some (seq, Server.Event.Reply _)
+      | Some (seq, Server.Event.Shed _) ->
           seq >= 1
       | None -> true)
 
@@ -360,6 +364,71 @@ let prop_report_float_roundtrip =
       | Error _ ->
           false)
 
+(* ------------------------------------------------------------------ *)
+(* Journaled admission rejections (shed records)                       *)
+
+let test_shed_event_codec () =
+  let ev = Server.Event.Shed Server.Report_failed in
+  let encoded = Server.Event.encode ~seq:7 ev in
+  Alcotest.(check string) "shed encoding" "7 shed report failed" encoded;
+  (match Server.Event.decode encoded with
+  | Some (7, Server.Event.Shed Server.Report_failed) -> ()
+  | _ -> Alcotest.fail "shed record did not round-trip");
+  Alcotest.(check bool) "garbage shed payload rejected" true
+    (Option.is_none (Server.Event.decode "3 shed ???"))
+
+(* A mid-run shed must be durable, replay its recorded reply
+   byte-for-byte (it is kept literally — the message was never
+   applied), contribute nothing to the evaluation trace, and leave the
+   session's deterministic resume untouched. *)
+let test_journal_shed_recovery () =
+  let shed_reply = "error overloaded: retry-after=2 degraded" in
+  with_journal (fun path ->
+      let server = Server.create ~options () in
+      Server.attach_journal ~compact_every:1_000_000 server ~journal:path ();
+      let reply = register server in
+      (* A few real reports, then a shed one, then more real ones. *)
+      let reply =
+        match reply with
+        | Server.Assign a -> Server.handle server (Server.Report (respond a))
+        | r -> r
+      in
+      Server.journal_shed server (Server.Report 999.0) ~reply:shed_reply;
+      (match reply with
+      | Server.Assign a ->
+          ignore (Server.handle server (Server.Report (respond a)))
+      | _ -> ());
+      Server.detach_journal server;
+      let evals_before = Server.journal_evaluations path in
+      Alcotest.(check bool) "shed report is not an evaluation" true
+        (not (List.exists (fun (_, p) -> p = 999.0) evals_before));
+      let r = Server.recover ~options ~journal:path () in
+      Alcotest.(check int) "nothing dropped" 0 r.Server.dropped;
+      Server.detach_journal r.Server.server;
+      (* The post-recovery snapshot must carry the shed + literal
+         reply records byte-for-byte. *)
+      let snap = Journal.read (path ^ ".snapshot") in
+      let has record = List.mem record snap.Frame.records in
+      Alcotest.(check bool) "shed record survives recovery" true
+        (has "3 shed report 999");
+      Alcotest.(check bool) "literal reply survives recovery" true
+        (has ("3 reply " ^ shed_reply));
+      (* And the trace is still shed-free after replay. *)
+      let evals_after = Server.journal_evaluations path in
+      Alcotest.(check int) "evaluations unchanged by shed"
+        (List.length evals_before) (List.length evals_after))
+
+let test_journal_shed_rejects_unjournaled () =
+  with_journal (fun path ->
+      let server = Server.create ~options () in
+      Server.attach_journal server ~journal:path ();
+      (match
+         Server.journal_shed server Server.Query ~reply:"error shed"
+       with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.fail "journal_shed accepted a Query");
+      Server.detach_journal server)
+
 let suite =
   [
     Alcotest.test_case "kill at every record boundary" `Quick
@@ -375,6 +444,11 @@ let suite =
       test_recover_corrupt_inputs_never_raise;
     Alcotest.test_case "journal_evaluations total" `Quick
       test_journal_evaluations_corrupt_is_total;
+    Alcotest.test_case "shed event codec" `Quick test_shed_event_codec;
+    Alcotest.test_case "journaled shed recovery" `Quick
+      test_journal_shed_recovery;
+    Alcotest.test_case "journal_shed rejects unjournaled" `Quick
+      test_journal_shed_rejects_unjournaled;
     to_alcotest prop_event_roundtrip;
     to_alcotest prop_event_decode_total;
     to_alcotest prop_report_float_roundtrip;

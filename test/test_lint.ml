@@ -125,7 +125,11 @@ let t2_flags_partiality_in_handlers () =
   check_rules "failwith in the sharded service flagged" [ "T2" ]
     ~path:"lib/service/service.ml" {|let f () = failwith "boom"|};
   check_rules "exit in the sharded service flagged" [ "T2" ]
-    ~path:"lib/service/service.ml" "let f () = exit 1"
+    ~path:"lib/service/service.ml" "let f () = exit 1";
+  check_rules "failwith in the admission layer flagged" [ "T2" ]
+    ~path:"lib/service/admission.ml" {|let f () = failwith "shed"|};
+  check_rules "raise Not_found in the admission layer flagged" [ "T2" ]
+    ~path:"lib/service/admission.ml" "let f () = raise Not_found"
 
 let t2_scoped_to_message_paths () =
   check_rules "assert false elsewhere is not T2's business" []
@@ -134,7 +138,10 @@ let t2_scoped_to_message_paths () =
     "let f x = assert (x > 0)";
   check_rules "invalid_arg at service API edges stays legal" []
     ~path:"lib/service/service.ml"
-    {|let f shards = if shards < 1 then invalid_arg "shards" else shards|}
+    {|let f shards = if shards < 1 then invalid_arg "shards" else shards|};
+  check_rules "invalid_arg at admission config edges stays legal" []
+    ~path:"lib/service/admission.ml"
+    {|let f rate = if rate < 0 then invalid_arg "rate" else rate|}
 
 (* ------------------------------------------------------------------ *)
 (* P1 — printing in hot paths *)

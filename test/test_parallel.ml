@@ -87,6 +87,73 @@ let test_registry_determinism () =
         (Report.to_string table_s) (Report.to_string table_p))
     sequential parallel
 
+(* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+
+let count_cancelled results =
+  Array.fold_left
+    (fun n -> function Error Pool.Cancelled -> n + 1 | Error _ | Ok _ -> n)
+    0 results
+
+let test_cancel_before_submit () =
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun pool ->
+          let cancel = Pool.Cancel.create () in
+          Pool.Cancel.cancel cancel;
+          let results =
+            Pool.try_map_array ~cancel pool succ (Array.init 20 Fun.id)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "all slots shed at %d domains" domains)
+            20 (count_cancelled results)))
+    [ 1; 4 ]
+
+let test_cancel_none_is_inert () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      (* Cancelling the shared [none] token must not affect anyone. *)
+      Pool.Cancel.cancel Pool.Cancel.none;
+      Alcotest.(check bool) "none never reads cancelled" false
+        (Pool.Cancel.cancelled Pool.Cancel.none);
+      let results =
+        Pool.try_map_array ~cancel:Pool.Cancel.none pool succ
+          (Array.init 10 Fun.id)
+      in
+      Alcotest.(check int) "nothing shed" 0 (count_cancelled results))
+
+let test_cancel_mid_run_sequential () =
+  (* At one domain the pool runs tasks in input order in the caller, so
+     a task that fires the token makes every later slot shed
+     deterministically. *)
+  Pool.with_pool ~domains:1 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      let f i =
+        if i = 2 then Pool.Cancel.cancel cancel;
+        i * 10
+      in
+      let results = Pool.try_map_array ~cancel pool f (Array.init 6 Fun.id) in
+      Array.iteri
+        (fun i r ->
+          if i <= 2 then
+            Alcotest.(check bool)
+              (Printf.sprintf "slot %d ran" i)
+              true
+              (match r with Ok v -> v = i * 10 | Error _ -> false)
+          else
+            Alcotest.(check bool)
+              (Printf.sprintf "slot %d shed" i)
+              true
+              (match r with Error Pool.Cancelled -> true | _ -> false))
+        results)
+
+let test_cancel_raises_through_map () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      Pool.Cancel.cancel cancel;
+      Alcotest.check_raises "map_array re-raises Cancelled" Pool.Cancelled
+        (fun () ->
+          ignore (Pool.map_array ~cancel pool succ (Array.init 5 Fun.id))))
+
 let suite =
   [
     Alcotest.test_case "create invalid" `Quick test_create_invalid;
@@ -97,6 +164,12 @@ let suite =
     Alcotest.test_case "nested map" `Quick test_nested_map;
     Alcotest.test_case "empty input" `Quick test_empty_input;
     Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_degrades;
+    Alcotest.test_case "cancel before submit" `Quick test_cancel_before_submit;
+    Alcotest.test_case "cancel none is inert" `Quick test_cancel_none_is_inert;
+    Alcotest.test_case "cancel mid-run sequential" `Quick
+      test_cancel_mid_run_sequential;
+    Alcotest.test_case "cancel raises through map" `Quick
+      test_cancel_raises_through_map;
     Alcotest.test_case "registry determinism jobs 1 = jobs 4" `Slow
       test_registry_determinism;
   ]

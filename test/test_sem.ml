@@ -343,7 +343,10 @@ let s4_flags_partial_match () =
     "let f (o : int option) = match o with Some x -> x";
   check_rules "partial function in service.ml" [ "S4" ]
     ~path:"lib/service/service.ml"
-    "let f = function Some (x : int) -> x"
+    "let f = function Some (x : int) -> x";
+  check_rules "partial match in admission.ml" [ "S4" ]
+    ~path:"lib/service/admission.ml"
+    "let f (o : int option) = match o with Some x -> x"
 
 let s4_flags_aborts () =
   check_rules "raise in service.ml" [ "S4" ] ~path:"lib/service/service.ml"
@@ -352,6 +355,9 @@ let s4_flags_aborts () =
     {|let f () = failwith "boom"|};
   check_rules "assert false in server.ml" [ "S4" ] ~path:"lib/core/server.ml"
     "let f () : int = assert false";
+  check_rules "raise in admission.ml" [ "S4" ]
+    ~path:"lib/service/admission.ml"
+    {|let f () = raise (Failure "overload")|};
   check_rules "exit in server.ml" [ "S4" ] ~path:"lib/core/server.ml"
     "let f () = exit 1"
 
@@ -361,6 +367,9 @@ let s4_carve_outs () =
   check_rules "re-raising a caught exception stays legal" []
     ~path:"lib/service/service.ml"
     "let f g = try g () with e -> raise e";
+  check_rules "config validation in admission.ml stays legal" []
+    ~path:"lib/service/admission.ml"
+    {|let f rate = if rate < 0 then invalid_arg "rate" else rate|};
   check_rules "exhaustive match is fine" [] ~path:"lib/core/server.ml"
     "let f (o : int option) = match o with Some x -> x | None -> 0";
   check_rules "ordinary assert is fine" [] ~path:"lib/core/server.ml"

@@ -7,6 +7,7 @@
 
 open Harmony
 module Service = Harmony_service.Service
+module Admission = Harmony_service.Admission
 module Frame = Harmony_persist.Frame
 module Persist = Harmony_persist.Persist
 module Pool = Harmony_parallel.Pool
@@ -251,9 +252,11 @@ let batched_stream ?(probe = false) ~shards ~domains ids =
   Buffer.contents stream
 
 (* The same rounds through [Service.handle] one message at a time (the
-   sequential reference the batched path must reproduce byte-for-byte;
-   the metrics probe sits at the end of each round, where batch-drain
-   and sequential semantics agree). *)
+   sequential reference the batched path must reproduce byte-for-byte).
+   The batched probe sits at the end of each round but answers the
+   pre-batch snapshot, so the reference computes the probe reply
+   before the round's messages and emits it at the probe's arrival
+   index (end of round). *)
 let sequential_stream ?(probe = false) ~shards ids =
   let service =
     Service.create ~options
@@ -274,6 +277,12 @@ let sequential_stream ?(probe = false) ~shards ids =
         ids
     in
     if live <> [] then begin
+      let probe_reply =
+        if probe then
+          Some (Service.reply_to_string
+                  (Service.handle service Service.Service_metrics))
+        else None
+      in
       List.iter
         (fun c ->
           let msg =
@@ -296,11 +305,11 @@ let sequential_stream ?(probe = false) ~shards ids =
               Alcotest.fail
                 ("sequential run: unexpected " ^ Service.reply_to_string r))
         live;
-      if probe then begin
-        Buffer.add_string stream
-          (Service.reply_to_string (Service.handle service Service.Service_metrics));
-        Buffer.add_char stream '\n'
-      end;
+      (match probe_reply with
+      | Some text ->
+          Buffer.add_string stream text;
+          Buffer.add_char stream '\n'
+      | None -> ());
       round (steps + 1)
     end
   in
@@ -426,6 +435,21 @@ let test_event_codec () =
   (match Service.Event.decode "9 reply alpha assign B=3 C=4" with
   | Some (9, Service.Event.Reply "alpha assign B=3 C=4") -> ()
   | _ -> Alcotest.fail "reply decode");
+  (* Shed records (journaled rejections) round-trip like received
+     messages. *)
+  (match
+     Service.Event.decode
+       (Service.Event.encode ~seq:4
+          (Service.Event.Shed
+             (Service.Client { client = "c1"; payload = Server.Report 3.5 })))
+   with
+  | Some (4, Service.Event.Shed m) ->
+      Alcotest.(check string) "shed round trip" "c1 report 3.5"
+        (Service.message_to_string m)
+  | _ -> Alcotest.fail "shed did not round trip");
+  (match Service.Event.decode "4 shed not a message" with
+  | None -> ()
+  | Some _ -> Alcotest.fail "decoded a garbage shed");
   List.iter
     (fun garbage ->
       match Service.Event.decode garbage with
@@ -716,6 +740,384 @@ let prop_serializable =
         observed;
       !ok)
 
+(* ------------------------------------------------------------------ *)
+(* Admission control at the service edge                               *)
+
+(* Batched driver that tolerates admission rejections: a rejected
+   client keeps its state and simply re-offers the same message next
+   round — the retry discipline the service's [retry-after] contract
+   promises will converge. *)
+let drive_batched_with_retries ?pool service clients =
+  let state = Hashtbl.create 8 in
+  List.iter (fun c -> Hashtbl.replace state c `Start) clients;
+  let rejections = ref 0 in
+  let rec round n =
+    if n > 400 then Alcotest.fail "retrying drive did not drain";
+    let pending =
+      List.filter
+        (fun c ->
+          match Hashtbl.find_opt state c with
+          | Some (`Done _) -> false
+          | _ -> true)
+        clients
+    in
+    if pending <> [] then begin
+      let msgs =
+        List.map
+          (fun c ->
+            match Hashtbl.find_opt state c with
+            | Some `Start -> register_msg c
+            | Some (`Assign a) -> report_msg c a
+            | _ -> Alcotest.fail "finished client scheduled")
+          pending
+      in
+      let replies = Service.handle_batch ?pool service msgs in
+      List.iter2
+        (fun c r ->
+          match r with
+          | Service.Client_reply { reply = Server.Assign a; _ } ->
+              Hashtbl.replace state c (`Assign a)
+          | Service.Client_reply { reply = Server.Done _ as d; _ } ->
+              Hashtbl.replace state c (`Done (Server.reply_to_string d))
+          | Service.Client_reply { reply = Server.Rejected msg; _ }
+            when Admission.is_rejection_text msg ->
+              incr rejections
+          | r ->
+              Alcotest.fail
+                ("retrying drive: unexpected " ^ Service.reply_to_string r))
+        pending replies;
+      round (n + 1)
+    end
+  in
+  round 0;
+  let dones =
+    List.map
+      (fun c ->
+        match Hashtbl.find_opt state c with
+        | Some (`Done text) -> (c, text)
+        | _ -> Alcotest.fail (c ^ " never finished"))
+      clients
+  in
+  (dones, !rejections)
+
+(* Satellite: batched metrics probes answer the pre-batch snapshot at
+   their arrival index — two probes in one batch agree with each other
+   and with the registry as of batch start, wherever they sit. *)
+let test_metrics_probe_pre_batch_snapshot () =
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~shards:2 ()
+  in
+  (match Service.handle_batch service [ register_msg "alpha" ] with
+  | [ Service.Client_reply { reply = Server.Assign _; _ } ] -> ()
+  | _ -> Alcotest.fail "register failed");
+  let expected = Service.reply_to_string (Service.Service_stats (Service.metrics service)) in
+  let replies =
+    Service.handle_batch service
+      [ Service.Service_metrics; register_msg "bravo";
+        Service.Service_metrics ]
+  in
+  (match replies with
+  | [ first; Service.Client_reply { reply = Server.Assign _; _ }; last ] ->
+      Alcotest.(check string) "leading probe answers pre-batch registry"
+        expected
+        (Service.reply_to_string first);
+      Alcotest.(check string) "trailing probe answers the same snapshot"
+        expected
+        (Service.reply_to_string last)
+  | _ -> Alcotest.fail "unexpected batch shape");
+  (* And the next batch's probe sees bravo's register. *)
+  match Service.handle_batch service [ Service.Service_metrics ] with
+  | [ Service.Service_stats text ] ->
+      Alcotest.(check bool) "snapshot advanced between batches" false
+        (String.equal expected
+           (Service.reply_to_string (Service.Service_stats text)))
+  | _ -> Alcotest.fail "probe failed"
+
+let test_admission_rejects_and_retries () =
+  let tight = { Admission.unlimited with Admission.max_inflight = 1 } in
+  (* Registers are Critical: a full fleet registers in one batch even
+     with a single-slot budget. *)
+  let probe = Service.create ~options ~admission:tight ~shards:2 () in
+  List.iter
+    (fun r ->
+      match r with
+      | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+      | r -> Alcotest.fail ("register: " ^ Service.reply_to_string r))
+    (Service.handle_batch probe (List.map register_msg fleet));
+  (* Drive a fresh policed service to done under the 1-per-shard
+     budget: the 4-client fleet must see real rejections and still
+     converge to the same dones as an unpoliced service. *)
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ -> Telemetry.create ~record_events:false ())
+      ~admission:tight ~shards:2 ()
+  in
+  let plain = Service.create ~options ~shards:2 () in
+  let dones_ref = drive_all plain fleet in
+  let dones, rejections = drive_batched_with_retries service fleet in
+  Alcotest.(check bool) "budget forced real rejections" true (rejections > 0);
+  List.iter2
+    (fun (c, d) (c', d') ->
+      Alcotest.(check string) (c ^ " client id stable") c c';
+      Alcotest.(check string)
+        (c ^ " done byte-identical despite shedding") d d')
+    dones_ref dones;
+  (* Rejected messages never touched sessions: the admission counters
+     add up against what the shards actually handled. *)
+  let merged = Service.merged_telemetry service in
+  Alcotest.(check bool) "over-capacity counted" true
+    (Telemetry.counter_value merged Admission.c_over_capacity > 0);
+  Alcotest.(check int) "rejected aggregates the splits"
+    (Telemetry.counter_value merged Admission.c_over_capacity)
+    (Telemetry.counter_value merged Admission.c_rejected)
+
+let test_deadline_shed_before_dispatch () =
+  let service =
+    Service.create ~options ~admission:Admission.unlimited ~shards:1 ()
+  in
+  ignore (Service.handle_batch service []);
+  (* Clock is now 1; a deadline of 0 is already dead and must be shed
+     before the shard ever sees it. *)
+  let replies =
+    Service.handle_batch_env service
+      [ Service.envelope ~deadline:0 (register_msg "alpha") ]
+  in
+  (match replies with
+  | [ Service.Client_reply { client = "alpha"; reply = Server.Rejected msg } ]
+    ->
+      Alcotest.(check string) "deadline rejection text"
+        "deadline-expired: retry-after=0" msg
+  | _ -> Alcotest.fail "expected a deadline rejection");
+  Alcotest.(check int) "no session was created" 0 (Service.sessions service);
+  (* The same message with a live deadline registers fine. *)
+  match
+    Service.handle_batch_env service
+      [ Service.envelope ~deadline:99 (register_msg "alpha") ]
+  with
+  | [ Service.Client_reply { reply = Server.Assign _; _ } ] -> ()
+  | _ -> Alcotest.fail "live-deadline register failed"
+
+let test_degraded_sheds_by_priority () =
+  (* A 1-tick window with a 1-shed watermark flips the single shard
+     degraded on the round after any shed, and recovers after any
+     shed-free round. *)
+  let service =
+    Service.create ~options
+      ~admission:
+        { Admission.unlimited with Admission.max_inflight = 1;
+          degrade_window = 1; degrade_high = 1; degrade_low = 0 }
+      ~shards:1 ()
+  in
+  let adm = Option.get (Service.admission service) in
+  ignore (Service.handle_batch service [ register_msg "alpha" ]);
+  ignore (Service.handle_batch service [ register_msg "bravo" ]);
+  (* Two Normal reports against one slot: one shed. *)
+  (match
+     Service.handle_batch service
+       [ query_msg "alpha"; query_msg "bravo" ]
+   with
+  | [ Service.Client_reply { reply = r1; _ };
+      Service.Client_reply { reply = r2; _ } ] ->
+      let rejected =
+        List.length
+          (List.filter
+             (function Server.Rejected _ -> true | _ -> false)
+             [ r1; r2 ])
+      in
+      Alcotest.(check int) "one of two queries shed by the budget" 1 rejected
+  | _ -> Alcotest.fail "unexpected replies");
+  (* Next round the window has rolled: the shard is degraded, Low
+     priority is shed outright with the degraded flag, Normal and
+     Critical still pass. *)
+  let replies =
+    Service.handle_batch service
+      [ query_msg "alpha";
+        Service.Client { client = "bravo"; payload = Server.Report_failed };
+        Service.Deregister { client = "alpha" } ]
+  in
+  Alcotest.(check bool) "shard reports degraded" true
+    (Admission.degraded adm ~shard:0);
+  (match replies with
+  | [ Service.Client_reply { reply = Server.Rejected msg; _ };
+      Service.Client_reply { reply = _; _ };
+      Service.Deregistered { client = "alpha" } ] ->
+      Alcotest.(check bool) "low-priority shed mentions degraded" true
+        (String.length msg >= 8 && String.equal (String.sub msg 0 5) "shed:");
+      Alcotest.(check bool) "shed reply carries the degraded flag" true
+        (String.ends_with ~suffix:" degraded" msg)
+  | _ -> Alcotest.fail "degraded round had unexpected shape");
+  (* A quiet round (only exempt traffic, no sheds) recovers the shard
+     hysteretically. *)
+  ignore
+    (Service.handle_batch service [ Service.Deregister { client = "bravo" } ]);
+  ignore (Service.handle_batch service []);
+  Alcotest.(check bool) "shard recovered after quiet window" false
+    (Admission.degraded adm ~shard:0)
+
+let test_cancelled_batch_is_total () =
+  let service = Service.create ~options ~shards:2 () in
+  Pool.with_pool ~domains:2 (fun pool ->
+      let cancel = Pool.Cancel.create () in
+      Pool.Cancel.cancel cancel;
+      let replies =
+        Service.handle_batch ~pool ~cancel service (List.map register_msg fleet)
+      in
+      Alcotest.(check int) "every slot answered" (List.length fleet)
+        (List.length replies);
+      List.iter
+        (fun r ->
+          match r with
+          | Service.Client_reply { reply = Server.Rejected msg; _ } ->
+              Alcotest.(check string) "cancelled rejection text"
+                "cancelled: retry-after=0" msg
+          | r ->
+              Alcotest.fail ("cancelled: unexpected " ^ Service.reply_to_string r))
+        replies;
+      Alcotest.(check int) "no session state touched" 0
+        (Service.sessions service);
+      (* The same batch goes through once the token is fresh. *)
+      let replies =
+        Service.handle_batch ~pool service (List.map register_msg fleet)
+      in
+      List.iter
+        (fun r ->
+          match r with
+          | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+          | r -> Alcotest.fail ("retry: unexpected " ^ Service.reply_to_string r))
+        replies)
+
+let test_critical_rejection_is_retryable () =
+  (* Even Critical messages obey the per-client token bucket; the
+     rejection is a total client-addressed reply and the session
+     survives to retry. *)
+  let service =
+    Service.create ~options
+      ~admission:
+        { Admission.unlimited with Admission.rate = 1; burst = 1;
+          refill_every = 4 }
+      ~shards:1 ()
+  in
+  (match Service.handle service (register_msg "alpha") with
+  | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+  | r -> Alcotest.fail ("register: " ^ Service.reply_to_string r));
+  (match Service.handle service (Service.Deregister { client = "alpha" }) with
+  | Service.Client_reply { client = "alpha"; reply = Server.Rejected msg } ->
+      Alcotest.(check bool) "rate-limit rejection is parseable" true
+        (Option.is_some (Admission.retry_after_of_text msg))
+  | r -> Alcotest.fail ("deregister: " ^ Service.reply_to_string r));
+  Alcotest.(check int) "session survived the rejection" 1
+    (Service.sessions service);
+  (* Wait out the refill and retry. *)
+  for _ = 1 to 4 do ignore (Service.handle_batch service []) done;
+  match Service.handle service (Service.Deregister { client = "alpha" }) with
+  | Service.Deregistered { client = "alpha" } -> ()
+  | r -> Alcotest.fail ("retry deregister: " ^ Service.reply_to_string r)
+
+(* ------------------------------------------------------------------ *)
+(* Recovery of journaled rejections (kill at every record boundary)    *)
+
+(* Reference run under rate limiting: every client's bucket starts
+   with one token and refills one token every two ticks, so roughly
+   every other round each client's (journaled) report is rejected —
+   the shard journals interleave accepted records with shed ones.
+   Clients never deregister, so recovery's compaction prunes nothing
+   and the snapshot must reproduce the journal prefix verbatim. *)
+let rejection_admission =
+  { Admission.unlimited with Admission.rate = 1; burst = 1; refill_every = 2 }
+
+let rejection_reference ~shards () =
+  with_journal ~shards (fun path ->
+      let service =
+        Service.create ~options ~admission:rejection_admission ~shards ()
+      in
+      Service.attach_journals ~compact_every:1_000_000 service ~journal:path ();
+      let dones, rejections = drive_batched_with_retries service fleet in
+      Service.detach_journals service;
+      let bytes =
+        Array.init shards (fun s ->
+            Option.value ~default:""
+              (Persist.read_file (Service.shard_journal ~journal:path ~shard:s)))
+      in
+      (dones, rejections, bytes))
+
+let test_kill_at_boundary_replays_rejections () =
+  let shards = 2 in
+  let dones_ref, rejections, bytes = rejection_reference ~shards () in
+  Alcotest.(check bool) "reference run really rejected work" true
+    (rejections > 0);
+  Array.iteri
+    (fun victim shard_bytes ->
+      let scan = Frame.scan shard_bytes in
+      Alcotest.(check bool) "reference shard journal is clean" false
+        scan.Frame.torn;
+      let shed_records =
+        List.filter
+          (fun r ->
+            match Service.Event.decode r with
+            | Some (_, Service.Event.Shed _) -> true
+            | _ -> false)
+          (Frame.scan shard_bytes).Frame.records
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d journal mixes in shed records" victim)
+        true
+        (List.length shed_records > 0);
+      List.iter
+        (fun cut ->
+          with_journal ~shards (fun path ->
+              Array.iteri
+                (fun s full ->
+                  let content =
+                    if s = victim then String.sub full 0 cut else full
+                  in
+                  let oc =
+                    open_out_bin (Service.shard_journal ~journal:path ~shard:s)
+                  in
+                  output_string oc content;
+                  close_out oc)
+                bytes;
+              let r =
+                Service.recover ~options ~admission:Admission.unlimited ~shards
+                  ~journal:path ()
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "shard %d cut %d: clean prefix, nothing dropped"
+                   victim cut)
+                0 r.Service.dropped;
+              (* Byte-for-byte replay of the prefix — rejections
+                 included: every journal record in the surviving
+                 prefix (shed, recv, and their replies) reappears
+                 verbatim in the recovered shard's snapshot. *)
+              let prefix_records =
+                (Frame.scan (String.sub shard_bytes 0 cut)).Frame.records
+              in
+              let snap_records =
+                (Harmony_persist.Journal.read
+                   (Service.shard_journal ~journal:path ~shard:victim
+                    ^ ".snapshot"))
+                  .Frame.records
+              in
+              List.iter
+                (fun record ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "shard %d cut %d: record %S replayed byte-for-byte"
+                       victim cut record)
+                    true
+                    (List.mem record snap_records))
+                prefix_records;
+              (* And the interrupted clients still converge to the
+                 reference dones (admission is generous post-recovery;
+                 the retry discipline needs no special casing). *)
+              check_all_resume
+                ~msg:(Printf.sprintf "shard %d killed at boundary %d" victim cut)
+                r.Service.service dones_ref;
+              Service.detach_journals r.Service.service))
+        (0 :: scan.Frame.boundaries))
+    bytes
+
 let suite =
   [
     Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
@@ -740,5 +1142,19 @@ let suite =
     Alcotest.test_case "corrupt one shard salvages rest" `Quick
       test_corrupt_one_shard_salvages_the_rest;
     Alcotest.test_case "recover intact service" `Quick test_recover_intact_service;
+    Alcotest.test_case "metrics probe answers pre-batch snapshot" `Quick
+      test_metrics_probe_pre_batch_snapshot;
+    Alcotest.test_case "admission rejects and retries converge" `Quick
+      test_admission_rejects_and_retries;
+    Alcotest.test_case "deadline shed before dispatch" `Quick
+      test_deadline_shed_before_dispatch;
+    Alcotest.test_case "degraded sheds by priority" `Quick
+      test_degraded_sheds_by_priority;
+    Alcotest.test_case "cancelled batch is total" `Quick
+      test_cancelled_batch_is_total;
+    Alcotest.test_case "critical rejection retryable" `Quick
+      test_critical_rejection_is_retryable;
+    Alcotest.test_case "kill at boundary replays rejections" `Slow
+      test_kill_at_boundary_replays_rejections;
     to_alcotest prop_serializable;
   ]

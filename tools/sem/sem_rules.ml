@@ -554,7 +554,7 @@ let run_s3 ~(summary : Sem_summary.t) ~modname (str : structure) =
 (* ------------------------------------------------------------------ *)
 (* S4: handler totality *)
 
-let s4_files = [ "server.ml"; "service.ml"; "session.ml" ]
+let s4_files = [ "server.ml"; "service.ml"; "session.ml"; "admission.ml" ]
 
 let s4_applies path = List.mem (Filename.basename path) s4_files
 
