@@ -1,6 +1,6 @@
 # Convenience targets; dune is the source of truth.
 
-.PHONY: all build lint lint-sem test test-fast test-crash test-service test-chaos trace-smoke bench bench-quick bench-evals experiments examples clean
+.PHONY: all build lint lint-sem test test-fast test-crash test-service test-chaos trace-smoke trace-analyze bench bench-quick bench-evals experiments examples clean
 
 all: build
 
@@ -8,10 +8,10 @@ build:
 	dune build @all
 
 # Project-specific static analysis (DESIGN.md §8): determinism,
-# NaN-safety and totality invariants over lib/, bin/ and bench/.
-# Exits non-zero on any unwaived finding.
+# NaN-safety and totality invariants over lib/, bin/, bench/ and the
+# trace-analyzer core.  Exits non-zero on any unwaived finding.
 lint:
-	dune exec tools/lint/harmony_lint.exe -- --allowlist tools/lint/allowlist lib bin bench
+	dune exec tools/lint/harmony_lint.exe -- --allowlist tools/lint/allowlist lib bin bench tools/trace
 
 # Semantic analysis over the typedtree (DESIGN.md §14): races on
 # pool-submitted closures, lock-order cycles, float comparisons at
@@ -61,10 +61,13 @@ test-service:
 # single-session servers across recoveries, and the overload SLOs
 # (queue-delay p99 scaled by the overload factor, excess rejection
 # rate) must hold.
+# The flight dump is written on every crash and at exit, so a failing
+# run leaves the last few hundred events per shard for post-mortem
+# (CI uploads chaos-flight.jsonl when this tier fails).
 test-chaos:
 	dune exec test/test_main.exe -- test admission
 	dune exec test/loadgen.exe -- --clients 1000 --shards 4 --domains 4 \
-	  --open-loop 10 --max-inflight 8 --chaos
+	  --open-loop 10 --max-inflight 8 --chaos --flight-dump chaos-flight.jsonl
 
 # Telemetry end-to-end (DESIGN.md §11): a seeded tune records a JSONL
 # trace, `stats` summarizes it back, and the same run exports a Chrome
@@ -76,6 +79,23 @@ trace-smoke:
 	dune exec bin/harmony_cli.exe -- stats trace-smoke/tune.jsonl
 	dune exec bin/harmony_cli.exe -- tune --budget 60 --seed 7 --top-n 4 \
 	  --telemetry trace-smoke/tune.json,chrome > /dev/null
+
+# Trace-attribution gate (DESIGN.md §16): the 1k-client loadgen tier
+# records a full correlated trace, then harmony_trace must (a)
+# attribute at least 95% of the p99 handle latency to named phases and
+# (b) resolve the p99 bucket's exemplar trace id to a span whose
+# critical path prints end to end.  Artifacts land in trace-analyze/
+# (CI uploads them).
+trace-analyze:
+	mkdir -p trace-analyze
+	dune exec test/loadgen.exe -- --clients 1000 --shards 8 --domains 4 \
+	  --trace trace-analyze/service.jsonl --flight-dump trace-analyze/flight.jsonl
+	dune exec tools/trace/harmony_trace.exe -- attribute \
+	  --min-p99-attribution 0.95 --check-exemplar trace-analyze/service.jsonl
+	dune exec tools/trace/harmony_trace.exe -- top trace-analyze/service.jsonl \
+	  > trace-analyze/top.txt
+	dune exec tools/trace/harmony_trace.exe -- self trace-analyze/service.jsonl \
+	  > trace-analyze/self.txt
 
 bench:
 	dune exec bench/main.exe

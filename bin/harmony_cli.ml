@@ -15,6 +15,7 @@ module Ws = Harmony_webservice
 module Generator = Harmony_datagen.Generator
 module Pool = Harmony_parallel.Pool
 module Telemetry = Harmony_telemetry.Telemetry
+module Flight = Harmony_telemetry.Flight
 module Export = Harmony_telemetry.Export
 module Summary = Harmony_telemetry.Summary
 module Service = Harmony_service.Service
@@ -462,9 +463,10 @@ let serve_cmd =
        of a single session.  Every protocol line is prefixed with a client \
        id ($(b,<id> register min|max) + RSL lines + blank line, $(b,<id> \
        query), $(b,<id> report <perf>), $(b,<id> done)); the unprefixed \
-       $(b,service-metrics) dumps the merged per-shard registries.  With \
-       $(b,--journal FILE), each shard journals independently to \
-       $(b,FILE.shard<i>)."
+       $(b,service-metrics) dumps the merged per-shard registries and \
+       $(b,dump-flight) the per-shard flight recorders (the most recent \
+       telemetry events, JSONL).  With $(b,--journal FILE), each shard \
+       journals independently to $(b,FILE.shard<i>)."
     in
     Arg.(value & opt (some int) None & info [ "shards" ] ~docv:"N" ~doc)
   in
@@ -658,15 +660,19 @@ let serve_cmd =
       Format.printf
         "harmony tuning service (%d shard(s)): '<id> register min|max' + RSL \
          lines + blank line, then '<id> query' / '<id> report <perf>' / \
-         '<id> report failed' / '<id> done' / 'service-metrics' / 'quit'@."
+         '<id> report failed' / '<id> done' / 'service-metrics' / \
+         'dump-flight' / 'quit'@."
         (Service.shards service);
       loop ();
       `Ok ()
     in
+    (* Each serve shard carries a flight recorder: the last 256 events
+       stay resident for the [dump-flight] protocol message, whether or
+       not anyone is exporting full traces. *)
     let shard_telemetry _shard =
       Telemetry.create
         ~clock:(fun () -> (Unix.gettimeofday () -. start) *. 1e3)
-        ()
+        ~flight:(Flight.create ~capacity:256) ()
     in
     match (shards, journal, recover) with
     | _, None, true -> `Error (false, "--recover requires --journal")

@@ -157,12 +157,12 @@ let prepare ?(telemetry = Telemetry.off) ?(fallback = Simplex.Init.Spread) t obj
         estimated_vertices;
       }
 
-let tune_with_experience ?(telemetry = Telemetry.off) ?pool
+let tune_with_experience ?(telemetry = Telemetry.off) ?ctx ?pool
     ?(options = Tuner.default_options) ?label t obj ~characteristics =
   let preparation =
     prepare ~telemetry ~fallback:options.Tuner.init t obj ~characteristics
   in
   let options = { options with Tuner.init = preparation.init } in
-  let outcome = Tuner.tune ~telemetry ?pool ~options obj in
+  let outcome = Tuner.tune ~telemetry ?ctx ?pool ~options obj in
   ignore (History.add_outcome t.db ?label ~characteristics outcome);
   (outcome, preparation)

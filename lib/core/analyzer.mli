@@ -65,6 +65,7 @@ val prepare :
 
 val tune_with_experience :
   ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?ctx:Harmony_telemetry.Telemetry.Ctx.t ->
   ?pool:Harmony_parallel.Pool.t ->
   ?options:Tuner.options ->
   ?label:string ->

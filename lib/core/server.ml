@@ -61,6 +61,7 @@ type t = {
   telemetry : Telemetry.t;
   mutable session : session option;
   mutable persist : persist option;
+  mutable handled : int;  (* messages ever handled; seeds fallback trace roots *)
 }
 
 let create ?(options = Simplex.default_options) ?(max_report_failures = 3)
@@ -68,7 +69,7 @@ let create ?(options = Simplex.default_options) ?(max_report_failures = 3)
   if max_report_failures < 1 then
     invalid_arg "Server.create: max_report_failures < 1";
   { options; max_report_failures; reject_reregister; telemetry;
-    session = None; persist = None }
+    session = None; persist = None; handled = 0 }
 
 let spec t = Option.map (fun s -> s.rsl) t.session
 
@@ -404,12 +405,31 @@ let journal_append tel journal record =
   Telemetry.incr tel "server.journal.appends";
   Telemetry.incr tel "server.journal.fsyncs"
 
-let handle t message =
+let handle ?ctx t message =
   let tel = t.telemetry in
-  Telemetry.span_begin t.telemetry "server.handle"
-    ~args:[ ("kind", Telemetry.Str (message_kind message)) ];
+  t.handled <- t.handled + 1;
+  (* A message arriving without a service-derived trace context (direct
+     embedding, replay, examples) still gets a deterministic root keyed
+     by arrival order, so every handle span carries correlation ids. *)
+  let ctx =
+    match ctx with
+    | Some c -> c
+    | None -> Telemetry.Ctx.root ~client:"server" ~seq:t.handled
+  in
+  Telemetry.span_begin tel "server.handle"
+    ~args:
+      (("kind", Telemetry.Str (message_kind message)) :: Telemetry.Ctx.args ctx);
   Telemetry.incr tel "server.messages";
   let started = Telemetry.now tel in
+  (* Each WAL write (frame + fsync) is its own child span, so the trace
+     attributes journal latency separately from search work. *)
+  let journal_span p record =
+    let jctx = Telemetry.Ctx.child ctx "server.journal.append" in
+    Telemetry.span_begin tel "server.journal.append"
+      ~args:(Telemetry.Ctx.args jctx);
+    journal_append tel p.journal record;
+    Telemetry.span_end tel "server.journal.append"
+  in
   (match journaled_persist t message with
   | None -> ()
   | Some p ->
@@ -417,20 +437,28 @@ let handle t message =
          changes, so a crash can lose at most the reply, never an
          applied-but-unlogged mutation. *)
       p.seq <- p.seq + 1;
-      journal_append tel p.journal (Event.encode ~seq:p.seq (Recv message)));
-  let reply = handle_total t message in
+      journal_span p (Event.encode ~seq:p.seq (Recv message)));
+  let reply =
+    let sctx = Telemetry.Ctx.child ctx "server.search" in
+    Telemetry.span_begin tel "server.search" ~args:(Telemetry.Ctx.args sctx);
+    let reply = handle_total t message in
+    Telemetry.span_end tel "server.search";
+    reply
+  in
   (match journaled_persist t message with
   | None -> ()
   | Some p ->
-      journal_append tel p.journal
-        (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
+      journal_span p (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
       p.session_log <- extend_session_log p.session_log ~seq:p.seq message reply;
       if Journal.records p.journal > p.compact_every then begin
         Telemetry.incr tel "server.journal.compactions";
         compact p
       end);
-  Telemetry.observe tel "server.handle_ms" (Telemetry.now tel -. started);
-  Telemetry.span_end t.telemetry "server.handle";
+  Telemetry.observe tel
+    ~exemplar:(Telemetry.Ctx.trace_id ctx)
+    "server.handle_ms"
+    (Telemetry.now tel -. started);
+  Telemetry.span_end tel "server.handle";
   reply
 
 (* Record an admission-layer rejection: the message never reached

@@ -101,8 +101,17 @@ val create :
     message dumps.
     @raise Invalid_argument when [max_report_failures < 1]. *)
 
-val handle : t -> message -> reply
-(** Process one message.  [Query] before [Register], or
+val handle :
+  ?ctx:Harmony_telemetry.Telemetry.Ctx.t -> t -> message -> reply
+(** Process one message.  [ctx] is the trace-correlation context for
+    the message (the sharded service derives one per client message);
+    without it the server derives a deterministic fallback root from
+    its own arrival counter.  The [server.handle] span carries the
+    context's ids, the search work and each WAL write get child spans
+    ([server.search], [server.journal.append]), and the handle-latency
+    observation attaches the trace id as a bucket exemplar.
+
+    [Query] before [Register], or
     [Report]/[Report_failed] without an outstanding assignment, yields
     [Rejected]; so does registering a spec that parses but cannot be
     tuned (e.g. a single feasible configuration — a degenerate initial

@@ -11,6 +11,7 @@ type t = {
   options : Tuner.options;
   telemetry : Telemetry.t;
   mutable report : Sensitivity.report option;
+  mutable tunes : int;  (* tune calls so far; seeds each run's trace root *)
 }
 
 let create ~objective ?db ?db_path ?checkpoint_every ?on_salvage
@@ -33,7 +34,8 @@ let create ~objective ?db ?db_path ?checkpoint_every ?on_salvage
     | None -> options
     | Some _ -> { options with Tuner.measure }
   in
-  { objective; db; db_path; checkpoint_every; options; telemetry; report = None }
+  { objective; db; db_path; checkpoint_every; options; telemetry;
+    report = None; tunes = 0 }
 
 let save_database t =
   match t.db_path with None -> () | Some path -> History.save t.db path
@@ -86,7 +88,13 @@ let checkpoint_database t ?label ?characteristics evaluations path =
 
 let tune ?top_n ?characteristics ?label ?pool ?options t =
   let options = Option.value options ~default:t.options in
-  Telemetry.span t.telemetry "session.tune" @@ fun () ->
+  (* Each run gets a trace root derived from the session's own call
+     counter, so a multi-run session's traces are distinguishable and
+     the ids are reproducible without any ambient state. *)
+  t.tunes <- t.tunes + 1;
+  let ctx = Telemetry.Ctx.root ~client:"session" ~seq:t.tunes in
+  Telemetry.span t.telemetry ~args:(Telemetry.Ctx.args ctx) "session.tune"
+  @@ fun () ->
   (* Opt-in incremental durability: every [checkpoint_every] completed
      evaluations, persist the experience gathered so far, so a mid-run
      kill loses at most that many measurements. *)
@@ -128,12 +136,14 @@ let tune ?top_n ?characteristics ?label ?pool ?options t =
   let outcome, used_experience =
     match characteristics with
     | None ->
-        (Tuner.tune ~telemetry:t.telemetry ?pool ~options working_objective, false)
+        ( Tuner.tune ~telemetry:t.telemetry ~ctx ?pool ~options
+            working_objective,
+          false )
     | Some characteristics ->
         let analyzer = Analyzer.create t.db in
         let outcome, preparation =
-          Analyzer.tune_with_experience ~telemetry:t.telemetry ?pool ~options
-            ?label analyzer working_objective ~characteristics
+          Analyzer.tune_with_experience ~telemetry:t.telemetry ~ctx ?pool
+            ~options ?label analyzer working_objective ~characteristics
         in
         (outcome, preparation.Analyzer.matched <> None)
   in

@@ -31,7 +31,8 @@ type outcome = {
 
 module Telemetry = Harmony_telemetry.Telemetry
 
-let tune ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
+let tune ?(telemetry = Telemetry.off) ?ctx ?pool ?(options = default_options)
+    obj =
   (* With a measurement policy, every evaluation the kernel requests
      goes through the fault-tolerant pipeline; a measurement that
      exhausts the policy evaluates to the worst-case penalty, so the
@@ -47,6 +48,20 @@ let tune ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
   (* A [measure] span per evaluation, closed with the vetted reading.
      Wrapping below the recorder keeps the span around the physical
      measurement; the recorder's own hook still fires in entry order. *)
+  (* Trace correlation: each [measure] span is a child of [ctx],
+     numbered in evaluation order.  The counter only ever advances on
+     the calling domain (eval is sequential; batch spans are emitted
+     after the pool joins), so the ids are a function of the
+     evaluation sequence alone — identical at any pool size. *)
+  let measure_seq = ref 0 in
+  let measure_args () =
+    match ctx with
+    | None -> []
+    | Some c ->
+        let i = !measure_seq in
+        incr measure_seq;
+        Telemetry.Ctx.args (Telemetry.Ctx.child_i c "measure" i)
+  in
   let traced =
     if not (Telemetry.enabled telemetry) then measured
     else
@@ -54,7 +69,7 @@ let tune ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
         measured with
         Objective.eval =
           (fun c ->
-            Telemetry.span_begin telemetry "measure";
+            Telemetry.span_begin telemetry ~args:(measure_args ()) "measure";
             Telemetry.incr telemetry "tuner.evaluations";
             match measured.Objective.eval c with
             | v ->
@@ -76,7 +91,8 @@ let tune ?(telemetry = Telemetry.off) ?pool ?(options = default_options) obj =
               let values = Objective.run_batch measured disp configs in
               Array.iter
                 (fun v ->
-                  Telemetry.span_begin telemetry "measure";
+                  Telemetry.span_begin telemetry ~args:(measure_args ())
+                    "measure";
                   Telemetry.incr telemetry "tuner.evaluations";
                   Telemetry.span_end telemetry
                     ~args:[ ("performance", Telemetry.Num v) ]

@@ -47,6 +47,7 @@ type outcome = {
 
 val tune :
   ?telemetry:Harmony_telemetry.Telemetry.t ->
+  ?ctx:Harmony_telemetry.Telemetry.Ctx.t ->
   ?pool:Harmony_parallel.Pool.t ->
   ?options:options ->
   Objective.t ->
@@ -57,6 +58,14 @@ val tune :
     down to {!Simplex.optimize} (step spans) and {!Measure.robust}
     (retry/fault counters).  Telemetry observes and never steers: the
     tuning outcome is byte-identical with the handle off.
+
+    With a trace context [ctx], every [measure] span carries the ids
+    of a child context numbered in evaluation order
+    ({!Harmony_telemetry.Telemetry.Ctx.child_i} with name
+    ["measure"]), linking each physical measurement back to the run
+    that requested it.  Batch evaluations emit their spans on the
+    calling domain after the pool joins, so the ids — like the rest of
+    the trace — are byte-identical at any domain count.
 
     With a [pool], the simplex phases that produce whole configuration
     sets (initial vertices, shrink, restarts) are measured as one

@@ -93,7 +93,13 @@ let measure_one ~policy ~clock (obj : Objective.t) c =
   let faults = ref 0 in
   let last_fault = ref Objective.Transient in
   let delay = ref policy.backoff_ms in
+  (* This measurement's own backoff total, tracked locally: the shared
+     clock advances under every domain at once, so a before/after
+     difference would depend on the interleaving — this sum does
+     not. *)
+  let slept = ref 0.0 in
   let backoff () =
+    slept := !slept +. !delay;
     Clock.sleep clock !delay;
     delay := Float.min policy.backoff_cap_ms (!delay *. policy.backoff_factor)
   in
@@ -174,11 +180,11 @@ let measure_one ~policy ~clock (obj : Objective.t) c =
         Error { attempts = !attempts; faults = !faults; last_fault = !last_fault }
     | _ -> Ok (Stats.median vetted)
   in
-  (result, !attempts, !retries, !faults)
+  (result, !attempts, !retries, !faults, !slept)
 
 let measure ?(policy = default_policy) ?(clock = Clock.create ()) obj c =
   validate_policy policy;
-  let result, _, _, _ = measure_one ~policy ~clock obj c in
+  let result, _, _, _, _ = measure_one ~policy ~clock obj c in
   result
 
 (* Batch counterpart of [measure]: one logical measurement per input
@@ -198,7 +204,7 @@ let measure_batch ?(policy = default_policy) ?(clock = Clock.create ()) ?pool ob
   let measure_group idxs =
     List.iter
       (fun i ->
-        let result, _, _, _ = measure_one ~policy ~clock obj configs.(i) in
+        let result, _, _, _, _ = measure_one ~policy ~clock obj configs.(i) in
         results.(i) <- result)
       idxs
   in
@@ -220,6 +226,13 @@ let c_retries = "measure.retries"
 let c_faults = "measure.faults"
 let c_give_ups = "measure.give_ups"
 let g_backoff = "measure.backoff_ms"
+
+(* Per-measurement backoff totals, for the trace analyzer's backoff
+   phase: how much of a run's latency was spent waiting out faults.
+   Bucket increments commute, so the merged histogram is deterministic
+   at any pool size even though measurements land from every domain. *)
+let h_backoff = "measure.backoff_wait"
+let backoff_bounds = [| 0.; 10.; 20.; 40.; 80.; 160.; 320.; 640. |]
 
 type handle = {
   registry : Telemetry.t;
@@ -262,12 +275,15 @@ let robust ?(telemetry = Telemetry.off) ?(policy = default_policy)
     { registry = reg; handle_lock = lock; clock; clock_start = Clock.now clock }
   in
   let eval c =
-    let result, attempts, retries, faults = measure_one ~policy ~clock obj c in
+    let result, attempts, retries, faults, slept =
+      measure_one ~policy ~clock obj c
+    in
     Mutex.protect lock (fun () ->
         Telemetry.incr reg c_measurements;
         Telemetry.incr reg ~by:attempts c_attempts;
         Telemetry.incr reg ~by:retries c_retries;
         Telemetry.incr reg ~by:faults c_faults;
+        Telemetry.observe reg ~bounds:backoff_bounds h_backoff slept;
         Telemetry.gauge reg g_backoff (Clock.now clock -. handle.clock_start);
         match result with
         | Ok _ -> ()

@@ -34,6 +34,8 @@ let default_domains () = Domain.recommended_domain_count ()
    stay input-ordered regardless. *)
 let c_tasks = "pool.tasks"
 let g_queue_depth = "pool.queue_depth.max"
+let h_batch_size = "pool.batch_size"
+let batch_size_bounds = [| 1.; 2.; 4.; 8.; 16.; 32.; 64.; 128. |]
 let domain_counter i = Printf.sprintf "pool.domain.%d.tasks" i
 
 (* Worker domains block on [work] until a task (or shutdown) arrives.
@@ -104,6 +106,13 @@ let try_map_array ?(cancel = Cancel.none) t f a =
   if n = 0 then [||]
   else begin
     Telemetry.incr t.telemetry ~by:n c_tasks;
+    (* Fan-out width per batch, observed on the submitting domain: the
+       trace analyzer joins a parent span's cross-domain children
+       through the batch boundary, and this histogram is its view of
+       how wide those boundaries are.  Deterministic — batches are
+       submitted in program order regardless of scheduling. *)
+    Telemetry.observe t.telemetry ~bounds:batch_size_bounds h_batch_size
+      (float_of_int n);
     if t.size = 1 || n = 1 then begin
       Telemetry.incr t.telemetry ~by:n (domain_counter 0);
       sequential_try cancel f a

@@ -157,7 +157,7 @@ let reject s ~reason ~retry_after =
   | Cancelled -> Telemetry.incr s.tel c_cancelled);
   Reject { reason; retry_after; degraded = s.degraded }
 
-let check t ~shard ~client ~priority ?enqueued_at ?deadline () =
+let check t ~shard ~client ~priority ?enqueued_at ?deadline ?exemplar () =
   let s = t.shard_state.(shard) in
   match deadline with
   | Some d when d < t.clock ->
@@ -215,7 +215,7 @@ let check t ~shard ~client ~priority ?enqueued_at ?deadline () =
               | Some at ->
                   let delay = max 0 (t.clock - at) in
                   Telemetry.observe s.tel ~bounds:queue_delay_bounds
-                    h_queue_delay (float_of_int delay)
+                    ?exemplar h_queue_delay (float_of_int delay)
               | None -> ());
               Admit
             end)

@@ -106,6 +106,7 @@ val check :
   priority:priority ->
   ?enqueued_at:int ->
   ?deadline:int ->
+  ?exemplar:string ->
   unit ->
   verdict
 (** Admission decision for one message, in arrival order.  Checks run
@@ -113,8 +114,9 @@ val check :
     bucket, then the shard inflight cap.  [Admit] consumes one
     inflight slot (release it with {!complete}) and one token, and
     observes [now - enqueued_at] in the queue-delay histogram when
-    [enqueued_at] is given.  A [deadline] of [d] admits messages up to
-    and including tick [d]. *)
+    [enqueued_at] is given ([exemplar] attaches the message's trace id
+    to the bucket that delay lands in).  A [deadline] of [d] admits
+    messages up to and including tick [d]. *)
 
 val check_service : t -> verdict
 (** Admission for a service-level probe ([Service_metrics]): [Low]

@@ -5,16 +5,19 @@ module Journal = Harmony_persist.Journal
 module Pool = Harmony_parallel.Pool
 module Telemetry = Harmony_telemetry.Telemetry
 module Export = Harmony_telemetry.Export
+module Flight = Harmony_telemetry.Flight
 
 type message =
   | Client of { client : string; payload : Server.message }
   | Deregister of { client : string }
   | Service_metrics
+  | Dump_flight
 
 type reply =
   | Client_reply of { client : string; reply : Server.reply }
   | Deregistered of { client : string }
   | Service_stats of string
+  | Flight_dump of string
   | Service_error of string
 
 type event = Recv of message | Reply of string | Shed of message
@@ -50,11 +53,27 @@ type shard = {
   mutable persist : shard_persist option;
 }
 
+(* The in-service burn-rate monitor: one {!Slo.t} per objective
+   (handle latency, admission queue delay), fed after every admission
+   tick from the merged per-shard histograms.  Single-owner state,
+   touched only from the submitting domain (like the admission
+   layer). *)
+type slo_monitor = {
+  slo_spec : Slo.spec;
+  handle_mon : Slo.t;
+  delay_mon : Slo.t;
+}
+
 type t = {
   options : Simplex.options option;
   max_report_failures : int option;
   shards_ : shard array;
   admission : Admission.t option;
+  seqs : (string, int ref) Hashtbl.t;
+      (* per-client message sequence, advanced in arrival order on the
+         submitting domain only — the deterministic seed of each
+         message's trace context *)
+  slo : slo_monitor option;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -92,7 +111,8 @@ let sessions t =
 let handle_ms_bounds =
   [| 0.; 1.; 2.; 5.; 10.; 20.; 50.; 100.; 200.; 500.; 1000. |]
 
-let create ?options ?max_report_failures ?telemetry ?admission ~shards () =
+let create ?options ?max_report_failures ?telemetry ?admission ?slo ~shards ()
+    =
   if shards < 1 then invalid_arg "Service.create: shards < 1";
   let tel_for =
     match telemetry with Some f -> f | None -> fun _ -> Telemetry.off
@@ -113,7 +133,24 @@ let create ?options ?max_report_failures ?telemetry ?admission ~shards () =
         Admission.create ~telemetry:(fun i -> shards_.(i).tel) ~shards config)
       admission
   in
-  { options; max_report_failures; shards_; admission }
+  let slo =
+    Option.map
+      (fun spec ->
+        {
+          slo_spec = spec;
+          handle_mon = Slo.create spec.Slo.burn;
+          delay_mon = Slo.create spec.Slo.burn;
+        })
+      slo
+  in
+  {
+    options;
+    max_report_failures;
+    shards_;
+    admission;
+    seqs = Hashtbl.create 256;
+    slo;
+  }
 
 let admission t = t.admission
 let admission_now t =
@@ -137,7 +174,7 @@ let metrics t = Export.prometheus (merged_telemetry t)
    [quit], and the service's own command. *)
 let reserved =
   [ "register"; "query"; "report"; "metrics"; "done"; "quit";
-    "service-metrics" ]
+    "service-metrics"; "dump-flight" ]
 
 let is_space c =
   Char.equal c ' ' || Char.equal c '\t' || Char.equal c '\n'
@@ -151,6 +188,7 @@ let valid_client id =
 let parse_message text =
   let text = String.trim text in
   if String.equal text "service-metrics" then Ok Service_metrics
+  else if String.equal text "dump-flight" then Ok Dump_flight
   else
     let first_line_end =
       match String.index_opt text '\n' with
@@ -176,12 +214,14 @@ let message_to_string = function
       client ^ " " ^ Server.message_to_string payload
   | Deregister { client } -> client ^ " done"
   | Service_metrics -> "service-metrics"
+  | Dump_flight -> "dump-flight"
 
 let reply_to_string = function
   | Client_reply { client; reply } ->
       client ^ " " ^ Server.reply_to_string reply
   | Deregistered { client } -> client ^ " bye"
   | Service_stats text -> "stats\n" ^ String.trim text
+  | Flight_dump text -> "flight\n" ^ String.trim text
   | Service_error msg -> "error " ^ msg
 
 (* ------------------------------------------------------------------ *)
@@ -191,12 +231,15 @@ let unknown_client shard client =
   Telemetry.incr shard.tel "service.unknown_client";
   Server.Rejected ("unknown client " ^ client ^ ": register first")
 
-let apply t shard = function
+let apply ?ctx t shard = function
   | Service_metrics ->
       (* Routed at the service level (it needs every shard's registry);
          a shard only sees it through a corrupted journal, where a
          deterministic error keeps replay total. *)
       Service_error "service-metrics is not shard-local"
+  | Dump_flight ->
+      (* Same service-level routing: it reads every shard's ring. *)
+      Service_error "dump-flight is not shard-local"
   | Deregister { client } -> (
       match Hashtbl.find_opt shard.sessions client with
       | None ->
@@ -211,7 +254,7 @@ let apply t shard = function
   | Client { client; payload } -> (
       match Hashtbl.find_opt shard.sessions client with
       | Some server ->
-          Client_reply { client; reply = Server.handle server payload }
+          Client_reply { client; reply = Server.handle ?ctx server payload }
       | None -> (
           match payload with
           | Server.Register _ ->
@@ -224,7 +267,7 @@ let apply t shard = function
                   ?max_report_failures:t.max_report_failures
                   ~reject_reregister:true ~telemetry:shard.tel ()
               in
-              let reply = Server.handle server payload in
+              let reply = Server.handle ?ctx server payload in
               (match reply with
               | Server.Rejected _ -> ()
               | Server.Assign _ | Server.Done _ | Server.Stats _ ->
@@ -304,11 +347,12 @@ let journaled = function
                        | Server.Report_failed; _ } -> true
   | Client { payload = Server.Query | Server.Metrics; _ } -> false
   | Deregister _ -> true
-  | Service_metrics -> false
+  | Service_metrics | Dump_flight -> false
 
 let log_client = function
   | Client { client; _ } | Deregister { client } -> client
-  | Service_metrics -> ""  (* never journaled; no valid client is "" *)
+  | Service_metrics | Dump_flight ->
+      ""  (* never journaled; no valid client is "" *)
 
 (* The multi-client replayable essence.  A successful deregister
    removes the client's whole history (nothing to replay); an accepted
@@ -330,14 +374,14 @@ let extend_log log ~seq message reply =
         | Client { payload = Server.Register _; _ } -> true
         | Client { payload = Server.Query | Server.Report _
                              | Server.Report_failed | Server.Metrics; _ }
-        | Deregister _ | Service_metrics -> false)
+        | Deregister _ | Service_metrics | Dump_flight -> false)
         && (match r with
            | Server.Rejected _ -> false
            | Server.Assign _ | Server.Done _ | Server.Stats _ -> true)
       in
       if accepted_register then rep :: recv :: prune log
       else rep :: recv :: log
-  | Service_error _ | Service_stats _ ->
+  | Service_error _ | Service_stats _ | Flight_dump _ ->
       (seq, client, Reply (reply_to_string reply))
       :: (seq, client, Recv message)
       :: log
@@ -360,21 +404,36 @@ let journal_append tel journal record =
 (* ------------------------------------------------------------------ *)
 (* Handling                                                            *)
 
-let handle_in_shard t shard message =
+let handle_in_shard ?ctx t shard message =
   Telemetry.incr shard.tel "service.messages";
+  (* Each WAL write is its own correlated span.  It sits {e outside}
+     the server.handle span on purpose: the message must be durable
+     before any session state changes, so journal time is trace-level
+     self time (harmony_trace self), not handle latency. *)
+  let journal_span record =
+    let args =
+      match ctx with
+      | Some c ->
+          Telemetry.Ctx.args (Telemetry.Ctx.child c "service.journal.append")
+      | None -> []
+    in
+    Telemetry.span_begin shard.tel ~args "service.journal.append";
+    (match shard.persist with
+    | Some p -> journal_append shard.tel p.journal record
+    | None -> ());
+    Telemetry.span_end shard.tel "service.journal.append"
+  in
   (match shard.persist with
   | Some p when journaled message ->
       (* WAL discipline: the message is durable before any session
          state changes; a crash loses at most the reply. *)
       p.seq <- p.seq + 1;
-      journal_append shard.tel p.journal
-        (Event.encode ~seq:p.seq (Recv message))
+      journal_span (Event.encode ~seq:p.seq (Recv message))
   | Some _ | None -> ());
-  let reply = apply t shard message in
+  let reply = apply ?ctx t shard message in
   (match shard.persist with
   | Some p when journaled message ->
-      journal_append shard.tel p.journal
-        (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
+      journal_span (Event.encode ~seq:p.seq (Reply (reply_to_string reply)));
       p.session_log <- extend_log p.session_log ~seq:p.seq message reply;
       if Journal.records p.journal > p.compact_every then begin
         Telemetry.incr shard.tel "service.journal.compactions";
@@ -392,7 +451,8 @@ let priority_of_message = function
       Admission.Critical
   | Client { payload = Server.Report _ | Server.Report_failed; _ } ->
       Admission.Normal
-  | Client { payload = Server.Query | Server.Metrics; _ } | Service_metrics ->
+  | Client { payload = Server.Query | Server.Metrics; _ }
+  | Service_metrics | Dump_flight ->
       Admission.Low
 
 (* A rejection is a total, client-addressed reply: the caller can
@@ -401,7 +461,7 @@ let shed_reply message text =
   match message with
   | Client { client; _ } | Deregister { client } ->
       Client_reply { client; reply = Server.Rejected text }
-  | Service_metrics -> Service_error text
+  | Service_metrics | Dump_flight -> Service_error text
 
 (* An admission rejection of a state-changing message is journaled
    (shed + literal reply, same seq) so recovery replays the full reply
@@ -441,38 +501,148 @@ let cancelled_reply shard message =
   Telemetry.incr shard.tel Admission.c_cancelled;
   shed_reply message cancelled_text
 
-let admission_check t ~shard env =
+let admission_check ?exemplar t ~shard env =
   match t.admission with
   | None -> Admission.Admit
   | Some a -> (
       match env.message with
-      | Service_metrics -> Admission.check_service a
+      | Service_metrics | Dump_flight -> Admission.check_service a
       | Client { client; _ } | Deregister { client } ->
           Admission.check a ~shard ~client
             ~priority:(priority_of_message env.message)
-            ?enqueued_at:env.enqueued_at ?deadline:env.deadline ())
+            ?enqueued_at:env.enqueued_at ?deadline:env.deadline ?exemplar ())
+
+(* The trace root for a client message: derived from (client, seq)
+   where seq is the client's message arrival index, advanced on the
+   submitting domain before dispatch — so trace ids are a function of
+   the message stream alone and byte-identical at any domain count. *)
+let next_ctx t client =
+  let r =
+    match Hashtbl.find_opt t.seqs client with
+    | Some r -> r
+    | None ->
+        let r = ref 0 in
+        Hashtbl.add t.seqs client r;
+        r
+  in
+  incr r;
+  Telemetry.Ctx.root ~client ~seq:!r
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder and SLO monitor                                     *)
+
+(* Every shard's recent telemetry events, oldest-first per shard, as
+   JSONL with a [shard] field — the black-box dump written on crash,
+   on an SLO page, or in reply to [dump-flight]. *)
+let flight_dump t =
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i shard ->
+      match Telemetry.flight shard.tel with
+      | None -> ()
+      | Some f -> Buffer.add_string buf (Flight.to_jsonl ~shard:i f))
+    t.shards_;
+  Buffer.contents buf
+
+let feed_monitor t mon name ~threshold =
+  let total, violations =
+    Array.fold_left
+      (fun (tot, vi) shard ->
+        match Telemetry.histogram_value shard.tel name with
+        | None -> (tot, vi)
+        | Some snap ->
+            ( tot + snap.Telemetry.count,
+              vi + Slo.violations_in snap ~threshold ))
+      (0, 0) t.shards_
+  in
+  Slo.feed mon ~total ~violations
+
+(* Feed both objectives once per handled batch/envelope, after all
+   shard tasks have joined (histogram sums across shards are then
+   stable), and expose the combined state on shard 0's registry.
+   State transitions are rare instants; the gauge is set every tick
+   (metric writes record no events, so the logical clock — and with it
+   every latency measurement — is unaffected). *)
+let slo_tick t =
+  match t.slo with
+  | None -> ()
+  | Some m ->
+      let tel0 = t.shards_.(0).tel in
+      let h_before, h_after =
+        feed_monitor t m.handle_mon m.slo_spec.Slo.handle_histogram
+          ~threshold:m.slo_spec.Slo.handle_threshold
+      in
+      let d_before, d_after =
+        feed_monitor t m.delay_mon m.slo_spec.Slo.delay_histogram
+          ~threshold:m.slo_spec.Slo.delay_threshold
+      in
+      let combined =
+        Slo.worst (Slo.state m.handle_mon) (Slo.state m.delay_mon)
+      in
+      Telemetry.gauge tel0 "service.slo.state"
+        (float_of_int (Slo.state_rank combined));
+      let transition objective before after =
+        if Slo.state_rank after <> Slo.state_rank before then begin
+          Telemetry.instant tel0 "service.slo.transition"
+            ~args:
+              [
+                ("objective", Telemetry.Str objective);
+                ("from", Telemetry.Str (Slo.state_to_string before));
+                ("to", Telemetry.Str (Slo.state_to_string after));
+              ];
+          match after with
+          | Slo.Page -> Telemetry.incr tel0 "service.slo.pages"
+          | Slo.Healthy | Slo.Warn -> ()
+        end
+      in
+      transition "handle" h_before h_after;
+      transition "queue_delay" d_before d_after
+
+let slo_state t =
+  Option.map
+    (fun m -> Slo.worst (Slo.state m.handle_mon) (Slo.state m.delay_mon))
+    t.slo
+
+let slo_pages t =
+  match t.slo with
+  | None -> 0
+  | Some m -> Slo.pages m.handle_mon + Slo.pages m.delay_mon
 
 let handle_env t env =
   (match t.admission with Some a -> Admission.tick a | None -> ());
-  match env.message with
-  | Service_metrics -> (
-      match Admission.verdict_text (admission_check t ~shard:0 env) with
-      | None -> Service_stats (metrics t)
-      | Some text -> Service_error text)
-  | Client { client; _ } | Deregister { client } -> (
-      let s = shard_of_client t client in
-      match Admission.verdict_text (admission_check t ~shard:s env) with
-      | None ->
-          let reply = handle_in_shard t t.shards_.(s) env.message in
-          (match t.admission with
-          | Some a -> Admission.complete a ~shard:s
-          | None -> ());
-          reply
-      | Some text ->
-          let reply = shed_reply env.message text in
-          journal_shed_in_shard t.shards_.(s) env.message
-            (reply_to_string reply);
-          reply)
+  let reply =
+    match env.message with
+    | Service_metrics -> (
+        match Admission.verdict_text (admission_check t ~shard:0 env) with
+        | None -> Service_stats (metrics t)
+        | Some text -> Service_error text)
+    | Dump_flight -> (
+        match Admission.verdict_text (admission_check t ~shard:0 env) with
+        | None -> Flight_dump (flight_dump t)
+        | Some text -> Service_error text)
+    | Client { client; _ } | Deregister { client } -> (
+        let s = shard_of_client t client in
+        let ctx = next_ctx t client in
+        match
+          Admission.verdict_text
+            (admission_check t ~shard:s
+               ~exemplar:(Telemetry.Ctx.trace_id ctx)
+               env)
+        with
+        | None ->
+            let reply = handle_in_shard ~ctx t t.shards_.(s) env.message in
+            (match t.admission with
+            | Some a -> Admission.complete a ~shard:s
+            | None -> ());
+            reply
+        | Some text ->
+            let reply = shed_reply env.message text in
+            journal_shed_in_shard t.shards_.(s) env.message
+              (reply_to_string reply);
+            reply)
+  in
+  slo_tick t;
+  reply
 
 let handle t message = handle_env t (envelope message)
 
@@ -491,16 +661,31 @@ let handle_batch_env ?pool ?(cancel = Pool.Cancel.none) t envelopes =
       (fun e ->
         match e.message with
         | Service_metrics -> true
-        | Client _ | Deregister _ -> false)
+        | Client _ | Deregister _ | Dump_flight -> false)
       msgs
   in
   let pre_metrics = if has_probe then metrics t else "" in
+  (* [Dump_flight] gets the same pre-batch-snapshot treatment as the
+     metrics probe, for the same reason: its position inside the batch
+     must not change its reply. *)
+  let has_dump =
+    Array.exists
+      (fun e ->
+        match e.message with
+        | Dump_flight -> true
+        | Client _ | Deregister _ | Service_metrics -> false)
+      msgs
+  in
+  let pre_dump = if has_dump then flight_dump t else "" in
   (* Admission runs sequentially, in arrival order, before anything is
      dispatched: decisions (and their journaled sheds) are a
      deterministic function of the batch alone.  [admitted] counts
-     per-shard slots to release once the round joins. *)
+     per-shard slots to release once the round joins.  Trace contexts
+     are derived here too — on the submitting domain, in arrival order
+     — so the ids the shard tasks stamp are domain-count-invariant. *)
   let per_shard = Array.make nshards [] in
   let admitted = Array.make nshards 0 in
+  let ctxs = Array.make n None in
   Array.iteri
     (fun i env ->
       match env.message with
@@ -508,9 +693,20 @@ let handle_batch_env ?pool ?(cancel = Pool.Cancel.none) t envelopes =
           match Admission.verdict_text (admission_check t ~shard:0 env) with
           | None -> replies.(i) <- Some (Service_stats pre_metrics)
           | Some text -> replies.(i) <- Some (Service_error text))
+      | Dump_flight -> (
+          match Admission.verdict_text (admission_check t ~shard:0 env) with
+          | None -> replies.(i) <- Some (Flight_dump pre_dump)
+          | Some text -> replies.(i) <- Some (Service_error text))
       | Client { client; _ } | Deregister { client } -> (
           let s = shard_of_client t client in
-          match Admission.verdict_text (admission_check t ~shard:s env) with
+          let ctx = next_ctx t client in
+          ctxs.(i) <- Some ctx;
+          match
+            Admission.verdict_text
+              (admission_check t ~shard:s
+                 ~exemplar:(Telemetry.Ctx.trace_id ctx)
+                 env)
+          with
           | None ->
               admitted.(s) <- admitted.(s) + 1;
               per_shard.(s) <- i :: per_shard.(s)
@@ -529,7 +725,7 @@ let handle_batch_env ?pool ?(cancel = Pool.Cancel.none) t envelopes =
            retryable replies instead of occupying the domain. *)
         if Pool.Cancel.cancelled cancel then
           (i, cancelled_reply shard msgs.(i).message)
-        else (i, handle_in_shard t shard msgs.(i).message))
+        else (i, handle_in_shard ?ctx:ctxs.(i) t shard msgs.(i).message))
       ixs
   in
   let inputs = Array.init nshards (fun s -> (s, List.rev per_shard.(s))) in
@@ -573,6 +769,7 @@ let handle_batch_env ?pool ?(cancel = Pool.Cancel.none) t envelopes =
             (fun i -> replies.(i) <- Some (cancelled_reply shard msgs.(i).message))
             (snd inputs.(shard_ix)))
     outputs;
+  slo_tick t;
   Array.to_list
     (Array.map
        (function
@@ -722,12 +919,12 @@ type recovery = {
   per_shard : shard_recovery list;
 }
 
-let recover ?options ?max_report_failures ?telemetry ?admission ?wrap
+let recover ?options ?max_report_failures ?telemetry ?admission ?slo ?wrap
     ?(compact_every = default_compact_every) ~shards ~journal () =
   if compact_every < 1 then
     invalid_arg "Service.recover: compact_every < 1";
   let t =
-    create ?options ?max_report_failures ?telemetry ?admission ~shards ()
+    create ?options ?max_report_failures ?telemetry ?admission ?slo ~shards ()
   in
   let per_shard =
     List.init shards (fun i ->

@@ -69,11 +69,16 @@ type message =
   | Service_metrics
       (** [service-metrics]: merged per-shard Prometheus registries
           (read-only, never journaled) *)
+  | Dump_flight
+      (** [dump-flight]: every shard's flight-recorder ring as JSONL
+          (read-only, never journaled; empty without attached
+          recorders) *)
 
 type reply =
   | Client_reply of { client : string; reply : Server.reply }
   | Deregistered of { client : string }  (** renders as ["<id> bye"] *)
   | Service_stats of string  (** merged Prometheus text *)
+  | Flight_dump of string  (** flight-recorder JSONL, all shards *)
   | Service_error of string  (** service-level protocol error *)
 
 type t
@@ -97,6 +102,7 @@ val create :
   ?max_report_failures:int ->
   ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
   ?admission:Admission.config ->
+  ?slo:Slo.spec ->
   shards:int ->
   unit ->
   t
@@ -111,8 +117,17 @@ val create :
     turns on edge policing (see {!Admission}); its state shares the
     shard telemetry handles, so decision counters and the queue-delay
     histogram appear in the merged registry.
+
+    [slo] attaches an in-service burn-rate monitor (see {!Slo}): after
+    every handled envelope/batch the handle-latency and queue-delay
+    histograms are folded across shards and fed to one {!Slo.t} per
+    objective; the combined state is exported as the
+    [service.slo.state] gauge (0 ok / 1 warn / 2 page) on shard 0,
+    transitions as [service.slo.transition] instants, and entries into
+    page as the [service.slo.pages] counter.  Purely observational:
+    the monitor never sheds or steers.
     @raise Invalid_argument when [shards < 1] (or the config is
-    invalid, as in {!Admission.create}). *)
+    invalid, as in {!Admission.create} / {!Slo.create}). *)
 
 val admission : t -> Admission.t option
 (** The live admission state, when the service was created with one
@@ -202,13 +217,29 @@ val metrics : t -> string
 (** The merged registry in Prometheus text form — what
     [Service_metrics] answers. *)
 
+val flight_dump : t -> string
+(** Every shard's flight-recorder ring as JSONL (each line carries a
+    [shard] field; oldest-first per shard) — what [Dump_flight]
+    answers, and what the loadgen harness writes to disk on a crash or
+    an SLO page.  Empty when no shard handle has an attached
+    recorder. *)
+
+val slo_state : t -> Slo.state option
+(** The burn-rate monitor's combined state (worst of the handle and
+    queue-delay objectives); [None] when the service was created
+    without [?slo]. *)
+
+val slo_pages : t -> int
+(** Total transitions into [Page] across both objectives (0 without a
+    monitor). *)
+
 (** {1 Text codec} *)
 
 val parse_message : string -> (message, string) result
 (** Total parser for the service line protocol: ["<id> <server
     message>"] (register keeps its following specification lines),
-    ["<id> done"], ["service-metrics"].  Client ids are one
-    whitespace-free token that is not a protocol keyword. *)
+    ["<id> done"], ["service-metrics"], ["dump-flight"].  Client ids
+    are one whitespace-free token that is not a protocol keyword. *)
 
 val message_to_string : message -> string
 (** Inverse of {!parse_message} (reports keep their exact float bits,
@@ -270,6 +301,7 @@ val recover :
   ?max_report_failures:int ->
   ?telemetry:(int -> Harmony_telemetry.Telemetry.t) ->
   ?admission:Admission.config ->
+  ?slo:Slo.spec ->
   ?wrap:(shard:int -> Harmony_persist.Persist.sink -> Harmony_persist.Persist.sink) ->
   ?compact_every:int ->
   shards:int ->

@@ -84,23 +84,44 @@ let jsonl_metrics t =
       (Telemetry.gauges t)
   @ List.map
       (fun (name, h) ->
+        let exemplars =
+          match Telemetry.exemplars t name with
+          | [] -> []
+          | exs ->
+              [
+                ( "exemplars",
+                  Tjson.List
+                    (List.map
+                       (fun e ->
+                         Tjson.Obj
+                           [
+                             ( "le",
+                               Tjson.Str (bound_to_string e.Telemetry.ex_bound)
+                             );
+                             ("trace_id", Tjson.Str e.Telemetry.ex_trace_id);
+                             ("value", Tjson.Num e.Telemetry.ex_val);
+                           ])
+                       exs) );
+              ]
+        in
         Tjson.Obj
-          [
-            ("type", Tjson.Str "histogram");
-            ("name", Tjson.Str name);
-            ("count", Tjson.Num (float_of_int h.Telemetry.count));
-            ("sum", Tjson.Num h.Telemetry.sum);
-            ( "buckets",
-              Tjson.List
-                (List.map
-                   (fun (bound, occupancy) ->
-                     Tjson.Obj
-                       [
-                         ("le", Tjson.Str (bound_to_string bound));
-                         ("n", Tjson.Num (float_of_int occupancy));
-                       ])
-                   h.Telemetry.buckets) );
-          ])
+          ([
+             ("type", Tjson.Str "histogram");
+             ("name", Tjson.Str name);
+             ("count", Tjson.Num (float_of_int h.Telemetry.count));
+             ("sum", Tjson.Num h.Telemetry.sum);
+             ( "buckets",
+               Tjson.List
+                 (List.map
+                    (fun (bound, occupancy) ->
+                      Tjson.Obj
+                        [
+                          ("le", Tjson.Str (bound_to_string bound));
+                          ("n", Tjson.Num (float_of_int occupancy));
+                        ])
+                    h.Telemetry.buckets) );
+           ]
+          @ exemplars))
       (Telemetry.histograms t)
 
 let jsonl t =
@@ -210,15 +231,30 @@ let prometheus t =
     (Telemetry.gauges t);
   List.iter
     (fun (name, h) ->
+      let exemplars = Telemetry.exemplars t name in
       let name = sanitize name in
       Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" name);
       let cumulative = ref 0 in
       List.iter
         (fun (bound, occupancy) ->
           cumulative := !cumulative + occupancy;
+          (* OpenMetrics exemplar syntax: the last trace to land in
+             this bucket, with its observed value. *)
+          let exemplar =
+            match
+              List.find_opt
+                (fun e -> Float.equal e.Telemetry.ex_bound bound)
+                exemplars
+            with
+            | None -> ""
+            | Some e ->
+                Printf.sprintf " # {trace_id=\"%s\"} %s"
+                  e.Telemetry.ex_trace_id
+                  (prom_float e.Telemetry.ex_val)
+          in
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name
-               (bound_to_string bound) !cumulative))
+            (Printf.sprintf "%s_bucket{le=\"%s\"} %d%s\n" name
+               (bound_to_string bound) !cumulative exemplar))
         h.Telemetry.buckets;
       Buffer.add_string buf
         (Printf.sprintf "%s_sum %s\n" name (prom_float h.Telemetry.sum));

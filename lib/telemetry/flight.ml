@@ -1,0 +1,107 @@
+(* Flight recorder: a fixed-capacity ring of the most recent telemetry
+   events, kept even when the owning handle is metrics-only
+   ([record_events:false]).  A long-running shard cannot afford an
+   unbounded trace, but the last few hundred events before a crash or
+   an SLO page are exactly what an operator needs.
+
+   Allocation discipline (DESIGN.md §12): every slot lives in four
+   preallocated parallel arrays — [kinds]/[names]/[stamps]/[traces] —
+   so recording mutates slots in place.  Timestamps go in a bare
+   [float array] (unboxed); a mutable float field on a mixed record
+   would box on every write.
+
+   Locking: the recorder has its own mutex and, like the telemetry
+   lock, it is a forced leaf in the semantic lock-order analysis (sem
+   rule S2): no other lock may be acquired while holding it, and the
+   telemetry handle records into the ring only *after* releasing its
+   own lock. *)
+
+type kind = Begin | End | Instant
+
+type t = {
+  lock : Mutex.t;
+  capacity : int;
+  kinds : int array;
+  names : string array;
+  stamps : float array;
+  traces : string array;
+  mutable total : int; (* events ever recorded; ring slot = total mod capacity *)
+}
+
+type entry = { e_kind : kind; e_name : string; e_ts : float; e_trace : string }
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+  {
+    lock = Mutex.create ();
+    capacity;
+    kinds = Array.make capacity 0;
+    names = Array.make capacity "";
+    stamps = Array.make capacity 0.0;
+    traces = Array.make capacity "";
+    total = 0;
+  }
+
+let capacity t = t.capacity
+
+let total t = Mutex.protect t.lock (fun () -> t.total)
+
+let int_of_kind = function Begin -> 0 | End -> 1 | Instant -> 2
+let kind_of_int = function 0 -> Begin | 1 -> End | _ -> Instant
+let kind_to_string = function
+  | Begin -> "begin"
+  | End -> "end"
+  | Instant -> "instant"
+
+let record t ~kind ~name ~ts ~trace =
+  Mutex.protect t.lock (fun () ->
+      let i = t.total mod t.capacity in
+      t.kinds.(i) <- int_of_kind kind;
+      t.names.(i) <- name;
+      t.stamps.(i) <- ts;
+      t.traces.(i) <- trace;
+      t.total <- t.total + 1)
+
+(* Oldest-first snapshot of the retained window (the last
+   [min total capacity] events). *)
+let entries t =
+  Mutex.protect t.lock (fun () ->
+      let n = min t.total t.capacity in
+      let first = t.total - n in
+      List.init n (fun j ->
+          let i = (first + j) mod t.capacity in
+          {
+            e_kind = kind_of_int t.kinds.(i);
+            e_name = t.names.(i);
+            e_ts = t.stamps.(i);
+            e_trace = t.traces.(i);
+          }))
+
+(* One JSON object per line, oldest first — same field names as
+   [Export.jsonl] events plus the ring metadata, so [harmony_trace]
+   and [Summary.of_jsonl] both accept a dump. *)
+let to_jsonl ?shard t =
+  let buf = Buffer.create 1024 in
+  let shard_field =
+    match shard with
+    | None -> []
+    | Some i -> [ ("shard", Tjson.Num (float_of_int i)) ]
+  in
+  List.iter
+    (fun e ->
+      let trace_field =
+        if String.equal e.e_trace "" then []
+        else [ ("args", Tjson.Obj [ ("trace_id", Tjson.Str e.e_trace) ]) ]
+      in
+      Buffer.add_string buf
+        (Tjson.to_string
+           (Tjson.Obj
+              ([
+                 ("type", Tjson.Str (kind_to_string e.e_kind));
+                 ("name", Tjson.Str e.e_name);
+                 ("ts", Tjson.Num e.e_ts);
+               ]
+              @ shard_field @ trace_field)));
+      Buffer.add_char buf '\n')
+    (entries t);
+  Buffer.contents buf

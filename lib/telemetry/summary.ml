@@ -9,9 +9,16 @@ type span_stats = {
   total : float;
   mean : float;
   max_duration : float;
+  durations : float list; (* every closed-span duration, ascending *)
 }
 
-type histogram = { hist_count : int; hist_sum : float }
+type histogram = {
+  hist_count : int;
+  hist_sum : float;
+  hist_buckets : (float * int) list;
+  hist_exemplars : (float * string * float) list;
+      (* (bucket upper bound, trace id, observed value) *)
+}
 
 type t = {
   events : int;
@@ -30,6 +37,7 @@ type span_acc = {
   mutable a_count : int;
   mutable a_total : float;
   mutable a_max : float;
+  mutable a_durs : float list;
 }
 
 let bump table name f init =
@@ -82,8 +90,10 @@ let of_jsonl text =
                       (fun a ->
                         a.a_count <- a.a_count + 1;
                         a.a_total <- a.a_total +. d;
-                        a.a_max <- Float.max a.a_max d)
-                      (fun () -> { a_count = 0; a_total = 0.0; a_max = 0.0 })
+                        a.a_max <- Float.max a.a_max d;
+                        a.a_durs <- d :: a.a_durs)
+                      (fun () ->
+                        { a_count = 0; a_total = 0.0; a_max = 0.0; a_durs = [] })
                 | _ :: _ | [] -> incr unmatched)
             | "instant" ->
                 incr events;
@@ -104,7 +114,45 @@ let of_jsonl text =
                 let hist_sum =
                   Option.value ~default:0.0 (field_num "sum" json)
                 in
-                histograms := (name, { hist_count; hist_sum }) :: !histograms
+                let bound_of s =
+                  if String.equal s "+Inf" then infinity
+                  else Option.value ~default:infinity (float_of_string_opt s)
+                in
+                let elems key =
+                  match Tjson.member key json with
+                  | Some (Tjson.List l) -> l
+                  | Some
+                      (Tjson.Null | Tjson.Bool _ | Tjson.Num _ | Tjson.Str _
+                      | Tjson.Obj _)
+                  | None ->
+                      []
+                in
+                let hist_buckets =
+                  List.filter_map
+                    (fun b ->
+                      match
+                        (field_str "le" b, Option.bind (Tjson.member "n" b) Tjson.to_float)
+                      with
+                      | Some le, Some n -> Some (bound_of le, int_of_float n)
+                      | _, _ -> None)
+                    (elems "buckets")
+                in
+                let hist_exemplars =
+                  List.filter_map
+                    (fun e ->
+                      match
+                        ( field_str "le" e,
+                          field_str "trace_id" e,
+                          Option.bind (Tjson.member "value" e) Tjson.to_float )
+                      with
+                      | Some le, Some trace, Some v ->
+                          Some (bound_of le, trace, v)
+                      | _, _, _ -> None)
+                    (elems "exemplars")
+                in
+                histograms :=
+                  (name, { hist_count; hist_sum; hist_buckets; hist_exemplars })
+                  :: !histograms
             | _ ->
                 if Option.is_none !error then
                   error :=
@@ -129,6 +177,7 @@ let of_jsonl text =
               total = a.a_total;
               mean = (if a.a_count = 0 then 0.0 else a.a_total /. float_of_int a.a_count);
               max_duration = a.a_max;
+              durations = List.sort Float.compare a.a_durs;
             }
             :: acc)
           span_accs []
@@ -151,6 +200,45 @@ let of_jsonl text =
           histograms = sorted !histograms;
           unmatched = !unmatched;
         }
+
+(* ------------------------------------------------------------------ *)
+(* Percentiles — total over empty sets.
+
+   A percentile of zero samples has no value; returning NaN here once
+   let a NaN flow into a [<] comparison downstream (always false, so
+   the regression it should have flagged passed silently).  Every
+   percentile accessor therefore returns [None] on an empty set, and
+   callers must decide what absence means. *)
+
+let percentile sorted q =
+  let n = List.length sorted in
+  if n = 0 || not (q >= 0.0 && q <= 1.0) then None
+  else
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+      if r < 1 then 1 else if r > n then n else r
+    in
+    List.nth_opt sorted (rank - 1)
+
+let span_percentile t name q =
+  match List.find_opt (fun s -> String.equal s.span_name name) t.spans with
+  | None -> None
+  | Some s -> percentile s.durations q
+
+let histogram_quantile h q =
+  if h.hist_count = 0 || not (q >= 0.0 && q <= 1.0) then None
+  else
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.hist_count)) in
+      if r < 1 then 1 else if r > h.hist_count then h.hist_count else r
+    in
+    let rec go cumulative = function
+      | [] -> None
+      | (bound, occupancy) :: rest ->
+          if cumulative + occupancy >= rank then Some bound
+          else go (cumulative + occupancy) rest
+    in
+    go 0 h.hist_buckets
 
 let pp ppf t =
   Format.fprintf ppf "events: %d@." t.events;

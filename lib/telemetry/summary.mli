@@ -7,9 +7,18 @@ type span_stats = {
   total : float;  (** summed duration, in the trace's clock units *)
   mean : float;
   max_duration : float;
+  durations : float list;  (** every closed-span duration, ascending *)
 }
 
-type histogram = { hist_count : int; hist_sum : float }
+type histogram = {
+  hist_count : int;
+  hist_sum : float;
+  hist_buckets : (float * int) list;
+      (** (upper bound, occupancy) as exported; empty for traces
+          written before buckets were serialized *)
+  hist_exemplars : (float * string * float) list;
+      (** (bucket upper bound, trace id, observed value) *)
+}
 
 type t = {
   events : int;  (** begin/end/instant records seen *)
@@ -26,6 +35,20 @@ type t = {
 val of_jsonl : string -> (t, string) result
 (** Total: the first malformed line yields [Error "line N: ..."].
     Blank lines are skipped. *)
+
+val percentile : float list -> float -> float option
+(** [percentile sorted q] over an ascending list; [None] on an empty
+    set or [q] outside [0, 1] — never NaN, so an absent percentile
+    cannot leak into a float comparison. *)
+
+val span_percentile : t -> string -> float -> float option
+(** Percentile of a span's closed durations; [None] when the span was
+    never closed in the trace (the empty-span-set guard). *)
+
+val histogram_quantile : histogram -> float -> float option
+(** Conservative bucket-bound quantile (same estimator as
+    [Telemetry.quantile]); [None] on an empty histogram, a histogram
+    exported without buckets, or [q] outside [0, 1]. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -21,6 +21,49 @@ type event =
   | End of { name : string; ts : float; args : (string * value) list }
   | Instant of { name : string; ts : float; args : (string * value) list }
 
+(* Trace correlation context.  Ids are derived by hashing, never drawn
+   from a counter or RNG, so the same (client, seq) always yields the
+   same trace id — traces stay byte-reproducible at any domain count
+   and there is no ambient state to thread (D1/D2 clean). *)
+module Ctx = struct
+  type t = { trace_id : string; span_id : string; parent_id : string }
+
+  (* FNV-1a, 64-bit. *)
+  let fnv64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code c)))
+            0x100000001b3L)
+      s;
+    !h
+
+  let hex h = Printf.sprintf "%016Lx" h
+
+  let root ~client ~seq =
+    let id = hex (fnv64 (client ^ "\x00" ^ string_of_int seq)) in
+    { trace_id = id; span_id = id; parent_id = "" }
+
+  let child c name =
+    {
+      trace_id = c.trace_id;
+      span_id = hex (fnv64 (c.span_id ^ "\x00" ^ name));
+      parent_id = c.span_id;
+    }
+
+  let child_i c name i = child c (name ^ "#" ^ string_of_int i)
+  let trace_id c = c.trace_id
+  let span_id c = c.span_id
+  let parent_id c = c.parent_id
+
+  let args c =
+    let base = [ ("trace_id", Str c.trace_id); ("span_id", Str c.span_id) ] in
+    if String.equal c.parent_id "" then base
+    else base @ [ ("parent_id", Str c.parent_id) ]
+end
+
 type histogram_snapshot = {
   count : int;
   sum : float;
@@ -34,7 +77,14 @@ type hist = {
   mutable h_sum : float;
   bounds : float array; (* ascending finite upper bounds *)
   occupancy : int array; (* length bounds + 1; last is the overflow bucket *)
+  ex_trace : string array;
+      (* OpenMetrics exemplars: the last trace id that landed in each
+         bucket ("" = none yet), with the observed value alongside —
+         the p99 offender becomes a named trace, not a number. *)
+  ex_value : float array;
 }
+
+type exemplar = { ex_bound : float; ex_trace_id : string; ex_val : float }
 
 type state = {
   lock : Mutex.t;
@@ -53,13 +103,22 @@ type state = {
   counters : (string, int ref) Hashtbl.t;
   gauges : (string, float ref) Hashtbl.t;
   histograms : (string, hist) Hashtbl.t;
+  flight : Flight.t option;
+      (* Ring of recent events, kept even when [record_events] is
+         false.  Recorded *after* the handle's lock is released — the
+         telemetry lock is a forced leaf (sem S2), so it may not hold
+         any other lock, including the recorder's. *)
+  gc_stats : bool;
+      (* Sample Gc.quick_stat into gauges at root-span close.  GC
+         counters are not deterministic, so this is opt-in the same
+         way wall clocks are: only [bin/] turns it on. *)
 }
 
 type t = Off | On of state
 
 let off = Off
 
-let create ?clock ?(record_events = true) () =
+let create ?clock ?(record_events = true) ?flight ?(gc_stats = false) () =
   On
     {
       lock = Mutex.create ();
@@ -72,6 +131,8 @@ let create ?clock ?(record_events = true) () =
       counters = Hashtbl.create 32;
       gauges = Hashtbl.create 16;
       histograms = Hashtbl.create 8;
+      flight;
+      gc_stats;
     }
 
 let enabled = function Off -> false | On _ -> true
@@ -85,29 +146,70 @@ let now = function
   | Off -> 0.0
   | On s -> Mutex.protect s.lock (fun () -> now_locked s)
 
+let trace_of_args args =
+  match List.assoc_opt "trace_id" args with
+  | Some (Str s) -> s
+  | Some (Num _ | Int _ | Bool _) | None -> ""
+
 (* Every recorded event advances the logical clock by one, so default
    timestamps are the event sequence number — strictly increasing and
-   fully deterministic. *)
-let record s mk =
-  Mutex.protect s.lock (fun () ->
-      let ts = now_locked s in
-      s.ticks <- s.ticks + 1;
-      if s.record_events then s.rev_events <- mk ts :: s.rev_events;
-      s.event_count <- s.event_count + 1)
+   fully deterministic.  The flight-recorder mirror happens after the
+   handle's lock is released (S2: the telemetry lock is a leaf). *)
+let record s kind name args =
+  let ts =
+    Mutex.protect s.lock (fun () ->
+        let ts = now_locked s in
+        s.ticks <- s.ticks + 1;
+        if s.record_events then begin
+          let ev =
+            match kind with
+            | Flight.Begin -> Begin { name; ts; args }
+            | Flight.End -> End { name; ts; args }
+            | Flight.Instant -> Instant { name; ts; args }
+          in
+          s.rev_events <- ev :: s.rev_events
+        end;
+        s.event_count <- s.event_count + 1;
+        ts)
+  in
+  match s.flight with
+  | None -> ()
+  | Some f -> Flight.record f ~kind ~name ~ts ~trace:(trace_of_args args)
+
+(* Not deterministic (the whole point); opt-in via [gc_stats], never
+   on by default, so the byte-identity contract is untouched. *)
+let sample_gc_locked s =
+  let st = Gc.quick_stat () in
+  let set name v =
+    match Hashtbl.find_opt s.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace s.gauges name (ref v)
+  in
+  set "telemetry.gc.minor_words" st.Gc.minor_words;
+  set "telemetry.gc.major_words" st.Gc.major_words;
+  set "telemetry.gc.promoted_words" st.Gc.promoted_words;
+  set "telemetry.gc.compactions" (float_of_int st.Gc.compactions);
+  set "telemetry.gc.heap_words" (float_of_int st.Gc.heap_words)
 
 let span_begin t ?(args = []) name =
   match t with
   | Off -> ()
   | On s ->
-      record s (fun ts -> Begin { name; ts; args });
+      record s Flight.Begin name args;
       Mutex.protect s.lock (fun () -> s.depth_now <- s.depth_now + 1)
 
 let span_end t ?(args = []) name =
   match t with
   | Off -> ()
   | On s ->
-      Mutex.protect s.lock (fun () -> s.depth_now <- max 0 (s.depth_now - 1));
-      record s (fun ts -> End { name; ts; args })
+      let at_root =
+        Mutex.protect s.lock (fun () ->
+            s.depth_now <- max 0 (s.depth_now - 1);
+            s.depth_now = 0)
+      in
+      record s Flight.End name args;
+      if s.gc_stats && at_root then
+        Mutex.protect s.lock (fun () -> sample_gc_locked s)
 
 let span t ?args name f =
   match t with
@@ -119,7 +221,7 @@ let span t ?args name f =
 let instant t ?(args = []) name =
   match t with
   | Off -> ()
-  | On s -> record s (fun ts -> Instant { name; ts; args })
+  | On s -> record s Flight.Instant name args
 
 let events = function
   | Off -> []
@@ -205,6 +307,8 @@ let hist_locked s ?bounds name =
           h_sum = 0.0;
           bounds;
           occupancy = Array.make (Array.length bounds + 1) 0;
+          ex_trace = Array.make (Array.length bounds + 1) "";
+          ex_value = Array.make (Array.length bounds + 1) 0.0;
         }
       in
       Hashtbl.replace s.histograms name h;
@@ -224,14 +328,21 @@ let observe_hist h v =
     else slot (i + 1)
   in
   let i = slot 0 in
-  h.occupancy.(i) <- h.occupancy.(i) + 1
+  h.occupancy.(i) <- h.occupancy.(i) + 1;
+  i
 
-let observe t ?bounds name v =
+let observe t ?bounds ?exemplar name v =
   match t with
   | Off -> ()
   | On s ->
       Mutex.protect s.lock (fun () ->
-          observe_hist (hist_locked s ?bounds name) v)
+          let h = hist_locked s ?bounds name in
+          let i = observe_hist h v in
+          match exemplar with
+          | None -> ()
+          | Some trace ->
+              h.ex_trace.(i) <- trace;
+              h.ex_value.(i) <- v)
 
 let sorted_bindings table f =
   Hashtbl.fold (fun k v acc -> (k, f v) :: acc) table []
@@ -261,6 +372,37 @@ let histograms = function
   | Off -> []
   | On s -> Mutex.protect s.lock (fun () -> sorted_bindings s.histograms snapshot_hist)
 
+let histogram_value t name =
+  match t with
+  | Off -> None
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          Option.map snapshot_hist (Hashtbl.find_opt s.histograms name))
+
+let exemplars_of_hist h =
+  let out = ref [] in
+  for i = Array.length h.ex_trace - 1 downto 0 do
+    if not (String.equal h.ex_trace.(i) "") then
+      let bound =
+        if i < Array.length h.bounds then h.bounds.(i) else infinity
+      in
+      out :=
+        { ex_bound = bound; ex_trace_id = h.ex_trace.(i); ex_val = h.ex_value.(i) }
+        :: !out
+  done;
+  !out
+
+let exemplars t name =
+  match t with
+  | Off -> []
+  | On s ->
+      Mutex.protect s.lock (fun () ->
+          match Hashtbl.find_opt s.histograms name with
+          | None -> []
+          | Some h -> exemplars_of_hist h)
+
+let flight = function Off -> None | On s -> s.flight
+
 (* ------------------------------------------------------------------ *)
 (* Cross-handle aggregation (the sharded service's merged registry)    *)
 
@@ -279,6 +421,10 @@ let quantile snap q =
     in
     go 0 snap.buckets
 
+let quantile_opt snap q =
+  let v = quantile snap q in
+  if Float.is_nan v then None else Some v
+
 let same_bounds a b =
   Array.length a = Array.length b
   && Array.for_all2 (fun x y -> Float.equal x y) a b
@@ -290,9 +436,20 @@ let same_bounds a b =
 let merge_hist dst src =
   dst.h_count <- dst.h_count + src.h_count;
   dst.h_sum <- dst.h_sum +. src.h_sum;
+  (* A later source's exemplar overwrites an earlier one ("last trace
+     to land in the bucket"); merging in a fixed handle order keeps
+     the result deterministic. *)
+  let take_exemplar i j =
+    if not (String.equal src.ex_trace.(i) "") then begin
+      dst.ex_trace.(j) <- src.ex_trace.(i);
+      dst.ex_value.(j) <- src.ex_value.(i)
+    end
+  in
   if same_bounds dst.bounds src.bounds then
     Array.iteri
-      (fun i occupancy -> dst.occupancy.(i) <- dst.occupancy.(i) + occupancy)
+      (fun i occupancy ->
+        dst.occupancy.(i) <- dst.occupancy.(i) + occupancy;
+        take_exemplar i i)
       src.occupancy
   else
     Array.iteri
@@ -306,7 +463,8 @@ let merge_hist dst src =
           else slot (j + 1)
         in
         let j = slot 0 in
-        dst.occupancy.(j) <- dst.occupancy.(j) + occupancy)
+        dst.occupancy.(j) <- dst.occupancy.(j) + occupancy;
+        take_exemplar i j)
       src.occupancy
 
 let merged handles =
@@ -322,6 +480,8 @@ let merged handles =
       counters = Hashtbl.create 32;
       gauges = Hashtbl.create 16;
       histograms = Hashtbl.create 8;
+      flight = None;
+      gc_stats = false;
     }
   in
   List.iter
@@ -355,6 +515,10 @@ let merged handles =
                             bounds = Array.copy h.bounds;
                             occupancy =
                               Array.make (Array.length h.bounds + 1) 0;
+                            ex_trace =
+                              Array.make (Array.length h.bounds + 1) "";
+                            ex_value =
+                              Array.make (Array.length h.bounds + 1) 0.0;
                           }
                         in
                         Hashtbl.replace dst.histograms name d;

@@ -29,11 +29,45 @@ type event =
   | End of { name : string; ts : float; args : (string * value) list }
   | Instant of { name : string; ts : float; args : (string * value) list }
 
+(** Trace correlation context, threaded explicitly (never ambient)
+    from the service edge down through server, controller, tuner and
+    measurement.  Ids are FNV-1a hashes of [(client, seq)] and of
+    parent span ids — fully deterministic, so traces remain
+    byte-reproducible at any domain count. *)
+module Ctx : sig
+  type t
+
+  val root : client:string -> seq:int -> t
+  (** The trace root for the [seq]-th message of [client]; trace id
+      and span id coincide, parent id is empty. *)
+
+  val child : t -> string -> t
+  (** A child span context keyed by name (deterministic: same parent
+      and name gives the same span id). *)
+
+  val child_i : t -> string -> int -> t
+  (** An indexed child, for fan-out (batch evaluation slots). *)
+
+  val trace_id : t -> string
+  val span_id : t -> string
+  val parent_id : t -> string
+
+  val args : t -> (string * value) list
+  (** [trace_id]/[span_id] (and [parent_id] when non-root) as event
+      arguments — attach to the correlated span. *)
+end
+
 val off : t
 (** The disabled handle: every operation is a no-op, [events] is
     empty, every counter reads 0.  The default everywhere. *)
 
-val create : ?clock:(unit -> float) -> ?record_events:bool -> unit -> t
+val create :
+  ?clock:(unit -> float) ->
+  ?record_events:bool ->
+  ?flight:Flight.t ->
+  ?gc_stats:bool ->
+  unit ->
+  t
 (** A live handle.  Without [clock], timestamps are the logical event
     sequence number (deterministic); with [clock], every event calls
     it for a timestamp (inject wall clocks only from [bin/]).
@@ -44,7 +78,16 @@ val create : ?clock:(unit -> float) -> ?record_events:bool -> unit -> t
     every counter/gauge/histogram advance exactly as they would with
     recording on (so metric values are byte-identical either way), but
     {!events} stays empty and memory stays O(registry) — what a
-    long-running sharded service wants for its per-shard handles. *)
+    long-running sharded service wants for its per-shard handles.
+
+    [flight] attaches a {!Flight} recorder: every event (even with
+    [record_events:false]) is mirrored into its fixed-capacity ring,
+    after the handle's own lock is released.  [gc_stats] (default
+    [false]; inherently nondeterministic, so opt-in from [bin/] only,
+    like wall clocks) samples [Gc.quick_stat] into
+    [telemetry.gc.minor_words] / [major_words] / [promoted_words] /
+    [compactions] / [heap_words] gauges each time the root span
+    closes. *)
 
 val enabled : t -> bool
 val now : t -> float
@@ -85,12 +128,18 @@ val gauge_max : t -> string -> float -> unit
 (** Set a gauge to the max of its current value and [v] (high-water
     marks, e.g. pool queue depth). *)
 
-val observe : t -> ?bounds:float array -> string -> float -> unit
+val observe :
+  t -> ?bounds:float array -> ?exemplar:string -> string -> float -> unit
 (** Add an observation to a histogram.  Bucket upper bounds are fixed
     when the histogram is created — by {!declare_histogram} or at the
     first observation ([bounds] is sorted; later calls ignore it); the
     default bounds are decades from 1e-3 to 1e5 plus an overflow
-    bucket. *)
+    bucket.
+
+    [exemplar] attaches a trace id to the bucket the observation lands
+    in (the bucket remembers the last one), exported in OpenMetrics
+    exemplar syntax by [Export.prometheus] and readable back via
+    {!exemplars}. *)
 
 val declare_histogram : t -> ?bounds:float array -> string -> unit
 (** Create an empty histogram with the given bucket bounds without
@@ -117,6 +166,20 @@ type histogram_snapshot = {
 
 val histograms : t -> (string * histogram_snapshot) list
 
+val histogram_value : t -> string -> histogram_snapshot option
+(** One histogram by name ([None] when absent or the handle is off). *)
+
+type exemplar = { ex_bound : float; ex_trace_id : string; ex_val : float }
+(** The last trace id that landed in the bucket with upper bound
+    [ex_bound], together with the observed value. *)
+
+val exemplars : t -> string -> exemplar list
+(** Exemplars of a histogram, ascending by bucket bound; buckets that
+    never saw an exemplar-carrying observation are omitted. *)
+
+val flight : t -> Flight.t option
+(** The attached flight recorder, if any. *)
+
 (** {1 Cross-handle aggregation}
 
     A sharded service gives every shard its own handle (so parallel
@@ -129,6 +192,11 @@ val quantile : histogram_snapshot -> float -> float
     cumulative occupancy reaches [ceil (q * count)].  [infinity] when
     the quantile lands in the overflow bucket; [nan] on an empty
     histogram or an out-of-range [q]. *)
+
+val quantile_opt : histogram_snapshot -> float -> float option
+(** {!quantile} with the empty/out-of-range case made explicit:
+    [None] instead of [nan], so callers cannot silently propagate a
+    NaN into comparisons (lint rule N1). *)
 
 val merged : t list -> t
 (** A fresh live handle whose registry aggregates the inputs:

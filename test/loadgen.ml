@@ -48,11 +48,13 @@
 open Harmony
 module Service = Harmony_service.Service
 module Admission = Harmony_service.Admission
+module Slo = Harmony_service.Slo
 module Pool = Harmony_parallel.Pool
 module Rng = Harmony_numerics.Rng
 module Persist = Harmony_persist.Persist
 module Telemetry = Harmony_telemetry.Telemetry
-module Tjson = Harmony_telemetry.Tjson
+module Flight = Harmony_telemetry.Flight
+module Export = Harmony_telemetry.Export
 
 let paper_spec =
   "{ harmonyBundle B { int {1 8 1} }}\n{ harmonyBundle C { int {1 9-$B 1} }}"
@@ -229,7 +231,7 @@ let on_reply ~now ~stalls c reply =
   match (c.pending, reply) with
   | ( None,
       ( Service.Client_reply _ | Service.Deregistered _ | Service.Service_stats _
-      | Service.Service_error _ ) ) ->
+      | Service.Flight_dump _ | Service.Service_error _ ) ) ->
       fail_once "%s: reply with nothing pending" c.id
   | Some pend, Service.Client_reply { client; reply = sr } -> (
       if not (String.equal client c.id) then
@@ -267,7 +269,8 @@ let on_reply ~now ~stalls c reply =
         fail_once "%s: bye while a client message was pending" c.id;
       c.phase <- Finished;
       c.pending <- None
-  | Some _, (Service.Service_stats _ | Service.Service_error _) ->
+  | Some _, (Service.Service_stats _ | Service.Flight_dump _
+            | Service.Service_error _) ->
       fail_once "%s: service-level reply to a client message" c.id
 
 (* ------------------------------------------------------------------ *)
@@ -300,7 +303,7 @@ let applied_counts ~journal ~shards =
                     Hashtbl.replace counts client
                       (1
                       + Option.value ~default:0 (Hashtbl.find_opt counts client))
-                | Service.Service_metrics -> ())
+                | Service.Service_metrics | Service.Dump_flight -> ())
             | Some (_, (Service.Event.Reply _ | Service.Event.Shed _)) | None
               ->
                 ())
@@ -345,45 +348,15 @@ let resync_client counts c =
   end
 
 (* ------------------------------------------------------------------ *)
-(* SLO budget                                                          *)
-
-type slo = {
-  handle_hist : string;
-  handle_q : float;
-  handle_max : float;
-  delay_hist : string;
-  delay_max : float;
-  excess_rejection_max : float;
-}
+(* SLO budget — bench/service_slo.json, via the shared parser, so the
+   harness asserts the exact numbers the in-service monitor watches. *)
 
 let load_slo path =
-  match Tjson.parse (In_channel.with_open_bin path In_channel.input_all) with
+  match
+    Slo.budgets_of_json (In_channel.with_open_bin path In_channel.input_all)
+  with
+  | Ok b -> Ok b
   | Error e -> Error (path ^ ": " ^ e)
-  | Ok json -> (
-      let field name conv = Option.bind (Tjson.member name json) conv in
-      match
-        ( field "histogram" Tjson.to_str,
-          field "quantile" Tjson.to_float,
-          field "max_ticks" Tjson.to_float,
-          field "queue_delay_histogram" Tjson.to_str,
-          field "max_p99_queue_delay_ticks" Tjson.to_float,
-          field "max_excess_rejection_rate" Tjson.to_float )
-      with
-      | Some h, Some q, Some m, Some dh, Some dm, Some rm ->
-          Ok
-            {
-              handle_hist = h;
-              handle_q = q;
-              handle_max = m;
-              delay_hist = dh;
-              delay_max = dm;
-              excess_rejection_max = rm;
-            }
-      | _ ->
-          Error
-            (path
-           ^ ": missing histogram/quantile/max_ticks/queue_delay_histogram/\
-              max_p99_queue_delay_ticks/max_excess_rejection_rate"))
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
@@ -401,6 +374,8 @@ let () =
   let poison = ref (-1.0) in
   let chaos = ref false in
   let crashes_wanted = ref 3 in
+  let trace_path = ref "" in
+  let flight_path = ref "" in
   Arg.parse
     [
       ("--clients", Arg.Set_int clients, "N  simulated clients (default 10000)");
@@ -428,6 +403,12 @@ let () =
         (open-loop only)");
       ("--crashes", Arg.Set_int crashes_wanted,
        "N  chaos faults to arm (default 3)");
+      ("--trace", Arg.Set_string trace_path,
+       "PATH  record every shard's events and write a segmented JSONL \
+        trace (plus merged metrics) for harmony_trace");
+      ("--flight-dump", Arg.Set_string flight_path,
+       "PATH  attach per-shard flight recorders and dump them on a \
+        crash or an SLO page");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "loadgen [options]: drive the sharded service and check the SLOs";
@@ -492,11 +473,30 @@ let () =
       refill_every = 1;
     }
   in
-  let fresh_telemetry _ = Telemetry.create ~record_events:false () in
+  let record_events = not (String.equal !trace_path "") in
+  let with_flight =
+    record_events || not (String.equal !flight_path "")
+  in
+  let fresh_telemetry _ =
+    let flight =
+      if with_flight then Some (Flight.create ~capacity:512) else None
+    in
+    Telemetry.create ~record_events ?flight ()
+  in
+  let slo_spec = Slo.spec_of_budgets slo in
   let service =
     ref
       (Service.create ~options ~telemetry:fresh_telemetry ~admission
-         ~shards:!shards ())
+         ~slo:slo_spec ~shards:!shards ())
+  in
+  (* SLO pages survive recovery in this tally (the monitor itself is
+     recreated fresh with the service). *)
+  let pages_before_crashes = ref 0 in
+  let dump_flight_to path =
+    let text = Service.flight_dump !service in
+    if not (String.equal text "") then
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc text)
   in
   let retired_telemetry = ref [] in
   let shard_handles () = List.init !shards (Service.shard_telemetry !service) in
@@ -639,6 +639,7 @@ let () =
           let senders = Array.of_list !senders in
           Rng.shuffle schedule_rng senders;
           let with_stats = !rounds mod 16 = 1 in
+          let with_dump = with_flight && !rounds mod 64 = 33 in
           let envelopes =
             Array.to_list
               (Array.map
@@ -652,9 +653,11 @@ let () =
                  senders)
           in
           let envelopes =
-            if with_stats then
-              envelopes @ [ Service.envelope Service.Service_metrics ]
-            else envelopes
+            envelopes
+            @ (if with_stats then [ Service.envelope Service.Service_metrics ]
+               else [])
+            @
+            if with_dump then [ Service.envelope Service.Dump_flight ] else []
           in
           offered := !offered + List.length envelopes;
           (match Service.handle_batch_env ~pool !service envelopes with
@@ -665,14 +668,14 @@ let () =
                     on_reply ~now ~stalls:open_loop_on senders.(k) reply
                   else
                     match reply with
-                    | Service.Service_stats _ -> ()
+                    | Service.Service_stats _ | Service.Flight_dump _ -> ()
                     | Service.Service_error m
                       when Admission.is_rejection_text m ->
                         (* A degraded shard sheds the probe itself. *)
                         ()
                     | ( Service.Client_reply _ | Service.Deregistered _
                       | Service.Service_error _ ) as r ->
-                        fail_once "service-metrics answered with %s"
+                        fail_once "service probe answered with %s"
                           (Service.reply_to_string r))
                 replies
           | exception Persist.Crashed when !chaos -> (
@@ -680,11 +683,18 @@ let () =
               | None -> fail_once "crash without a journal"
               | Some path ->
                   incr crashes;
+                  (* The monitor dies with the service: bank its pages,
+                     and dump the flight rings before they are retired —
+                     this is the post-mortem the recorder exists for. *)
+                  pages_before_crashes :=
+                    !pages_before_crashes + Service.slo_pages !service;
+                  if not (String.equal !flight_path "") then
+                    dump_flight_to !flight_path;
                   retired_telemetry := shard_handles () @ !retired_telemetry;
                   let r =
                     Service.recover ~options ~telemetry:fresh_telemetry
-                      ~admission ~wrap:(next_wrap ()) ~shards:!shards
-                      ~journal:path ()
+                      ~admission ~slo:slo_spec ~wrap:(next_wrap ())
+                      ~shards:!shards ~journal:path ()
                   in
                   service := r.Service.service;
                   let counts = applied_counts ~journal:path ~shards:!shards in
@@ -731,19 +741,21 @@ let () =
     if open_loop_on && !open_loop > 1.0 then 1.0 -. (1.0 /. !open_loop)
     else 0.0
   in
-  let rejection_bound = rejection_floor +. slo.excess_rejection_max in
+  let rejection_bound = rejection_floor +. slo.Slo.excess_rejection_max in
   let quantiles name q =
     match List.assoc_opt name (Telemetry.histograms merged) with
     | None -> (nan, nan, 0)
     | Some snap -> (Telemetry.quantile snap q, Telemetry.quantile snap 0.5, snap.Telemetry.count)
   in
-  let p_handle, p50_handle, handled = quantiles slo.handle_hist slo.handle_q in
-  let p_delay, p50_delay, delays = quantiles slo.delay_hist 0.99 in
-  let handle_ok = Float.is_finite p_handle && p_handle <= slo.handle_max in
+  let p_handle, p50_handle, handled =
+    quantiles slo.Slo.handle_hist slo.Slo.handle_q
+  in
+  let p_delay, p50_delay, delays = quantiles slo.Slo.delay_hist 0.99 in
+  let handle_ok = Float.is_finite p_handle && p_handle <= slo.Slo.handle_max in
   (* Time-to-acceptance scales at least linearly with the offered
      overload (at L x capacity an accepted message waits through ~L
      rejected attempts), so the budget does too. *)
-  let delay_budget = slo.delay_max *. Float.max 1.0 !open_loop in
+  let delay_budget = slo.Slo.delay_max *. Float.max 1.0 !open_loop in
   (* No admitted work at all would be its own failure; an empty
      histogram otherwise means stamping broke. *)
   let delay_ok = Float.is_finite p_delay && p_delay <= delay_budget && delays > 0 in
@@ -756,11 +768,13 @@ let () =
     (if open_loop_on then
        Printf.sprintf "open-loop x%g (capacity %d/round)" !open_loop capacity
      else "closed-loop");
-  Printf.printf "loadgen: %s p50=%g p%g=%g budget=%g -> %s\n" slo.handle_hist
-    p50_handle (slo.handle_q *. 100.) p_handle slo.handle_max
+  Printf.printf "loadgen: %s p50=%g p%g=%g budget=%g -> %s\n"
+    slo.Slo.handle_hist p50_handle
+    (slo.Slo.handle_q *. 100.)
+    p_handle slo.Slo.handle_max
     (if handle_ok then "within SLO" else "SLO VIOLATED");
   Printf.printf "loadgen: %s p50=%g p99=%g budget=%g (n=%d) -> %s\n"
-    slo.delay_hist p50_delay p_delay delay_budget delays
+    slo.Slo.delay_hist p50_delay p_delay delay_budget delays
     (if delay_ok then "within SLO" else "SLO VIOLATED");
   Printf.printf
     "loadgen: admitted=%d rejected=%d rejection-rate=%.3f floor=%.3f \
@@ -784,6 +798,43 @@ let () =
        Printf.sprintf " crashes=%d resyncs=%d" !crashes !resyncs
      else "")
     !mismatches elapsed;
+  (* The in-service burn-rate monitor: pages from services retired by
+     chaos recoveries plus the final one.  Chaos must page (sustained
+     overload with crashes is exactly what the monitor exists for);
+     the closed-loop tier must stay quiet — a page there means either
+     the budgets or the monitor's thresholds drifted. *)
+  let pages_total = !pages_before_crashes + Service.slo_pages !service in
+  let final_state =
+    match Service.slo_state !service with
+    | Some s -> Slo.state_to_string s
+    | None -> "off"
+  in
+  Printf.printf "loadgen: slo-monitor state=%s pages=%d -> %s\n" final_state
+    pages_total
+    (if !chaos then
+       if pages_total > 0 then "paged as expected" else "NEVER PAGED"
+     else if open_loop_on then "informational"
+     else if pages_total = 0 then "quiet as expected"
+     else "PAGED ON THE NORMAL TIER");
+  if !chaos && pages_total = 0 then
+    fail_once "chaos run never paged the SLO monitor";
+  if (not open_loop_on) && pages_total > 0 then
+    fail_once "SLO monitor paged %d times on the normal tier" pages_total;
+  (* Post-run artifacts: the segmented trace for harmony_trace (one
+     segment per shard — their logical clocks overlap — plus a
+     metrics-only merged segment carrying the fleet-wide exemplars),
+     and the flight rings' final contents. *)
+  if not (String.equal !trace_path "") then
+    Out_channel.with_open_bin !trace_path (fun oc ->
+        List.iteri
+          (fun i tel ->
+            Printf.fprintf oc "{\"type\":\"segment\",\"name\":\"shard%d\",\"ts\":0}\n"
+              i;
+            Out_channel.output_string oc (Export.jsonl tel))
+          (shard_handles ());
+        Printf.fprintf oc "{\"type\":\"segment\",\"name\":\"merged\",\"ts\":0}\n";
+        Out_channel.output_string oc (Export.jsonl merged));
+  if not (String.equal !flight_path "") then dump_flight_to !flight_path;
   (match !protocol_failure with
   | Some msg -> Printf.printf "loadgen: protocol failure: %s\n" msg
   | None -> ());

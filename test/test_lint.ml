@@ -167,7 +167,13 @@ let p1_flags_printing_in_hot_paths () =
   check_rules "print in instrumented sensitivity flagged" [ "P1" ]
     ~path:"lib/core/sensitivity.ml" {|let f () = print_int 3|};
   check_rules "print in instrumented analyzer flagged" [ "P1" ]
-    ~path:"lib/core/analyzer.ml" {|let f () = prerr_endline "x"|}
+    ~path:"lib/core/analyzer.ml" {|let f () = prerr_endline "x"|};
+  (* The trace-analyzer core is pure (renderers return strings); only
+     the harmony_trace CLI executable owns stdout. *)
+  check_rules "print in trace-analyzer core flagged" [ "P1" ]
+    ~path:"tools/trace/trace_core.ml" {|let f () = print_string "x"|};
+  check_rules "the trace CLI exe may print" []
+    ~path:"tools/trace/harmony_trace.ml" {|let f () = print_string "x"|}
 
 let p1_allows_pure_formatting () =
   check_rules "sprintf is pure" [] ~path:"lib/objective/objective.ml"

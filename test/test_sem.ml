@@ -249,6 +249,27 @@ let tick s = Mutex.protect s.lock (fun () -> s.n <- s.n + 1)
 let caller = Mutex.create ()
 let f s = Mutex.protect caller (fun () -> tick s)|}
 
+let s2_flight_lock_must_be_leaf () =
+  (* The flight recorder's ring lock is a forced leaf exactly like the
+     telemetry lock: handles record into the ring while already
+     holding their own state, so anything acquired under the ring lock
+     would invert that order. *)
+  let ds =
+    kept ~modname:"Flight" ~path:"lib/telemetry/x.ml"
+      {|type ring = { lock : Mutex.t; mutable head : int }
+let other = Mutex.create ()
+let bad r =
+  Mutex.protect r.lock (fun () ->
+      Mutex.protect other (fun () -> r.head <- r.head + 1))|}
+  in
+  Alcotest.(check (list string)) "leaf violation" [ "S2" ] (rules_of ds);
+  check_rules "caller lock then a ring lock is the allowed direction" []
+    ~modname:"Server" ~path:"lib/core/x.ml"
+    {|type ring = { lock : Mutex.t; mutable head : int }
+let record r = Mutex.protect r.lock (fun () -> r.head <- r.head + 1)
+let state = Mutex.create ()
+let f r = Mutex.protect state (fun () -> record r)|}
+
 (* Reference cycle detector: Kahn's algorithm — a digraph has a cycle
    iff topological sort cannot remove every node. *)
 let ref_has_cycle pairs =
@@ -582,6 +603,7 @@ let suite =
     ("s2 flags self deadlock", `Quick, s2_flags_self_deadlock);
     ("s2 cycle through call summaries", `Quick, s2_cycle_through_call_summaries);
     ("s2 telemetry lock must be leaf", `Quick, s2_telemetry_lock_must_be_leaf);
+    ("s2 flight lock must be leaf", `Quick, s2_flight_lock_must_be_leaf);
     QCheck_alcotest.to_alcotest qcheck_cycle_detector_agrees;
     ("s3 flags alias", `Quick, s3_flags_alias);
     ("s3 flags let laundering", `Quick, s3_flags_let_laundering);

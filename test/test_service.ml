@@ -1118,6 +1118,205 @@ let test_kill_at_boundary_replays_rejections () =
         (0 :: scan.Frame.boundaries))
     bytes
 
+(* ------------------------------------------------------------------ *)
+(* Trace correlation, flight dumps, and the SLO monitor                *)
+
+module Slo = Harmony_service.Slo
+module Flight = Harmony_telemetry.Flight
+module Export = Harmony_telemetry.Export
+
+(* Drive the standard fleet conversation through [handle_batch] with
+   event-recording shard telemetry and return each shard's exported
+   trace text. *)
+let drive_with_trace ~domains =
+  let shards = 2 in
+  let service =
+    Service.create ~options ~telemetry:(fun _ -> Telemetry.create ()) ~shards ()
+  in
+  let state = Hashtbl.create 16 in
+  List.iter (fun c -> Hashtbl.replace state c `Start) fleet;
+  let run pool =
+    let rec round steps =
+      if steps > 200 then Alcotest.fail "traced run did not drain";
+      let live =
+        List.filter
+          (fun c ->
+            match Hashtbl.find_opt state c with
+            | Some `Gone -> false
+            | _ -> true)
+          fleet
+      in
+      if live <> [] then begin
+        let batch =
+          List.map
+            (fun c ->
+              match Hashtbl.find_opt state c with
+              | Some `Start -> register_msg c
+              | Some (`Assign a) -> report_msg c a
+              | Some `Done -> Service.Deregister { client = c }
+              | _ -> Alcotest.fail "inactive client scheduled")
+            live
+        in
+        let replies = Service.handle_batch ?pool service batch in
+        List.iteri
+          (fun k r ->
+            let c = List.nth live k in
+            match r with
+            | Service.Client_reply { reply = Server.Assign a; _ } ->
+                Hashtbl.replace state c (`Assign a)
+            | Service.Client_reply { reply = Server.Done _; _ } ->
+                Hashtbl.replace state c `Done
+            | Service.Deregistered _ -> Hashtbl.replace state c `Gone
+            | r -> Alcotest.fail ("traced run: " ^ Service.reply_to_string r))
+          replies;
+        round (steps + 1)
+      end
+    in
+    round 0
+  in
+  (match domains with
+  | 1 -> run None
+  | n -> Pool.with_pool ~domains:n (fun pool -> run (Some pool)));
+  List.init shards (fun s -> Export.jsonl (Service.shard_telemetry service s))
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i =
+    i + n <= m && (String.equal (String.sub s i n) affix || go (i + 1))
+  in
+  n = 0 || go 0
+
+(* The whole point of deriving trace ids from (client, seq) in the
+   sequential admission loop: the emitted trace bytes — span events,
+   correlation args, histogram exemplars — cannot depend on how many
+   domains dispatched the batches. *)
+let test_trace_bytes_identical_across_domains () =
+  let sequential = drive_with_trace ~domains:1 in
+  let parallel = drive_with_trace ~domains:4 in
+  Alcotest.(check (list string))
+    "per-shard trace bytes identical at 1 vs 4 domains" sequential parallel;
+  List.iter
+    (fun shard_text ->
+      Alcotest.(check bool) "trace ids present" true
+        (contains ~affix:{|"trace_id"|} shard_text);
+      Alcotest.(check bool) "handle exemplars present" true
+        (contains ~affix:{|"exemplars"|} shard_text))
+    sequential
+
+let test_dump_flight_returns_rings () =
+  let service =
+    Service.create ~options
+      ~telemetry:(fun _ ->
+        Telemetry.create ~record_events:false
+          ~flight:(Flight.create ~capacity:64)
+          ())
+      ~shards:2 ()
+  in
+  List.iter
+    (fun c ->
+      match Service.handle service (register_msg c) with
+      | Service.Client_reply { reply = Server.Assign _; _ } -> ()
+      | r -> Alcotest.fail ("register: " ^ Service.reply_to_string r))
+    fleet;
+  match Service.handle service Service.Dump_flight with
+  | Service.Flight_dump text -> (
+      (* The dump is analyzer-ready: shard-segmented, spans intact. *)
+      match Trace_core.of_string text with
+      | Error e -> Alcotest.fail ("flight dump unparsable: " ^ e)
+      | Ok t ->
+          Alcotest.(check int) "nothing dropped" 0 t.Trace_core.dropped;
+          Alcotest.(check (list string))
+            "one segment per shard" [ "shard0"; "shard1" ]
+            (List.map (fun s -> s.Trace_core.seg_name) t.Trace_core.segments);
+          Alcotest.(check bool) "handle spans recorded" true
+            (Trace_core.handles t <> []))
+  | r -> Alcotest.fail ("dump-flight: " ^ Service.reply_to_string r)
+
+let test_slo_monitor_state_machine () =
+  let m = Slo.create Slo.default_burn in
+  let total = ref 0 and viol = ref 0 in
+  let feed_n n ~per_feed_viol =
+    for _ = 1 to n do
+      total := !total + 100;
+      viol := !viol + per_feed_viol;
+      ignore (Slo.feed m ~total:!total ~violations:!viol)
+    done
+  in
+  (* Clean traffic: quiet. *)
+  feed_n 16 ~per_feed_viol:0;
+  Alcotest.(check string) "clean traffic is healthy" "ok"
+    (Slo.state_to_string (Slo.state m));
+  Alcotest.(check int) "no pages yet" 0 (Slo.pages m);
+  (* Sustained 10x burn (10% violating vs a 1% budget): the fast
+     window arms immediately, the slow window confirms, and the
+     monitor pages exactly once for the episode. *)
+  feed_n 64 ~per_feed_viol:10;
+  Alcotest.(check string) "sustained burn pages" "page"
+    (Slo.state_to_string (Slo.state m));
+  Alcotest.(check int) "one page for one episode" 1 (Slo.pages m);
+  (* Hysteresis: 3x burn is below half the page threshold, so the
+     monitor steps down — but only to warn (3x is still above half the
+     warn threshold), where it holds without flapping. *)
+  feed_n 64 ~per_feed_viol:3;
+  Alcotest.(check string) "moderate burn settles at warn" "warn"
+    (Slo.state_to_string (Slo.state m));
+  Alcotest.(check int) "no second page" 1 (Slo.pages m);
+  (* Full recovery drains both windows back to healthy. *)
+  feed_n 128 ~per_feed_viol:0;
+  Alcotest.(check string) "recovery de-escalates fully" "ok"
+    (Slo.state_to_string (Slo.state m));
+  (* Cumulative inputs mean a snapshot replay (same totals) is a
+     no-op delta, not a phantom burst. *)
+  let before = Slo.state m in
+  ignore (Slo.feed m ~total:!total ~violations:!viol);
+  Alcotest.(check string) "replayed snapshot is a zero delta"
+    (Slo.state_to_string before)
+    (Slo.state_to_string (Slo.state m))
+
+let test_budgets_of_json () =
+  (match
+     Slo.budgets_of_json
+       {|{"histogram":"server.handle_ms","quantile":0.99,"max_ticks":20,
+          "queue_delay_histogram":"service.admission.queue_delay",
+          "max_p99_queue_delay_ticks":40,"max_excess_rejection_rate":0.15}|}
+   with
+  | Error e -> Alcotest.fail ("budgets: " ^ e)
+  | Ok b ->
+      Alcotest.(check string) "histogram" "server.handle_ms" b.Slo.handle_hist;
+      Alcotest.(check (float 1e-9)) "max ticks" 20.0 b.Slo.handle_max;
+      (* No "burn" object: the monitor defaults apply. *)
+      Alcotest.(check (float 1e-9))
+        "default page burn" Slo.default_burn.Slo.page_burn b.Slo.burn.Slo.page_burn;
+      let spec = Slo.spec_of_budgets b in
+      Alcotest.(check (float 1e-9)) "threshold from budget" 20.0
+        spec.Slo.handle_threshold);
+  (match
+     Slo.budgets_of_json
+       {|{"histogram":"h","quantile":0.99,"max_ticks":20,
+          "queue_delay_histogram":"q","max_p99_queue_delay_ticks":40,
+          "max_excess_rejection_rate":0.15,
+          "burn":{"warn_burn":8.0,"page_burn":2.0}}|}
+   with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "page below warn must be rejected, not clamped");
+  match Slo.budgets_of_json "{not json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+
+let test_violations_in_counts_bucket_occupancy () =
+  let t = Telemetry.create () in
+  let bounds = [| 1.0; 5.0; 10.0; 20.0 |] in
+  List.iter
+    (fun v -> Telemetry.observe t ~bounds "h" v)
+    [ 0.5; 4.0; 9.0; 15.0; 100.0 ];
+  match Telemetry.histogram_value t "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some snap ->
+      Alcotest.(check int) "exact at a bucket bound" 2
+        (Slo.violations_in snap ~threshold:10.0);
+      Alcotest.(check int) "conservative inside a bucket" 3
+        (Slo.violations_in snap ~threshold:6.0)
+
 let suite =
   [
     Alcotest.test_case "routing deterministic" `Quick test_routing_deterministic;
@@ -1157,4 +1356,13 @@ let suite =
     Alcotest.test_case "kill at boundary replays rejections" `Slow
       test_kill_at_boundary_replays_rejections;
     to_alcotest prop_serializable;
+    Alcotest.test_case "trace bytes identical across domains" `Quick
+      test_trace_bytes_identical_across_domains;
+    Alcotest.test_case "dump-flight returns analyzer-ready rings" `Quick
+      test_dump_flight_returns_rings;
+    Alcotest.test_case "slo monitor state machine" `Quick
+      test_slo_monitor_state_machine;
+    Alcotest.test_case "slo budgets parse" `Quick test_budgets_of_json;
+    Alcotest.test_case "violations_in counts bucket occupancy" `Quick
+      test_violations_in_counts_bucket_occupancy;
   ]

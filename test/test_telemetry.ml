@@ -475,6 +475,151 @@ let test_trace_csv_full_space () =
         rows
   | [] -> Alcotest.fail "empty csv")
 
+(* ------------------------------------------------------------------ *)
+(* Trace contexts, exemplars, and the flight recorder *)
+
+module Flight = Harmony_telemetry.Flight
+
+let qcheck_seed = [| 0x5eed; 16 |]
+
+let to_alcotest t =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make qcheck_seed) t
+
+let is_hex16 s =
+  String.length s = 16
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+       s
+
+let test_ctx_ids_deterministic () =
+  let c = Telemetry.Ctx.root ~client:"alpha" ~seq:3 in
+  let c' = Telemetry.Ctx.root ~client:"alpha" ~seq:3 in
+  Alcotest.(check string)
+    "same inputs, same trace id"
+    (Telemetry.Ctx.trace_id c) (Telemetry.Ctx.trace_id c');
+  Alcotest.(check bool) "trace id is 16 hex chars" true
+    (is_hex16 (Telemetry.Ctx.trace_id c));
+  Alcotest.(check string)
+    "root span id is the trace id"
+    (Telemetry.Ctx.trace_id c) (Telemetry.Ctx.span_id c);
+  Alcotest.(check string) "root has no parent" "" (Telemetry.Ctx.parent_id c);
+  Alcotest.(check bool) "seq distinguishes traces" true
+    (not
+       (String.equal
+          (Telemetry.Ctx.trace_id c)
+          (Telemetry.Ctx.trace_id (Telemetry.Ctx.root ~client:"alpha" ~seq:4))));
+  Alcotest.(check bool) "client distinguishes traces" true
+    (not
+       (String.equal
+          (Telemetry.Ctx.trace_id c)
+          (Telemetry.Ctx.trace_id (Telemetry.Ctx.root ~client:"bravo" ~seq:3))));
+  let k = Telemetry.Ctx.child c "server.search" in
+  Alcotest.(check string)
+    "child keeps the trace id"
+    (Telemetry.Ctx.trace_id c) (Telemetry.Ctx.trace_id k);
+  Alcotest.(check string)
+    "child's parent is the root span"
+    (Telemetry.Ctx.span_id c) (Telemetry.Ctx.parent_id k);
+  Alcotest.(check bool) "child span id is fresh" true
+    (not (String.equal (Telemetry.Ctx.span_id k) (Telemetry.Ctx.span_id c)));
+  Alcotest.(check string)
+    "child is deterministic"
+    (Telemetry.Ctx.span_id k)
+    (Telemetry.Ctx.span_id (Telemetry.Ctx.child c "server.search"));
+  Alcotest.(check bool) "indexed children are distinct" true
+    (not
+       (String.equal
+          (Telemetry.Ctx.span_id (Telemetry.Ctx.child_i c "measure" 0))
+          (Telemetry.Ctx.span_id (Telemetry.Ctx.child_i c "measure" 1))));
+  (* args carry the correlation triple: parent only on children. *)
+  let keys ctx = List.map fst (Telemetry.Ctx.args ctx) in
+  Alcotest.(check (list string))
+    "root args" [ "trace_id"; "span_id" ] (keys c);
+  Alcotest.(check (list string))
+    "child args"
+    [ "trace_id"; "span_id"; "parent_id" ]
+    (keys k)
+
+let test_exemplars_recorded_and_merged () =
+  let bounds = [| 1.0; 5.0; 10.0 |] in
+  let a = Telemetry.create () in
+  let b = Telemetry.create () in
+  Telemetry.observe a ~bounds ~exemplar:"aaaa" "h" 2.0;
+  Telemetry.observe a ~bounds ~exemplar:"cccc" "h" 3.0;
+  Telemetry.observe b ~bounds ~exemplar:"bbbb" "h" 7.0;
+  (match Telemetry.exemplars a "h" with
+  | [ { Telemetry.ex_bound; ex_trace_id; ex_val } ] ->
+      Alcotest.(check (float 1e-9)) "bucket bound" 5.0 ex_bound;
+      Alcotest.(check string) "last observation wins the bucket" "cccc"
+        ex_trace_id;
+      Alcotest.(check (float 1e-9)) "observed value kept" 3.0 ex_val
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected one bucket exemplar, got %d" (List.length l)));
+  (* Merging copies exemplars along with the bucket counts. *)
+  let m = Telemetry.merged [ a; b ] in
+  let bucket_of id =
+    List.find_opt
+      (fun e -> String.equal e.Telemetry.ex_trace_id id)
+      (Telemetry.exemplars m "h")
+  in
+  Alcotest.(check bool) "merged keeps a's bucket exemplar" true
+    (Option.is_some (bucket_of "cccc"));
+  Alcotest.(check bool) "merged keeps b's bucket exemplar" true
+    (Option.is_some (bucket_of "bbbb"));
+  (* And the Prometheus text renders OpenMetrics exemplar syntax. *)
+  let prom = Export.prometheus m in
+  Alcotest.(check bool) "prometheus exemplar syntax" true
+    (let affix = {|# {trace_id="bbbb"}|} in
+     let n = String.length affix and len = String.length prom in
+     let rec go i =
+       i + n <= len && (String.equal (String.sub prom i n) affix || go (i + 1))
+     in
+     go 0)
+
+let test_flight_mirrors_metrics_only_handle () =
+  let flight = Flight.create ~capacity:8 in
+  let t = Telemetry.create ~record_events:false ~flight () in
+  let ctx = Telemetry.Ctx.root ~client:"alpha" ~seq:1 in
+  Telemetry.span t ~args:(Telemetry.Ctx.args ctx) "server.handle" (fun () -> ());
+  Alcotest.(check int) "no events retained by the handle" 0
+    (List.length (Telemetry.events t));
+  (* The logical clock still advanced — metrics-only handles tick
+     identically to recording ones. *)
+  Alcotest.(check int) "clock ticked" 2 (Telemetry.event_count t);
+  match Flight.entries flight with
+  | [ b; e ] ->
+      Alcotest.(check string) "begin mirrored" "server.handle" b.Flight.e_name;
+      Alcotest.(check string)
+        "trace id captured" (Telemetry.Ctx.trace_id ctx) b.Flight.e_trace;
+      Alcotest.(check bool) "end mirrored" true
+        (match e.Flight.e_kind with
+        | Flight.End -> true
+        | Flight.Begin | Flight.Instant -> false)
+  | l ->
+      Alcotest.fail
+        (Printf.sprintf "expected 2 mirrored events, got %d" (List.length l))
+
+(* The ring against the obvious reference: the last min(n, capacity)
+   events, oldest first, at every (capacity, n) — including wraparound
+   several times over. *)
+let flight_wraparound_qcheck =
+  QCheck2.Test.make ~count:200 ~name:"flight ring keeps the newest events"
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 0 200))
+    (fun (capacity, n) ->
+      let f = Flight.create ~capacity in
+      for i = 0 to n - 1 do
+        Flight.record f ~kind:Flight.Instant
+          ~name:(Printf.sprintf "e%d" i)
+          ~ts:(float_of_int i) ~trace:""
+      done;
+      let kept = min n capacity in
+      let expected =
+        List.init kept (fun j -> Printf.sprintf "e%d" (n - kept + j))
+      in
+      Flight.total f = n
+      && List.map (fun e -> e.Flight.e_name) (Flight.entries f) = expected)
+
 let suite =
   [
     ("span nesting and ordering", `Quick, test_span_nesting);
@@ -503,4 +648,12 @@ let suite =
       `Quick,
       test_measure_counters_are_the_registry );
     ("trace csv covers the full space", `Quick, test_trace_csv_full_space);
+    ("ctx ids deterministic", `Quick, test_ctx_ids_deterministic);
+    ( "exemplars recorded and merged",
+      `Quick,
+      test_exemplars_recorded_and_merged );
+    ( "flight mirrors a metrics-only handle",
+      `Quick,
+      test_flight_mirrors_metrics_only_handle );
+    to_alcotest flight_wraparound_qcheck;
   ]

@@ -42,12 +42,13 @@ let s2 =
   {
     id = "S2";
     severity = Lint_diag.Error;
-    summary = "lock order: acyclic, telemetry lock a leaf";
+    summary = "lock order: acyclic, telemetry and flight locks leaves";
     doc =
       "The static Mutex.lock/protect nesting graph (closed over calls \
        via per-function may-acquire summaries) must have no cycle, no \
        re-acquisition of a held lock, and no lock acquired while the \
-       telemetry lock is held.";
+       telemetry lock or the flight recorder's lock is held (both are \
+       forced leaves of the order).";
   }
 
 let s3 =
@@ -505,16 +506,23 @@ let run_s2 ~(summary : Sem_summary.t) (units : (string * string * structure) lis
              (List.hd cycle))
         :: !diags
   | _ -> ());
+  (* Forced leaves of the lock order: the telemetry registry lock and
+     the flight recorder's ring lock.  Telemetry records an event and
+     only then mirrors it into the flight ring, so neither may be held
+     while acquiring anything else. *)
   List.iter
-    (fun (e : Sem_lockgraph.edge) ->
-      diags :=
-        Lint_diag.make ~rule:"S2" ~severity:s2.severity ~loc:e.loc
-          (Printf.sprintf
-             "%s acquired while holding telemetry lock %s (the telemetry \
-              lock must be a leaf of the lock order)"
-             e.dst e.src)
-        :: !diags)
-    (Sem_lockgraph.leaf_violations graph ~leaf_prefix:"Telemetry.");
+    (fun (leaf_prefix, what) ->
+      List.iter
+        (fun (e : Sem_lockgraph.edge) ->
+          diags :=
+            Lint_diag.make ~rule:"S2" ~severity:s2.severity ~loc:e.loc
+              (Printf.sprintf
+                 "%s acquired while holding %s %s (the %s must be a leaf of \
+                  the lock order)"
+                 e.dst what e.src what)
+            :: !diags)
+        (Sem_lockgraph.leaf_violations graph ~leaf_prefix))
+    [ ("Telemetry.", "telemetry lock"); ("Flight.", "flight recorder lock") ];
   !diags
 
 (* ------------------------------------------------------------------ *)
